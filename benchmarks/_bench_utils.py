@@ -1,0 +1,19 @@
+"""Shared helpers for the experiment benches (imported as a module)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SCHEMES = ("dcw", "flip_n_write", "two_stage", "three_stage", "tetris")
+REQUESTS_PER_CORE = 2000
+SEED = 20160816
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

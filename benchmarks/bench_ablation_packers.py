@@ -1,0 +1,70 @@
+"""Ablation — how close is Algorithm 2's greedy FFD to optimal packing?
+
+Algorithm 2 is a first-fit-decreasing heuristic; hardware cannot afford
+an exact bin packer.  This bench measures, over real workload demand
+distributions, how often FFD's write-unit count (`result`) equals the
+exact optimum (subset-DP), and compares the best-fit and worst-fit
+greedy alternatives.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.packers import (
+    best_fit_decreasing_bins,
+    ffd_bins,
+    optimal_bins,
+    worst_fit_decreasing_bins,
+)
+
+from _bench_utils import emit
+
+BUDGET = 128.0
+SAMPLES = 400
+
+
+def test_ablation_packer_optimality(benchmark, traces):
+    def run():
+        rows = []
+        for workload in ("blackscholes", "dedup", "ferret", "vips"):
+            n_set = traces[workload].write_counts[:SAMPLES, :, 0].astype(float)
+            ffd_total = bfd_total = wfd_total = opt_total = 0
+            ffd_opt_hits = 0
+            for demands in n_set:
+                opt = optimal_bins(demands, BUDGET)
+                ffd = ffd_bins(demands, BUDGET)
+                ffd_total += ffd
+                bfd_total += best_fit_decreasing_bins(demands, BUDGET)
+                wfd_total += worst_fit_decreasing_bins(demands, BUDGET)
+                opt_total += opt
+                ffd_opt_hits += ffd == opt
+            n = len(n_set)
+            rows.append([
+                workload,
+                ffd_total / n, bfd_total / n, wfd_total / n, opt_total / n,
+                100.0 * ffd_opt_hits / n,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["workload", "FFD", "BFD", "WFD", "optimal", "FFD=opt (%)"],
+        rows,
+        title=(
+            "Ablation — write-1 bins per write: Algorithm 2's FFD vs. "
+            "alternatives (bank budget 128)"
+        ),
+    )
+    table += (
+        "\nAt the paper's operating point per-unit demands are far below"
+        "\nthe budget, so the greedy FFD is effectively optimal — the"
+        "\nhardware-friendly choice loses nothing."
+    )
+    emit("ablation_packers", table)
+
+    for row in rows:
+        workload, ffd, bfd, wfd, opt, hit_rate = row
+        assert ffd >= opt - 1e-9
+        assert bfd >= opt - 1e-9
+        # FFD must be optimal on essentially every real write.
+        assert hit_rate >= 99.0, workload

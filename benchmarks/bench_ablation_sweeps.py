@@ -1,0 +1,79 @@
+"""Ablation benches — sensitivity of Tetris Write to its design inputs.
+
+Not in the paper; these quantify the design choices DESIGN.md calls out:
+the power budget (incl. the §I mobile modes), the two asymmetries, and
+the flip stage's contribution.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.ablation import (
+    sweep_no_flip,
+    sweep_power_asymmetry,
+    sweep_power_budget,
+    sweep_time_asymmetry,
+    sweep_write_unit_width,
+)
+
+from _bench_utils import emit
+
+
+def _table(points, title):
+    return format_table(
+        ["parameter", "value", "mean units", "result", "subresult"],
+        [[p.parameter, p.value, p.mean_units, p.mean_result, p.mean_subresult]
+         for p in points],
+        title=title,
+    )
+
+
+def test_ablation_power_budget(benchmark, traces):
+    points = benchmark.pedantic(
+        lambda: sweep_power_budget(traces["dedup"]), rounds=1, iterations=1
+    )
+    emit("ablation_budget", _table(points, "Ablation — bank power budget (dedup)"))
+    units = [p.mean_units for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(units, units[1:]))
+    # At the paper's budget (128) dedup sits in the Fig-10 band.
+    at128 = next(p for p in points if p.value == 128.0)
+    assert 1.0 <= at128.mean_units <= 1.6
+
+
+def test_ablation_time_asymmetry(benchmark, traces):
+    points = benchmark.pedantic(
+        lambda: sweep_time_asymmetry(traces["ferret"]), rounds=1, iterations=1
+    )
+    emit("ablation_K", _table(points, "Ablation — time asymmetry K (ferret)"))
+    by_K = {int(p.value): p.mean_units for p in points}
+    # Larger K shrinks each appended write-0 sub-slot: units non-increasing.
+    assert by_K[16] <= by_K[1] + 1e-9
+
+
+def test_ablation_power_asymmetry(benchmark, traces):
+    points = benchmark.pedantic(
+        lambda: sweep_power_asymmetry(traces["vips"]), rounds=1, iterations=1
+    )
+    emit("ablation_L", _table(points, "Ablation — power asymmetry L (vips)"))
+    units = [p.mean_units for p in points]
+    assert all(b >= a - 1e-9 for a, b in zip(units, units[1:]))
+
+
+def test_ablation_mobile_write_units(benchmark, traces):
+    points = benchmark.pedantic(
+        lambda: sweep_write_unit_width(traces["dedup"]), rounds=1, iterations=1
+    )
+    emit(
+        "ablation_mobile",
+        _table(points, "Ablation — §I mobile division modes (dedup)"),
+    )
+    by_w = {int(p.value): p.mean_units for p in points}
+    assert by_w[2] > by_w[4] > by_w[8] > by_w[16]
+
+
+def test_ablation_flip_contribution(benchmark, traces):
+    points = benchmark.pedantic(
+        lambda: sweep_no_flip(traces["vips"]), rounds=1, iterations=1
+    )
+    emit("ablation_flip", _table(points, "Ablation — flip stage contribution (vips)"))
+    flip_pt = next(p for p in points if p.value == 1.0)
+    noflip_pt = next(p for p in points if p.value == 0.0)
+    assert noflip_pt.mean_units >= flip_pt.mean_units

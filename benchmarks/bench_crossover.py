@@ -1,0 +1,52 @@
+"""Crossover — memory intensity at which write scheduling starts to pay.
+
+Sweeps the arrival intensity of the dedup workload (factor 1.0 = its
+Table III rates) and reports every scheme's runtime against DCW.  The
+shape the task cares about: all curves at ~1.0 when compute-bound, the
+paper's ordering once write-bound, and the knee in between.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.crossover import find_knee, sweep_intensity
+
+from _bench_utils import emit
+
+
+def test_intensity_crossover(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_intensity("dedup", requests_per_core=1200),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.intensity,
+         p.runtime_ratio["flip_n_write"],
+         p.runtime_ratio["three_stage"],
+         p.runtime_ratio["tetris"]]
+        for p in points
+    ]
+    knee = find_knee(points)
+    table = format_table(
+        ["intensity (x Table III)", "FNW", "3SW", "Tetris"],
+        rows,
+        title="Crossover — runtime vs DCW across memory intensity (dedup)",
+    )
+    table += (
+        f"\nknee: Tetris first beats DCW by >5% at intensity {knee}"
+        "\n(below it the cores are compute-bound and the scheme is moot)"
+    )
+    emit("crossover", table)
+
+    by_intensity = {p.intensity: p for p in points}
+    # Compute-bound end: everything within a few percent of the baseline.
+    assert by_intensity[0.05].runtime_ratio["tetris"] > 0.93
+    # Write-bound end: the paper's full ordering and a large gap.
+    heavy = by_intensity[4.0].runtime_ratio
+    assert heavy["tetris"] < heavy["three_stage"] < heavy["flip_n_write"] < 1.0
+    assert heavy["tetris"] < 0.6
+    # The knee exists and sits between the extremes.
+    assert knee is not None and 0.05 < knee <= 4.0
+    # Monotone separation: Tetris's advantage never shrinks as intensity
+    # grows (allowing small simulation noise).
+    ratios = [p.runtime_ratio["tetris"] for p in points]
+    assert all(b <= a + 0.03 for a, b in zip(ratios, ratios[1:]))

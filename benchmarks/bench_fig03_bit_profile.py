@@ -1,0 +1,43 @@
+"""Figure 3 — the number of RESET and SET operations per data unit.
+
+Paper series (read off the figure / pinned by the text): average 9.6
+bit-writes per 64-bit unit = 6.7 SET + 2.9 RESET; blackscholes ~2 total,
+vips ~19; ferret and vips near fifty-fifty, the rest SET-dominant.
+"""
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import format_table
+from repro.experiments.fig03 import measure_bit_profile
+
+from _bench_utils import emit
+
+
+def test_fig03_bit_profile(benchmark, traces):
+    rows = benchmark.pedantic(
+        lambda: [measure_bit_profile(t) for t in traces.values()],
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["workload", "SET/unit", "RESET/unit", "total", "paper-total"],
+        [
+            [r.workload, r.mean_set, r.mean_reset, r.total,
+             {"blackscholes": "~2", "vips": "~19"}.get(r.workload, "-")]
+            for r in rows
+        ],
+        title="Figure 3 — bit-writes per 64-bit data unit (post-inversion)",
+    )
+    avg_set = arithmetic_mean([r.mean_set for r in rows])
+    avg_reset = arithmetic_mean([r.mean_reset for r in rows])
+    table += (
+        f"\naverage: {avg_set:.2f} SET + {avg_reset:.2f} RESET ="
+        f" {avg_set + avg_reset:.2f}   (paper: 6.7 + 2.9 = 9.6)"
+    )
+    emit("fig03_bit_profile", table)
+
+    # Shape assertions: Observation 1 & 2.
+    assert 7.0 <= avg_set + avg_reset <= 12.0
+    assert avg_set > avg_reset
+    by_name = {r.workload: r for r in rows}
+    assert by_name["blackscholes"].total < 4
+    assert by_name["vips"].total > 14

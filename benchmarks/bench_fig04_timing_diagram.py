@@ -1,0 +1,51 @@
+"""Figure 4 — chip-level timing diagram of the four schemes.
+
+The paper's worked example: 64 B line, four X16 chips, per-chip budget 32
+(32 SETs / 16 RESETs concurrently), RESET:SET current ratio 2.  Write-1
+currents 8+7+7+6+3 = 31 < 32 share write unit 1; the remaining write-1s
+(6, 6, 5) run in write unit 2, whose interspace absorbs every write-0.
+Completion: Tetris T1 = 2 units < 3SW T2 = 2.5 < 2SW T3 = 3 < FNW T4 = 4.
+"""
+
+import numpy as np
+
+from repro.analysis.timing_diagram import render_timing_diagram, scheme_timeline
+
+from _bench_utils import emit
+
+N_SET = np.array([8, 7, 7, 6, 6, 6, 5, 3])
+N_RESET = np.array([1, 1, 1, 2, 3, 2, 2, 5])
+
+
+def test_fig04_worked_example(benchmark):
+    tl = benchmark.pedantic(
+        lambda: scheme_timeline(N_SET, N_RESET, power_budget=32.0),
+        rounds=3,
+        iterations=1,
+    )
+    diagram = render_timing_diagram(N_SET, N_RESET, power_budget=32.0)
+    diagram += (
+        "\n\npaper ordering: T1(tetris) < T2(3SW)=2.5 < T3(2SW)=3 < T4(FNW)=4"
+    )
+    emit("fig04_timing_diagram", diagram)
+
+    assert tl.tetris == 2.0            # T1: two write units, nothing extra
+    assert tl.three_stage == 2.5       # T2
+    assert tl.two_stage == 3.0         # T3
+    assert tl.flip_n_write == 4.0      # T4
+    assert tl.conventional == 8.0      # not drawn in the figure
+    assert tl.tetris_schedule.subresult == 0
+
+
+def test_fig04_write0s_hide_in_interspace(benchmark):
+    """Every write-0 of the example fits the write-1 interspace: the
+    paper's three in-a-row groupings all satisfy the budget."""
+    sched = benchmark.pedantic(
+        lambda: scheme_timeline(N_SET, N_RESET, power_budget=32.0).tetris_schedule,
+        rounds=3,
+        iterations=1,
+    )
+    occ = sched.occupancy()
+    assert occ.max() <= 32.0
+    assert len(sched.write0_queue) == 8   # all units have RESETs
+    assert all(op.slot < sched.result * sched.K for op in sched.write0_queue)

@@ -1,0 +1,57 @@
+"""Figure 13 — IPC improvement over the DCW baseline (Equation 6).
+
+Paper averages: Tetris 2.0x, Three-Stage-Write 1.8x, 2-Stage-Write 1.6x,
+Flip-N-Write 1.4x.  Tetris shows the largest improvement on every
+workload.
+"""
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import format_table
+from repro.experiments.fullsystem import run_fullsystem
+
+from _bench_utils import SCHEMES, emit
+
+PAPER_AVG = {"flip_n_write": 1.4, "two_stage": 1.6, "three_stage": 1.8, "tetris": 2.0}
+
+
+def test_fig13_ipc_improvement(benchmark, traces, fullsystem_grid, grid_baseline):
+    benchmark.pedantic(
+        lambda: run_fullsystem(traces["ferret"], "tetris"), rounds=1, iterations=1
+    )
+
+    compared = [s for s in SCHEMES if s != "dcw"]
+    rows, norm = [], {s: [] for s in compared}
+    for wl in traces:
+        base = grid_baseline[wl]
+        row = [wl]
+        for s in compared:
+            r = next(x for x in fullsystem_grid if x.workload == wl and x.scheme == s)
+            v = r.normalized(base)["ipc_improvement"]
+            norm[s].append(v)
+            row.append(v)
+        rows.append(row)
+    rows.append(["AVERAGE"] + [arithmetic_mean(norm[s]) for s in compared])
+
+    table = format_table(
+        ["workload", "FNW", "2SW", "3SW", "Tetris"],
+        rows,
+        title="Figure 13 — IPC improvement over DCW (higher is better)",
+    )
+    table += "\npaper averages: FNW 1.4x, 2SW 1.6x, 3SW 1.8x, Tetris 2.0x"
+    emit("fig13_ipc", table)
+
+    # Shape: strict ranking on the memory-bound workloads; the two
+    # near-idle ones (blackscholes/swaptions) differ by < 1 % between
+    # schemes, where drain-timing noise can reorder neighbours.
+    wl_list = list(traces)
+    for i, wl in enumerate(wl_list):
+        fnw, tsw2, tsw3, tet = rows[i][1:]
+        if wl in ("blackscholes", "swaptions"):
+            assert tet >= 0.99 and fnw >= 0.99, wl
+        else:
+            assert tet >= tsw3 >= tsw2 >= fnw >= 1.0 - 1e-9, wl
+    # Tetris's average improvement is substantial; the memory-bound
+    # workloads dominate the paper's 2x average.
+    heavy = [v for wl, v in zip(traces, norm["tetris"])
+             if wl not in ("blackscholes", "swaptions")]
+    assert arithmetic_mean(heavy) > 1.6

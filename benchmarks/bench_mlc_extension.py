@@ -1,0 +1,156 @@
+"""Extension — Tetris scheduling generalized to 2-bit MLC PCM.
+
+The paper restricts itself to SLC "for its better write performance";
+this bench shows the idea transfers: with four program classes (one per
+MLC level, each its own duration/current), the generalized earliest-fit
+packer hides the short high-current RESETs and mid-length P&V staircases
+inside the long full-SET bursts, recovering a large factor over the
+serial baseline — and the unaligned SLC variant slightly improves on
+Algorithm 2's write-unit-aligned packing.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.config import default_config
+from repro.core.analysis import analyze
+from repro.core.generalized import BurstClass, GeneralizedScheduler
+from repro.experiments.fullsystem import (
+    PrecomputedServiceModel,
+    WriteServiceTable,
+    run_fullsystem,
+)
+from repro.pcm.mlc import MLCModel
+from repro.pcm.state import MemoryImage
+from repro.trace.content import realize_payload
+from repro.trace.synthetic import generate_trace
+
+from _bench_utils import emit
+
+
+def test_mlc_generalized_tetris(benchmark, traces):
+    rng = np.random.default_rng(0)
+    model = MLCModel()
+
+    def run():
+        serial_total = tetris_total = 0.0
+        n = 300
+        for _ in range(n):
+            old = rng.integers(0, 1 << 63, size=8, dtype=np.uint64)
+            # MLC content churn: a few symbol rewrites per unit.
+            new = old ^ rng.integers(0, 1 << 24, size=8, dtype=np.uint64)
+            serial_total += model.serial_ns(old, new)
+            tetris_total += model.tetris_ns(old, new)
+        return serial_total / n, tetris_total / n
+
+    serial_ns, tetris_ns = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = serial_ns / tetris_ns if tetris_ns else float("inf")
+
+    table = format_table(
+        ["variant", "mean write-stage (ns)"],
+        [["serial MLC baseline", serial_ns],
+         ["generalized Tetris MLC", tetris_ns]],
+        title="Extension — MLC (2-bit) write scheduling, 300 random writes",
+    )
+    table += f"\nspeedup: {speedup:.2f}x"
+    emit("mlc_extension", table)
+
+    assert tetris_ns < serial_ns
+    assert speedup > 2.0
+
+
+def test_slc_alignment_cost(benchmark, traces):
+    """How much does Algorithm 2's write-unit alignment cost vs. the
+    unaligned earliest-fit relaxation, on real SLC workload demands?"""
+    trace = traces["vips"]
+    W1 = BurstClass("write1", 8, 1.0)
+    W0 = BurstClass("write0", 1, 2.0)
+    relaxed = GeneralizedScheduler(128.0, 430.0 / 8)
+
+    def run():
+        aligned_total = relaxed_total = 0.0
+        n = 400
+        for w in range(n):
+            n_set = trace.write_counts[w, :, 0].astype(int)
+            n_reset = trace.write_counts[w, :, 1].astype(int)
+            aligned_total += analyze(
+                n_set, n_reset, power_budget=128.0
+            ).service_time_ns(430.0)
+            relaxed_total += relaxed.schedule(
+                {W1: n_set, W0: n_reset}
+            ).completion_ns()
+        return aligned_total / n, relaxed_total / n
+
+    aligned_ns, relaxed_ns = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["packer", "mean write-stage (ns)"],
+        [["Algorithm 2 (write-unit aligned)", aligned_ns],
+         ["generalized earliest-fit (unaligned)", relaxed_ns]],
+        title="Extension — cost of write-unit alignment on vips demands",
+    )
+    table += (
+        f"\nalignment overhead: "
+        f"{100.0 * (aligned_ns / relaxed_ns - 1.0):.1f}% "
+        "(the hardware-simple aligned FSM gives up this much)"
+    )
+    emit("slc_alignment_cost", table)
+    assert relaxed_ns <= aligned_ns + 1e-9
+
+
+def test_mlc_fullsystem(benchmark):
+    """MLC at system level: price every write of a small trace with the
+    MLC model (payloads realized against an evolving image) and replay
+    through the DES — scheduled vs. serial MLC."""
+    cfg = default_config()
+    trace = generate_trace("dedup", requests_per_core=120, seed=9)
+    model = MLCModel(power_budget=cfg.bank_power_budget)
+
+    def price(mode: str) -> WriteServiceTable:
+        image = MemoryImage(seed=trace.seed)
+        lines = trace.records["line"][trace.records["op"] == 1]
+        service = np.zeros(trace.n_writes)
+        for w in range(trace.n_writes):
+            state = image.line(int(lines[w]))
+            rng = np.random.default_rng(np.random.SeedSequence([trace.seed, w]))
+            new = realize_payload(rng, state.logical, trace.write_counts[w])
+            old = state.logical.copy()
+            state.store(new, np.zeros(8, dtype=bool))
+            service[w] = (
+                model.tetris_ns(old, new) if mode == "tetris"
+                else model.serial_ns(old, new)
+            )
+        return WriteServiceTable(
+            scheme=f"mlc_{mode}", service_ns=service,
+            units=service / cfg.timings.t_set_ns,
+            energy=np.zeros_like(service),
+        )
+
+    def run():
+        out = {}
+        for mode in ("serial", "tetris"):
+            table = price(mode)
+            service = PrecomputedServiceModel(table, cfg)
+            from repro.cpu.system import CMPSystem
+
+            res = CMPSystem(trace, cfg, service, scheme_name=table.scheme).run()
+            out[mode] = res
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [mode, r.mean_read_latency_ns, r.mean_write_latency_ns,
+         r.runtime_ns / 1e6]
+        for mode, r in results.items()
+    ]
+    table = format_table(
+        ["MLC write path", "read lat (ns)", "write lat (ns)", "runtime (ms)"],
+        rows,
+        title="Extension — MLC at full-system level (dedup, 2-bit cells)",
+    )
+    emit("mlc_fullsystem", table)
+
+    assert (
+        results["tetris"].mean_read_latency_ns
+        < results["serial"].mean_read_latency_ns
+    )
+    assert results["tetris"].runtime_ns < results["serial"].runtime_ns

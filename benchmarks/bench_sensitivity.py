@@ -1,0 +1,106 @@
+"""Sensitivity — organization knobs the paper fixes (banks, queues, MLP).
+
+Does the Tetris-vs-baseline conclusion depend on Table II's particular
+organization?  Three sweeps say no:
+
+* **bank count** — more banks dilute per-bank queueing for everyone;
+* **write-queue depth** — deeper queues defer drains for everyone;
+* **MLP window** — an O3-like core hides some read latency, validating
+  the DESIGN.md §4 substitution of blocking timing cores.
+"""
+
+from repro.analysis.report import format_table
+from repro.config import CPUConfig, MemCtrlConfig, PCMOrganization, default_config
+from repro.experiments.fullsystem import run_fullsystem
+
+from _bench_utils import emit
+
+
+def _speedup(trace, cfg):
+    dcw = run_fullsystem(trace, "dcw", cfg)
+    tetris = run_fullsystem(trace, "tetris", cfg)
+    return (
+        dcw.runtime_ns / tetris.runtime_ns,
+        dcw.mean_read_latency_ns / tetris.mean_read_latency_ns,
+    )
+
+
+def test_bank_count_sensitivity(benchmark, traces):
+    trace = traces["dedup"]
+
+    def run():
+        rows = []
+        for banks in (4, 8, 16):
+            cfg = default_config().replace(
+                organization=PCMOrganization(num_banks=banks)
+            )
+            rt, rd = _speedup(trace, cfg)
+            rows.append([banks, rt, rd])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["banks", "runtime speedup", "read-latency speedup"],
+        rows,
+        title="Sensitivity — Tetris vs DCW across bank counts (dedup)",
+    )
+    emit("sensitivity_banks", table)
+    for banks, rt, rd in rows:
+        assert rt > 1.0 and rd > 1.0, banks
+
+
+def test_write_queue_depth_sensitivity(benchmark, traces):
+    trace = traces["vips"]
+
+    def run():
+        rows = []
+        for depth, hi, lo in ((16, 14, 4), (32, 28, 8), (64, 56, 16)):
+            cfg = default_config().replace(
+                memctrl=MemCtrlConfig(
+                    write_queue_entries=depth,
+                    drain_high_watermark=hi,
+                    drain_low_watermark=lo,
+                )
+            )
+            rt, rd = _speedup(trace, cfg)
+            rows.append([depth, rt, rd])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["write queue", "runtime speedup", "read-latency speedup"],
+        rows,
+        title="Sensitivity — Tetris vs DCW across queue depths (vips)",
+    )
+    emit("sensitivity_queue", table)
+    for depth, rt, rd in rows:
+        assert rt > 1.0 and rd > 1.0, depth
+
+
+def test_mlp_sensitivity(benchmark, traces):
+    trace = traces["ferret"]
+
+    def run():
+        rows = []
+        for mlp in (1, 2, 4, 8):
+            cfg = default_config().replace(
+                cpu=CPUConfig(max_outstanding_reads=mlp)
+            )
+            rt, rd = _speedup(trace, cfg)
+            rows.append([mlp, rt, rd])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["MLP window", "runtime speedup", "read-latency speedup"],
+        rows,
+        title="Sensitivity — Tetris vs DCW across MLP windows (ferret)",
+    )
+    table += (
+        "\nAn O3-like window hides some latency for every scheme, but"
+        "\nthe Tetris advantage persists — the blocking-core substitute"
+        "\nof DESIGN.md §4 does not manufacture the paper's result."
+    )
+    emit("sensitivity_mlp", table)
+    for mlp, rt, rd in rows:
+        assert rt > 1.0 and rd > 1.0, mlp

@@ -1,0 +1,53 @@
+"""Extension — shortest-job-first write drains on top of Tetris Write.
+
+A side benefit of the analysis stage the paper leaves on the table: by
+the time a write sits in the controller's queue, its exact service time
+``(result + subresult/K)·Tset`` is already known.  Draining a bank's
+writes shortest-first instead of oldest-first minimizes mean queue wait
+within each drain burst at zero hardware cost (the comparator already
+exists for the queues' age ordering).
+"""
+
+from repro.analysis.report import format_table
+from repro.config import MemCtrlConfig, default_config
+from repro.experiments.fullsystem import run_fullsystem
+
+from _bench_utils import emit
+
+
+def test_sjf_drain_extension(benchmark, traces):
+    fifo_cfg = default_config()
+    sjf_cfg = fifo_cfg.replace(memctrl=MemCtrlConfig(drain_order="sjf"))
+
+    def run():
+        rows = []
+        for workload in ("dedup", "ferret", "vips"):
+            trace = traces[workload]
+            fifo = run_fullsystem(trace, "tetris", fifo_cfg)
+            sjf = run_fullsystem(trace, "tetris", sjf_cfg)
+            rows.append([
+                workload,
+                fifo.mean_write_latency_ns,
+                sjf.mean_write_latency_ns,
+                fifo.mean_read_latency_ns,
+                sjf.mean_read_latency_ns,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["workload", "write lat FIFO", "write lat SJF",
+         "read lat FIFO", "read lat SJF"],
+        rows,
+        title="Extension — FIFO vs. shortest-job-first write drains (Tetris)",
+    )
+    table += (
+        "\nSJF exploits the analysis stage's exact service prediction;"
+        "\nmean write wait within a drain burst shrinks, reads are"
+        "\nessentially unaffected (drain total time is unchanged)."
+    )
+    emit("sjf_drain", table)
+
+    for workload, wf, ws, rf, rs in rows:
+        assert ws <= wf * 1.02, workload      # mean write wait not worse
+        assert rs <= rf * 1.10, workload      # reads not penalized

@@ -1,0 +1,55 @@
+"""Extension — process variation: does the conclusion survive slow dies?
+
+Per-region lognormal cell-speed factors (unit mean) stretch every
+scheme's pulses alike, so the Fig 11-14 ranking must be — and is —
+invariant; what variation does change is the *tail*: slow regions make
+the baseline's already-long drains pathological while Tetris's short
+writes keep the p99 bounded.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.pcm.variation import ProcessVariation
+
+from _bench_utils import emit
+
+
+def test_variation_robustness(benchmark, traces):
+    trace = traces["dedup"]
+
+    def run():
+        rows = []
+        for sigma in (0.0, 0.15, 0.3):
+            pv = ProcessVariation(sigma=sigma) if sigma else None
+            res = {}
+            for scheme in ("dcw", "tetris"):
+                table = precompute_write_service(trace, scheme, variation=pv)
+                res[scheme] = run_fullsystem(trace, scheme, table=table)
+            rows.append([
+                sigma,
+                res["dcw"].mean_read_latency_ns,
+                res["tetris"].mean_read_latency_ns,
+                res["dcw"].controller.read_hist.percentile(99),
+                res["tetris"].controller.read_hist.percentile(99),
+                res["dcw"].runtime_ns / res["tetris"].runtime_ns,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["sigma", "read lat DCW", "read lat Tetris", "p99 DCW",
+         "p99 Tetris", "runtime speedup"],
+        rows,
+        title="Extension — cell-speed variation (dedup, per-region lognormal)",
+    )
+    emit("variation", table)
+
+    for sigma, rd_d, rd_t, p99_d, p99_t, speedup in rows:
+        assert rd_t < rd_d, sigma        # ranking invariant
+        assert speedup > 1.5, sigma
+    # Variation inflates the baseline's mean read latency more than
+    # Tetris's in absolute ns (DCW's p99 already saturates the histogram
+    # even without variation, so the means carry the comparison).
+    growth_dcw = rows[-1][1] - rows[0][1]
+    growth_tetris = rows[-1][2] - rows[0][2]
+    assert growth_dcw >= growth_tetris

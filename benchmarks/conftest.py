@@ -1,0 +1,46 @@
+"""Session fixtures for the experiment benches.
+
+Every bench regenerates one paper table/figure: it runs the experiment,
+prints the paper-style rows (visible with ``pytest -s``), and writes them
+to ``benchmarks/out/<name>.txt`` so the artifacts survive captured
+output.  The heavyweight full-system grid (used by Figs 11-14) is
+computed once per session.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_utils import REQUESTS_PER_CORE, SCHEMES, SEED  # noqa: E402
+
+from repro.experiments.runner import run_schemes_on_workloads  # noqa: E402
+from repro.trace.synthetic import generate_trace  # noqa: E402
+from repro.trace.workloads import WORKLOAD_NAMES  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """One trace per workload, shared by every bench."""
+    return {
+        name: generate_trace(name, REQUESTS_PER_CORE, seed=SEED)
+        for name in WORKLOAD_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def fullsystem_grid(traces):
+    """The 8-workload x 5-scheme full-system sweep behind Figs 11-14."""
+    return run_schemes_on_workloads(
+        SCHEMES, WORKLOAD_NAMES, requests_per_core=REQUESTS_PER_CORE,
+        seed=SEED, traces=traces,
+    )
+
+
+@pytest.fixture(scope="session")
+def grid_baseline(fullsystem_grid):
+    return {r.workload: r for r in fullsystem_grid if r.scheme == "dcw"}

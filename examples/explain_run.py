@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Explain a run: where each core's time went, per scheme.
+
+The paper's causal chain — write service time drives queue waits, queue
+waits drive read blocking, read blocking drives IPC — made visible for
+one workload: the time-attribution tables show read blocking collapsing
+as the scheme improves while compute time stays fixed.
+
+Run:  python examples/explain_run.py [workload]
+"""
+
+import sys
+
+from repro.analysis.bottleneck import format_breakdown
+from repro.experiments.fullsystem import run_fullsystem
+from repro.trace.synthetic import generate_trace
+
+workload = sys.argv[1] if len(sys.argv) > 1 else "dedup"
+trace = generate_trace(workload, requests_per_core=1500)
+print(f"workload: {workload}, {len(trace)} memory requests\n")
+
+for scheme in ("dcw", "three_stage", "tetris"):
+    res = run_fullsystem(trace, scheme)
+    print(format_breakdown(res))
+    print()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Write-queue dynamics: why slow writes poison reads.
+
+Traces the controller's write-queue occupancy over a run and renders it
+as a sparkline.  Under DCW the queue saw-tooths against the high
+watermark — every peak is a drain episode during which reads starve.
+Under Tetris the same write stream drains ~6x faster, so the queue
+spends most of its time nearly empty and reads rarely wait.
+
+Run:  python examples/queue_dynamics.py
+"""
+
+from repro.analysis.report import format_table, sparkline
+from repro.config import default_config
+from repro.cpu.system import CMPSystem
+from repro.experiments.fullsystem import (
+    PrecomputedServiceModel,
+    precompute_write_service,
+)
+from repro.trace.synthetic import generate_trace
+
+cfg = default_config()
+trace = generate_trace("dedup", requests_per_core=1500, seed=13)
+hi = cfg.memctrl.drain_high_watermark
+
+lo = cfg.memctrl.drain_low_watermark
+rows = []
+series = {}
+for scheme in ("dcw", "three_stage", "tetris"):
+    table = precompute_write_service(trace, scheme, cfg)
+    system = CMPSystem(
+        trace, cfg, PrecomputedServiceModel(table, cfg), scheme_name=scheme
+    )
+    occupancy = system.controller.track_write_occupancy()
+    res = system.run()
+    series[scheme] = occupancy
+    drains = system.controller.policy.drain_entries
+    congested_ns = occupancy.time_above(lo)
+    rows.append([
+        scheme,
+        occupancy.max(),
+        drains,
+        congested_ns / max(drains, 1) / 1e3,   # mean drain episode, us
+        100.0 * congested_ns / res.runtime_ns,
+        res.mean_read_latency_ns,
+    ])
+
+print(format_table(
+    ["scheme", "peak occ", "drains", "episode (us)", "% time congested",
+     "read lat (ns)"],
+    rows,
+    title=f"Write-queue pressure on dedup (watermarks {lo}/{hi})",
+))
+
+print("\nsawtooth detail — first 160 occupancy changes (scale 0-32):")
+for scheme, occ in series.items():
+    line = sparkline(occ.values[:160:2], peak=32.0)
+    print(f"{scheme:>12s}  {line}")
+print(
+    "\nThe sawtooth *shape* is the watermark policy and looks alike for"
+    "\nevery scheme — what differs is the wall-clock each episode costs:"
+    "\nthe table's episode column is where Tetris wins."
+)

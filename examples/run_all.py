@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Run every example in sequence (smoke check / demo reel).
+
+Each example is executed as a subprocess with a bounded runtime and
+reduced sizes where the script accepts them; output is kept from the
+final lines of each.  Use this to sanity-check an environment or walk a
+newcomer through the repository's surface in one command.
+
+Run:  python examples/run_all.py
+"""
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+EXAMPLES: list[tuple[str, list[str]]] = [
+    ("quickstart.py", []),
+    ("timing_diagram.py", []),
+    ("mobile_power_budget.py", []),
+    ("external_trace.py", []),
+    ("wear_leveling.py", []),
+    ("queue_dynamics.py", []),
+    ("mlc_extension.py", []),
+    ("custom_scheme.py", []),
+    ("explain_run.py", ["ferret"]),
+    ("full_pipeline.py", []),
+    ("scheme_comparison.py", ["600"]),
+]
+
+
+def main() -> int:
+    failures = []
+    for name, args in EXAMPLES:
+        script = HERE / name
+        print(f"\n{'=' * 72}\n>>> {name} {' '.join(args)}\n{'=' * 72}")
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, str(script), *args],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        elapsed = time.perf_counter() - t0
+        tail = "\n".join(proc.stdout.splitlines()[-8:])
+        print(tail)
+        status = "ok" if proc.returncode == 0 else "FAILED"
+        print(f"--- {name}: {status} in {elapsed:.1f}s")
+        if proc.returncode != 0:
+            failures.append(name)
+            print(proc.stderr[-2000:])
+    print(f"\n{len(EXAMPLES) - len(failures)}/{len(EXAMPLES)} examples passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Post-processing: metrics, reporting, diagrams, validation, explainers."""
+
+from repro.analysis.bottleneck import explain_run, format_breakdown
+from repro.analysis.metrics import (
+    geometric_mean,
+    improvement_factor,
+    normalize_to_baseline,
+    reduction_percent,
+)
+from repro.analysis.power_util import power_utilization
+from repro.analysis.report import ascii_bar_chart, format_table, sparkline
+from repro.analysis.timing_diagram import render_timing_diagram, scheme_timeline
+from repro.analysis.validation import ValidationError, validate_system_result
+
+__all__ = [
+    "ValidationError",
+    "ascii_bar_chart",
+    "explain_run",
+    "format_breakdown",
+    "format_table",
+    "geometric_mean",
+    "improvement_factor",
+    "normalize_to_baseline",
+    "power_utilization",
+    "reduction_percent",
+    "render_timing_diagram",
+    "scheme_timeline",
+    "sparkline",
+    "validate_system_result",
+]

@@ -1,0 +1,59 @@
+"""Metric helpers matching the paper's reporting conventions.
+
+The evaluation section reports *reductions* ("65% read latency
+reduction") and *improvement factors* ("2X IPC improvement", Equation 6),
+always against the DCW baseline and averaged over the 8 workloads.  The
+paper's averages behave like arithmetic means of the per-workload
+normalized values; we provide both arithmetic and geometric means, and
+use arithmetic in the benches to mirror the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "reduction_percent",
+    "improvement_factor",
+    "normalize_to_baseline",
+    "geometric_mean",
+    "arithmetic_mean",
+]
+
+
+def reduction_percent(value: float, baseline: float) -> float:
+    """``(baseline - value) / baseline`` in percent (the Figs 11/12/14 metric)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - value) / baseline
+
+
+def improvement_factor(value: float, baseline: float) -> float:
+    """``value / baseline`` (Equation 6's IPC improvement)."""
+    if baseline == 0:
+        return 0.0
+    return value / baseline
+
+
+def normalize_to_baseline(
+    values: Mapping[str, float], baseline_key: str
+) -> dict[str, float]:
+    """Divide every entry by the baseline entry (Figs 11-14 y-axes)."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ZeroDivisionError(f"baseline {baseline_key!r} is zero")
+    return {k: v / base for k, v in values.items()}
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    seq = list(values)
+    return sum(seq) / len(seq) if seq else 0.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,92 @@
+"""Plain-text tables and bar charts for the bench harnesses.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and readable in a terminal (no plotting
+dependency is available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "ascii_bar_chart", "sparkline"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, peak: float | None = None) -> str:
+    """Render a numeric series as a unicode block sparkline.
+
+    ``peak`` pins the scale (useful for comparing two series); defaults
+    to the series maximum.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    top = peak if peak is not None else max(vals)
+    if top <= 0:
+        return _SPARK_BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int(min(v, top) / top * (len(_SPARK_BLOCKS) - 1) + 0.5)
+        out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart normalized to the largest value."""
+    if not values:
+        return title or ""
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    out = []
+    if title:
+        out.append(title)
+    for key, val in values.items():
+        bar = "#" * (int(round(width * val / peak)) if peak > 0 else 0)
+        out.append(f"{key.rjust(label_w)} | {bar} {fmt.format(val)}")
+    return "\n".join(out)

@@ -1,0 +1,82 @@
+"""Run-level sanity validation for full-system results.
+
+A simulation that silently drops requests or double-books a bank can
+still print plausible-looking averages; these checks turn such bugs into
+hard failures.  The integration tests run them on every grid result, and
+users extending the simulator are encouraged to call
+:func:`validate_system_result` on theirs.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.cpu.system import SystemResult
+from repro.trace.record import Trace
+
+__all__ = ["ValidationError", "validate_system_result"]
+
+
+class ValidationError(AssertionError):
+    """A conservation or bound invariant failed for a run."""
+
+
+def validate_system_result(
+    result: SystemResult, trace: Trace, config: SystemConfig
+) -> None:
+    """Check conservation and bound invariants of one run.
+
+    * every trace request completed exactly once (reads + writes);
+    * every core retired exactly its slice's instructions;
+    * runtime covers the slowest core;
+    * no bank was busy for longer than the simulated time;
+    * latencies are bounded below by the raw service floors.
+    """
+    ctrl = result.controller
+    if ctrl.completed != len(trace):
+        raise ValidationError(
+            f"request conservation: {ctrl.completed} completed != "
+            f"{len(trace)} issued"
+        )
+    if ctrl.completed_reads != trace.n_reads:
+        raise ValidationError(
+            f"read conservation: {ctrl.completed_reads} != {trace.n_reads}"
+        )
+    if ctrl.completed_writes != trace.n_writes:
+        raise ValidationError(
+            f"write conservation: {ctrl.completed_writes} != {trace.n_writes}"
+        )
+
+    expected_instr = sum(trace.instructions_per_core().values())
+    if result.total_instructions != expected_instr:
+        raise ValidationError(
+            f"instruction conservation: {result.total_instructions} != "
+            f"{expected_instr}"
+        )
+
+    slowest = max((c.finish_ns for c in result.cores), default=0.0)
+    if result.runtime_ns + 1e-6 < slowest:
+        raise ValidationError("runtime does not cover the slowest core")
+
+    # Banks cannot be busy longer than the wall clock of the run.  The
+    # run extends past `runtime_ns` only by the final write-queue flush,
+    # bounded by queued writes x worst-case service.
+    worst_write = max(
+        (float(x) for x in (config.timings.t_set_ns * config.units_per_line,)),
+    )
+    horizon = result.runtime_ns + config.memctrl.write_queue_entries * (
+        worst_write + config.timings.t_read_ns + config.analysis_overhead_ns
+    )
+    for bank, busy in ctrl.bank_busy_ns.items():
+        if busy > horizon + 1e-6:
+            raise ValidationError(
+                f"bank {bank} busy {busy:.0f} ns exceeds horizon {horizon:.0f}"
+            )
+
+    # Latency floors: a completed read cannot beat the forward latency;
+    # a write cannot beat its fastest possible service.
+    if ctrl.read_latency.count and ctrl.read_latency.min < 0:
+        raise ValidationError("negative read latency")
+    if ctrl.write_latency.count and ctrl.write_latency.min < 0:
+        raise ValidationError("negative write latency")
+    if result.ipc < 0 or result.ipc > 4 * len(result.cores):
+        raise ValidationError(f"implausible IPC: {result.ipc}")

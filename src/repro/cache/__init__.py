@@ -1,0 +1,15 @@
+"""Cache hierarchy substrate (paper Table II: L1 32K, L2 2M, L3 32M).
+
+The main experiments replay *post-LLC* traces (DESIGN.md §4), but the
+hierarchy is a real dependency of the paper's system: it decides which
+CPU accesses become PCM reads and which dirty evictions become PCM
+writes.  This package provides a functional set-associative write-back
+hierarchy used by the full-pipeline example and by the trace-calibration
+tests (a CPU-level stream filtered through it must land near the
+Table III post-LLC rates).
+"""
+
+from repro.cache.setassoc import AccessResult, SetAssocCache
+from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
+
+__all__ = ["AccessResult", "CacheHierarchy", "HierarchyResult", "SetAssocCache"]

@@ -1,0 +1,139 @@
+"""Three-level write-back hierarchy (Table II) producing post-LLC traffic.
+
+Non-inclusive, write-allocate at every level.  A CPU access walks
+L1 -> L2 -> L3; a miss at L3 becomes a **memory read**, and a dirty line
+evicted from L3 becomes a **memory write** — the two request kinds the
+PCM controller sees.  Dirty victims of upper levels are absorbed by the
+next level down (fill + mark dirty) rather than going to memory, as in a
+conventional write-back hierarchy.
+
+Latency accounting is additive over the levels probed (2/20/50 cycles,
+Table II); memory latency is supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig, SystemConfig
+from repro.cache.setassoc import SetAssocCache
+
+__all__ = ["CacheHierarchy", "HierarchyResult"]
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Effect of one CPU access on memory traffic.
+
+    ``memory_read`` — the access missed all levels and must fetch the
+    line from PCM.  ``writebacks`` — lines evicted dirty from the LLC by
+    the fills this access caused (usually 0 or 1).  ``latency_cycles`` —
+    cache-array cycles spent before memory is consulted.
+    """
+
+    memory_read: bool
+    writebacks: tuple[int, ...]
+    latency_cycles: int
+    hit_level: str  # "L1" / "L2" / "L3" / "MEM"
+
+
+class CacheHierarchy:
+    """L1D + L2 + L3 for one address stream.
+
+    The paper's private/shared split (per-core L1/L2, shared L3) is
+    modelled by giving each core its own hierarchy view in the example;
+    for trace calibration a single shared instance is sufficient.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        by_name = {c.name: c for c in config.caches}
+        self.l1 = SetAssocCache(by_name["L1D"])
+        self.l2 = SetAssocCache(by_name["L2"])
+        self.l3 = SetAssocCache(by_name["L3"])
+        self._lat = {
+            "L1": by_name["L1D"].latency_cycles,
+            "L2": by_name["L2"].latency_cycles,
+            "L3": by_name["L3"].latency_cycles,
+        }
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    # ------------------------------------------------------------------
+    def access(self, line: int, is_write: bool) -> HierarchyResult:
+        """One CPU load/store at line granularity."""
+        writebacks: list[int] = []
+        latency = self._lat["L1"]
+
+        r1 = self.l1.access(line, is_write)
+        if r1.hit:
+            return HierarchyResult(False, (), latency, "L1")
+        if r1.victim_dirty:
+            self._absorb(self.l2, r1.victim_line, writebacks, level=2)
+
+        latency += self._lat["L2"]
+        r2 = self.l2.access(line, False)
+        if r2.victim_dirty:
+            self._absorb(self.l3, r2.victim_line, writebacks, level=3)
+        if r2.hit:
+            return HierarchyResult(False, tuple(writebacks), latency, "L2")
+
+        latency += self._lat["L3"]
+        r3 = self.l3.access(line, False)
+        if r3.victim_dirty:
+            writebacks.append(r3.victim_line)
+            self.memory_writes += 1
+        if r3.hit:
+            return HierarchyResult(False, tuple(writebacks), latency, "L3")
+
+        self.memory_reads += 1
+        return HierarchyResult(True, tuple(writebacks), latency, "MEM")
+
+    def _absorb(
+        self, lower: SetAssocCache, line: int, writebacks: list[int], level: int
+    ) -> None:
+        """Install an upper level's dirty victim in the next level down."""
+        if lower.mark_dirty(line):
+            return
+        res = lower.access(line, True)
+        if res.victim_dirty:
+            if level == 2:
+                self._absorb(self.l3, res.victim_line, writebacks, level=3)
+            else:
+                writebacks.append(res.victim_line)
+                self.memory_writes += 1
+
+    # ------------------------------------------------------------------
+    def flush_dirty_llc(self) -> list[int]:
+        """Return (and clean) every dirty LLC line — end-of-run drain."""
+        import numpy as np
+
+        dirty_lines = self.l3.tags[self.l3.dirty & (self.l3.tags >= 0)]
+        self.l3.dirty[:] = False
+        self.memory_writes += int(dirty_lines.size)
+        return [int(x) for x in np.sort(dirty_lines)]
+
+    def flush_all_dirty(self) -> list[int]:
+        """Drain dirty lines from *every* level (end-of-run writeback).
+
+        Small working sets never evict from L1/L2, so their dirty data
+        only reaches memory through this full flush.  Each distinct
+        dirty line writes back once.
+        """
+        import numpy as np
+
+        dirty: set[int] = set()
+        for cache in (self.l1, self.l2, self.l3):
+            lines = cache.tags[cache.dirty & (cache.tags >= 0)]
+            dirty.update(int(x) for x in lines)
+            cache.dirty[:] = False
+        self.memory_writes += len(dirty)
+        return sorted(dirty)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "l1_hit_rate": self.l1.hit_rate(),
+            "l2_hit_rate": self.l2.hit_rate(),
+            "l3_hit_rate": self.l3.hit_rate(),
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+        }

@@ -1,0 +1,125 @@
+"""Set-associative write-back, write-allocate cache with true LRU.
+
+Addresses are *line* indices (the hierarchy operates above a fixed 64 B
+line size).  The implementation keeps per-set tag/dirty/LRU arrays in
+NumPy; a lookup scans one set (at most 16 ways in the Table II caches),
+so each access is a few small vector ops — fast enough for the
+full-pipeline example's multi-million-access streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CacheConfig
+
+__all__ = ["AccessResult", "SetAssocCache"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    ``victim_line`` / ``victim_dirty`` describe the line evicted to make
+    room on a miss (``victim_line < 0`` when the fill used an empty way).
+    """
+
+    hit: bool
+    victim_line: int = -1
+    victim_dirty: bool = False
+
+
+class SetAssocCache:
+    """One cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.tags = np.full((self.num_sets, self.assoc), -1, dtype=np.int64)
+        self.dirty = np.zeros((self.num_sets, self.assoc), dtype=bool)
+        self.lru = np.zeros((self.num_sets, self.assoc), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # ------------------------------------------------------------------
+    def _set_of(self, line: int) -> int:
+        return line % self.num_sets
+
+    def probe(self, line: int) -> bool:
+        """Lookup without any state change (no LRU update)."""
+        s = self._set_of(line)
+        return bool((self.tags[s] == line).any())
+
+    def access(self, line: int, is_write: bool) -> AccessResult:
+        """Reference a line; fills on miss (write-allocate).
+
+        The caller (hierarchy) is responsible for propagating the miss
+        downward and the victim writeback onward.
+        """
+        s = self._set_of(line)
+        row = self.tags[s]
+        self._clock += 1
+        where = np.nonzero(row == line)[0]
+        if where.size:
+            w = int(where[0])
+            self.lru[s, w] = self._clock
+            if is_write:
+                self.dirty[s, w] = True
+            self.hits += 1
+            return AccessResult(hit=True)
+
+        self.misses += 1
+        empty = np.nonzero(row == -1)[0]
+        if empty.size:
+            w = int(empty[0])
+            victim, victim_dirty = -1, False
+        else:
+            w = int(np.argmin(self.lru[s]))
+            victim = int(row[w])
+            victim_dirty = bool(self.dirty[s, w])
+            self.evictions += 1
+            if victim_dirty:
+                self.dirty_evictions += 1
+        self.tags[s, w] = line
+        self.dirty[s, w] = is_write
+        self.lru[s, w] = self._clock
+        return AccessResult(hit=False, victim_line=victim, victim_dirty=victim_dirty)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line (back-invalidation); returns True if it was dirty."""
+        s = self._set_of(line)
+        where = np.nonzero(self.tags[s] == line)[0]
+        if not where.size:
+            return False
+        w = int(where[0])
+        was_dirty = bool(self.dirty[s, w])
+        self.tags[s, w] = -1
+        self.dirty[s, w] = False
+        self.lru[s, w] = 0
+        return was_dirty
+
+    def mark_dirty(self, line: int) -> bool:
+        """Set the dirty bit of a resident line (writeback absorption)."""
+        s = self._set_of(line)
+        where = np.nonzero(self.tags[s] == line)[0]
+        if not where.size:
+            return False
+        self.dirty[s, int(where[0])] = True
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def resident_lines(self) -> int:
+        return int((self.tags >= 0).sum())

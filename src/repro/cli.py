@@ -1,0 +1,301 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Examples::
+
+    tetris-write fig3
+    tetris-write fig10 --requests 4000
+    tetris-write fullsystem --workloads dedup vips --schemes dcw tetris
+    tetris-write diagram --seed 7
+    tetris-write trace --workload ferret --out ferret.npz
+    tetris-write ablation --sweep budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import format_table
+from repro.analysis.timing_diagram import render_timing_diagram
+from repro.config import default_config
+from repro.schemes import COMPARED_SCHEMES
+from repro.trace.workloads import WORKLOAD_NAMES
+
+__all__ = ["main"]
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.fig03 import run_fig03
+
+    rows = run_fig03(
+        tuple(args.workloads), requests_per_core=args.requests, seed=args.seed
+    )
+    print(
+        format_table(
+            ["workload", "SET/unit", "RESET/unit", "total"],
+            [[r.workload, r.mean_set, r.mean_reset, r.total] for r in rows],
+            title="Figure 3 — bit-writes per 64-bit data unit (post-inversion)",
+        )
+    )
+    print(
+        f"average: {arithmetic_mean([r.mean_set for r in rows]):.2f} SET + "
+        f"{arithmetic_mean([r.mean_reset for r in rows]):.2f} RESET "
+        f"(paper: 6.7 SET + 2.9 RESET)"
+    )
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.experiments.fig10 import run_fig10
+
+    rows = run_fig10(
+        tuple(args.workloads), requests_per_core=args.requests, seed=args.seed
+    )
+    print(
+        format_table(
+            ["workload", "DCW", "FNW", "2SW", "3SW", "Tetris"],
+            [
+                [r.workload, r.dcw, r.flip_n_write, r.two_stage, r.three_stage, r.tetris]
+                for r in rows
+            ],
+            title="Figure 10 — average write units per cache-line write",
+        )
+    )
+    return 0
+
+
+def _cmd_fullsystem(args: argparse.Namespace) -> int:
+    from repro.config import CPUConfig, MemCtrlConfig, PCMOrganization
+    from repro.experiments.runner import BASELINE_SCHEME, run_schemes_on_workloads
+
+    cfg = default_config().replace(
+        memctrl=MemCtrlConfig(
+            write_pausing=args.pausing,
+            write_coalescing=args.coalescing,
+            drain_order="sjf" if args.sjf else "fifo",
+            opportunistic_drain=args.opportunistic,
+        ),
+        organization=PCMOrganization(subarrays_per_bank=args.subarrays),
+        cpu=CPUConfig(max_outstanding_reads=args.mlp),
+    )
+    schemes = tuple(dict.fromkeys([BASELINE_SCHEME, *args.schemes]))
+    results = run_schemes_on_workloads(
+        schemes,
+        tuple(args.workloads),
+        config=cfg,
+        requests_per_core=args.requests,
+        seed=args.seed,
+    )
+    base = {r.workload: r for r in results if r.scheme == BASELINE_SCHEME}
+    rows = []
+    for r in results:
+        norm = r.normalized(base[r.workload])
+        rows.append(
+            [
+                r.workload,
+                r.scheme,
+                norm["read_latency"],
+                norm["write_latency"],
+                norm["ipc_improvement"],
+                norm["running_time"],
+                r.mean_write_units,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "scheme", "read-lat", "write-lat", "IPC-x", "runtime", "units"],
+            rows,
+            title="Full-system results normalized to the DCW baseline (Figs 11-14)",
+        )
+    )
+    return 0
+
+
+def _cmd_diagram(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.fig4:
+        # The worked example of the paper's Figure 4: per-chip write-1 /
+        # write-0 counts scheduled against the per-chip budget of 32.
+        n_set = np.array([8, 7, 7, 6, 6, 6, 5, 3])
+        n_reset = np.array([1, 1, 1, 2, 3, 2, 2, 5])
+        print(render_timing_diagram(n_set, n_reset, power_budget=32.0))
+    else:
+        n_set = rng.poisson(6.7, size=8)
+        n_reset = rng.poisson(2.9, size=8)
+        print(render_timing_diagram(n_set, n_reset))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace.io import save_trace, save_trace_text
+    from repro.trace.synthetic import generate_trace
+
+    trace = generate_trace(args.workload, args.requests, seed=args.seed)
+    rpki, wpki = trace.measured_rpki_wpki()
+    mean_set, mean_reset = trace.mean_bit_profile()
+    print(
+        f"{trace.workload}: {len(trace)} requests "
+        f"({trace.n_reads} reads / {trace.n_writes} writes), "
+        f"RPKI={rpki:.2f} WPKI={wpki:.2f}, "
+        f"profile {mean_set:.1f} SET + {mean_reset:.1f} RESET per unit"
+    )
+    if args.out:
+        if args.out.endswith(".txt"):
+            save_trace_text(trace, args.out)
+        else:
+            save_trace(trace, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import ablation
+    from repro.trace.synthetic import generate_trace
+
+    trace = generate_trace(args.workload, args.requests, seed=args.seed)
+    sweeps = {
+        "budget": ablation.sweep_power_budget,
+        "K": ablation.sweep_time_asymmetry,
+        "L": ablation.sweep_power_asymmetry,
+        "width": ablation.sweep_write_unit_width,
+        "flip": ablation.sweep_no_flip,
+    }
+    points = sweeps[args.sweep](trace)
+    print(
+        format_table(
+            ["parameter", "value", "mean units", "result", "subresult"],
+            [
+                [p.parameter, p.value, p.mean_units, p.mean_result, p.mean_subresult]
+                for p in points
+            ],
+            title=f"Tetris ablation: {args.sweep} sweep on {args.workload}",
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.experiments.fig10 import measure_write_units
+    from repro.trace.io import load_trace, load_trace_text
+
+    trace = (
+        load_trace_text(args.trace_file)
+        if args.trace_file.endswith(".txt")
+        else load_trace(args.trace_file)
+    )
+    rpki, wpki = trace.measured_rpki_wpki()
+    mean_set, mean_reset = trace.mean_bit_profile()
+    lines = np.unique(trace.records["line"])
+    units = measure_write_units(trace)
+    print(
+        format_table(
+            ["stat", "value"],
+            [
+                ["workload", trace.workload],
+                ["requests", len(trace)],
+                ["reads / writes", f"{trace.n_reads} / {trace.n_writes}"],
+                ["RPKI / WPKI", f"{rpki:.2f} / {wpki:.2f}"],
+                ["distinct lines", int(lines.size)],
+                ["SET per unit", mean_set],
+                ["RESET per unit", mean_reset],
+                ["Tetris write units", units.tetris],
+            ],
+            title=f"Trace characterization: {args.trace_file}",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report_gen import generate_report
+
+    path = generate_report(
+        args.out, requests_per_core=args.requests, seed=args.seed
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tetris-write",
+        description="Reproduce the experiments of Tetris Write (ICPP 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, workloads: bool = True) -> None:
+        p.add_argument("--seed", type=int, default=20160816)
+        p.add_argument("--requests", type=int, default=2000,
+                       help="memory requests per core")
+        if workloads:
+            p.add_argument(
+                "--workloads", nargs="+", default=list(WORKLOAD_NAMES),
+                choices=list(WORKLOAD_NAMES),
+            )
+
+    p = sub.add_parser("fig3", help="bit-change characterization (Fig 3)")
+    common(p)
+    p.set_defaults(fn=_cmd_fig3)
+
+    p = sub.add_parser("fig10", help="write units per write (Fig 10)")
+    common(p)
+    p.set_defaults(fn=_cmd_fig10)
+
+    p = sub.add_parser("fullsystem", help="latency/IPC/runtime (Figs 11-14)")
+    common(p)
+    p.add_argument("--schemes", nargs="+", default=list(COMPARED_SCHEMES))
+    p.add_argument("--pausing", action="store_true",
+                   help="enable write pausing (refs [23-24])")
+    p.add_argument("--coalescing", action="store_true",
+                   help="enable write-queue coalescing")
+    p.add_argument("--sjf", action="store_true",
+                   help="drain writes shortest-predicted-service first")
+    p.add_argument("--opportunistic", action="store_true",
+                   help="serve writes opportunistically on idle banks")
+    p.add_argument("--subarrays", type=int, default=1,
+                   help="subarrays per bank (read-under-write bypass)")
+    p.add_argument("--mlp", type=int, default=1,
+                   help="outstanding reads per core (O3-like window)")
+    p.set_defaults(fn=_cmd_fullsystem)
+
+    p = sub.add_parser("diagram", help="chip-level timing diagram (Fig 4)")
+    p.add_argument("--seed", type=int, default=20160816)
+    p.add_argument("--fig4", action="store_true",
+                   help="use the paper's worked example numbers")
+    p.set_defaults(fn=_cmd_diagram)
+
+    p = sub.add_parser("trace", help="generate and save a workload trace")
+    common(p, workloads=False)
+    p.add_argument("--workload", default="dedup", choices=list(WORKLOAD_NAMES))
+    p.add_argument("--out", default="")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("stats", help="characterize a saved trace file")
+    p.add_argument("trace_file")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("report", help="run everything into a Markdown report")
+    common(p, workloads=False)
+    p.add_argument("--out", default="REPORT.md")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("ablation", help="parameter sensitivity sweeps")
+    common(p, workloads=False)
+    p.add_argument("--workload", default="dedup", choices=list(WORKLOAD_NAMES))
+    p.add_argument("--sweep", default="budget",
+                   choices=["budget", "K", "L", "width", "flip"])
+    p.set_defaults(fn=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,392 @@
+"""Simulation parameter sets (paper Table II) and derived constants.
+
+The paper evaluates Tetris Write on a 4-core CMP with a 3-level cache
+hierarchy backed by 4 GB of SLC PCM built from 4 X16 chips per bank.  All
+timing below is taken verbatim from Table II of the paper; the PCM numbers
+originate from Samsung's 90 nm PRAM prototype (Lee et al., JSSC 2008).
+
+Two kinds of objects live here:
+
+* :class:`SystemConfig` — the full Table II configuration (CPU, caches,
+  memory controller, PCM organization and timing) plus the knobs our
+  reproduction adds (RNG seed, scheduling granularity, ...).
+* Factory helpers — :func:`default_config` reproduces Table II exactly;
+  :func:`mobile_config` models the reduced-current mobile scenario the
+  introduction describes (write unit shrunk to 4 or 2 bits per chip).
+
+Everything downstream (schemes, PCM device model, full-system simulator)
+reads its parameters from a :class:`SystemConfig` so that ablation sweeps
+only ever touch one object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class PCMTimings:
+    """Raw device timing, in nanoseconds (paper Table II, "Memory Timing").
+
+    ``t_set`` dominates: a SET (crystallize, write '1') takes about 8x as
+    long as a RESET (amorphize, write '0'), which is the *time asymmetry*
+    the schemes exploit.
+    """
+
+    t_read_ns: float = 50.0
+    t_reset_ns: float = 53.0
+    t_set_ns: float = 430.0
+
+    def __post_init__(self) -> None:
+        if min(self.t_read_ns, self.t_reset_ns, self.t_set_ns) <= 0:
+            raise ConfigError("all PCM timings must be positive")
+        if self.t_set_ns < self.t_reset_ns:
+            raise ConfigError(
+                "t_set must be >= t_reset (SET is the slow operation); got "
+                f"t_set={self.t_set_ns} < t_reset={self.t_reset_ns}"
+            )
+
+    @property
+    def time_asymmetry(self) -> int:
+        """``K`` — how many RESET slots fit in one SET slot (floor, >= 1).
+
+        The paper uses K = 8 for 430 ns / 53 ns.  A write unit lasting
+        ``t_set`` is divided into K *sub-write-units* of ``t_set / K`` each;
+        write-0 operations occupy exactly one sub-write-unit.
+        """
+        return max(1, int(self.t_set_ns // self.t_reset_ns))
+
+    @property
+    def t_sub_ns(self) -> float:
+        """Duration of one sub-write-unit (``t_set / K``)."""
+        return self.t_set_ns / self.time_asymmetry
+
+
+@dataclass(frozen=True)
+class PCMPower:
+    """Current/power model of the charge pump (paper Table II + §IV.D).
+
+    Currents are expressed in *SET units*: one concurrent SET costs 1.0,
+    one concurrent RESET costs ``reset_set_current_ratio`` (the paper's
+    ``L`` = 2).  ``power_budget`` is the maximum number of SET units the
+    pump can supply at one instant — 32 per chip in the paper's worked
+    example (so 32 SETs *or* 16 RESETs per chip at once), 128 per bank
+    when the four chips pool their pumps through the Global Charge Pump.
+    """
+
+    reset_set_current_ratio: float = 2.0
+    power_budget_per_chip: float = 32.0
+    gcp_enabled: bool = True
+    pump_voltage_v: float = 5.0
+    pump_current_ma: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.reset_set_current_ratio <= 0:
+            raise ConfigError("reset/set current ratio must be positive")
+        if self.power_budget_per_chip <= 0:
+            raise ConfigError("power budget must be positive")
+
+    @property
+    def L(self) -> float:
+        """The paper's power-asymmetry constant (Creset / Cset)."""
+        return self.reset_set_current_ratio
+
+    @property
+    def baseline_write_power_mw(self) -> float:
+        """Pump power in division-write mode (§IV.D: 5 V x 25 mA = 125 mW)."""
+        return self.pump_voltage_v * self.pump_current_ma
+
+
+@dataclass(frozen=True)
+class PCMOrganization:
+    """Physical organization (paper Table II, "PCM Organization").
+
+    A memory bank is built from ``chips_per_bank`` chips of
+    ``chip_io_bits`` I/O width.  The charge-pump constraint limits a chip
+    to ``write_unit_bits_per_chip`` concurrently-programmed bits under the
+    conventional scheme, so the bank-level write unit is
+    ``chips_per_bank * write_unit_bits_per_chip / 8`` bytes (8 B in the
+    paper) and a 64 B cache line needs 8 sequential write units.
+    """
+
+    capacity_bytes: int = 4 << 30
+    num_ranks: int = 1
+    num_banks: int = 8
+    chips_per_bank: int = 4
+    chip_io_bits: int = 16
+    write_unit_bits_per_chip: int = 16
+    row_size_bytes: int = 2048
+    # Subarrays per bank (the paper's refs [13]/[15]): with > 1, a read
+    # may proceed under an in-flight write when the two target different
+    # subarrays.  1 disables intra-bank parallelism (the paper's model).
+    subarrays_per_bank: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chip_io_bits not in (2, 4, 8, 16, 32):
+            raise ConfigError(f"unsupported chip I/O width: {self.chip_io_bits}")
+        if self.write_unit_bits_per_chip > self.chip_io_bits:
+            raise ConfigError("write unit cannot exceed chip I/O width")
+        if self.num_banks < 1 or self.chips_per_bank < 1:
+            raise ConfigError("need at least one bank and one chip")
+        if self.subarrays_per_bank < 1:
+            raise ConfigError("need at least one subarray per bank")
+
+    @property
+    def write_unit_bytes_per_bank(self) -> int:
+        """Bank-level write unit in bytes (8 B in the default config)."""
+        return self.chips_per_bank * self.write_unit_bits_per_chip // 8
+
+    @property
+    def bank_data_width_bits(self) -> int:
+        return self.chips_per_bank * self.chip_io_bits
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level (paper Table II)."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    latency_cycles: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ConfigError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*line ({self.assoc}*{self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Core count and clock (paper Table II: 4-core CMP at 2 GHz).
+
+    ``max_outstanding_reads`` models the memory-level parallelism of an
+    out-of-order core: with 1 the core blocks on every post-LLC read
+    (our default substitute for GEM5's O3 cores, DESIGN.md §4); larger
+    values let it keep executing with several misses in flight, blocking
+    only at the limit.
+    """
+
+    num_cores: int = 4
+    freq_ghz: float = 2.0
+    base_cpi: float = 1.0
+    max_outstanding_reads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding_reads < 1:
+            raise ConfigError("need at least one outstanding read")
+        if self.freq_ghz <= 0 or self.base_cpi <= 0:
+            raise ConfigError("frequency and CPI must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.freq_ghz
+
+
+@dataclass(frozen=True)
+class MemCtrlConfig:
+    """Memory controller (paper Table II: FR-FCFS, 32-entry R/W queues).
+
+    Writes are serviced when the write queue fills beyond
+    ``drain_high_watermark`` and draining continues until occupancy drops
+    to ``drain_low_watermark`` — the paper's FR-FCFS variant "schedules
+    the read request first and services the write requests only when the
+    write queue is full", which is why read-dominant workloads
+    (blackscholes, swaptions) see long write waits under every scheme.
+    ``opportunistic_drain=True`` relaxes that: a bank with no read
+    pending may service a write early (kept as an ablation knob).
+    """
+
+    read_queue_entries: int = 32
+    write_queue_entries: int = 32
+    drain_high_watermark: int = 28
+    drain_low_watermark: int = 8
+    opportunistic_drain: bool = False
+    # Write pausing (Qureshi et al., HPCA 2010 — the paper's refs [23-24]):
+    # an in-flight write may be suspended at sub-write-unit granularity to
+    # serve a critical read, then resumed with a small re-ramp penalty.
+    # Off by default: the paper's controller does not pause.
+    write_pausing: bool = False
+    pause_overhead_ns: float = 10.0
+    pause_threshold_ns: float = 100.0
+    # Write coalescing (NVMain-style): a write to a line that already has
+    # a pending write absorbs into it — one bank service instead of two.
+    # Off by default to match the paper's controller.
+    write_coalescing: bool = False
+    # Drain ordering: "fifo" (the paper's oldest-first) or "sjf" —
+    # shortest-predicted-service first, possible because Tetris's analysis
+    # stage knows each write's service time before it is issued.
+    drain_order: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.drain_low_watermark <= self.drain_high_watermark <= self.write_queue_entries:
+            raise ConfigError("watermarks must satisfy 0 <= lo <= hi <= capacity")
+        if self.pause_overhead_ns < 0 or self.pause_threshold_ns < 0:
+            raise ConfigError("pause parameters must be non-negative")
+        if self.drain_order not in ("fifo", "sjf"):
+            raise ConfigError(f"unknown drain order: {self.drain_order!r}")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Bundle of every knob in the simulated system (paper Table II).
+
+    ``data_unit_bits`` is the granularity at which the Tetris analysis
+    stage counts and schedules changed bits: 64 bits (one bank-level
+    write-unit slice of the cache line) as in the paper's Figure 3.
+    ``analysis_overhead_ns`` charges the paper's measured worst-case
+    analysis latency (41 cycles at 400 MHz, §IV.D).
+    """
+
+    timings: PCMTimings = field(default_factory=PCMTimings)
+    power: PCMPower = field(default_factory=PCMPower)
+    organization: PCMOrganization = field(default_factory=PCMOrganization)
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    memctrl: MemCtrlConfig = field(default_factory=MemCtrlConfig)
+    caches: tuple[CacheConfig, ...] = (
+        CacheConfig("L1I", 32 << 10, 2, 2),
+        CacheConfig("L1D", 32 << 10, 2, 2),
+        CacheConfig("L2", 2 << 20, 8, 20),
+        CacheConfig("L3", 32 << 20, 16, 50),
+    )
+    cache_line_bytes: int = 64
+    data_unit_bits: int = 64
+    analysis_overhead_ns: float = 41.0 / 0.400  # 41 cycles @ 400 MHz = 102.5 ns
+    count_flip_bit: bool = False
+    seed: int = 20160816
+
+    def __post_init__(self) -> None:
+        if self.cache_line_bytes % self.organization.write_unit_bytes_per_bank:
+            raise ConfigError(
+                "cache line must be a whole number of bank write units"
+            )
+        if self.data_unit_bits % 8 or self.data_unit_bits > 64:
+            raise ConfigError("data_unit_bits must be a byte multiple <= 64")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used throughout the schemes.
+    # ------------------------------------------------------------------
+    @property
+    def units_per_line(self) -> int:
+        """Number of write units a cache line occupies under the
+        conventional scheme (the paper's ``N/M`` = 8)."""
+        return self.cache_line_bytes // self.organization.write_unit_bytes_per_bank
+
+    @property
+    def data_units_per_line(self) -> int:
+        """Number of ``data_unit_bits``-wide slices in a cache line."""
+        return self.cache_line_bytes * 8 // self.data_unit_bits
+
+    @property
+    def K(self) -> int:
+        """Time asymmetry (Tset // Treset)."""
+        return self.timings.time_asymmetry
+
+    @property
+    def L(self) -> float:
+        """Power asymmetry (Creset / Cset)."""
+        return self.power.L
+
+    @property
+    def bank_power_budget(self) -> float:
+        """Total instantaneous current the bank may draw, in SET units.
+
+        With the Global Charge Pump, chips pool their budgets so data
+        skew across chips cannot stall one chip while others idle.
+        """
+        return self.power.power_budget_per_chip * self.organization.chips_per_bank
+
+    @property
+    def chip_slices_per_unit(self) -> int:
+        """How many chips one data unit is striped across."""
+        return self.data_unit_bits // self.organization.write_unit_bits_per_chip
+
+    def replace(self, **kwargs) -> "SystemConfig":
+        """Return a copy with the given top-level fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialization: configs are experiment artifacts and must be
+    # reproducible from disk (the report generator embeds them).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON-serializable representation (round-trips)."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "SystemConfig":
+        """Rebuild a config saved with :meth:`to_dict`."""
+        data = dict(data)
+        return SystemConfig(
+            timings=PCMTimings(**data.pop("timings")),
+            power=PCMPower(**data.pop("power")),
+            organization=PCMOrganization(**data.pop("organization")),
+            cpu=CPUConfig(**data.pop("cpu")),
+            memctrl=MemCtrlConfig(**data.pop("memctrl")),
+            caches=tuple(CacheConfig(**c) for c in data.pop("caches")),
+            **data,
+        )
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "SystemConfig":
+        import json
+
+        return SystemConfig.from_dict(json.loads(text))
+
+
+def default_config(**overrides) -> SystemConfig:
+    """The paper's Table II configuration, with optional field overrides."""
+    return SystemConfig(**overrides)
+
+
+def mobile_config(write_unit_bits_per_chip: int = 4, **overrides) -> SystemConfig:
+    """Reduced-current mobile configuration (paper §I).
+
+    In a mobile system the supply current shrinks, so the number of cells
+    a chip may program concurrently drops to 4 or even 2 bits.  The power
+    budget scales proportionally: the default desktop budget of 32 SET
+    units corresponds to a 16-bit write unit, so a 4-bit unit gets 8 and
+    a 2-bit unit gets 4.
+    """
+    if write_unit_bits_per_chip not in (2, 4, 8):
+        raise ConfigError("mobile write units are 2, 4 or 8 bits per chip")
+    scale = write_unit_bits_per_chip / 16.0
+    org = PCMOrganization(write_unit_bits_per_chip=write_unit_bits_per_chip)
+    power = PCMPower(power_budget_per_chip=32.0 * scale)
+    return SystemConfig(organization=org, power=power, **overrides)
+
+
+def theoretical_write_units(config: SystemConfig) -> dict[str, float]:
+    """Closed-form write-unit counts for the worst-case baselines.
+
+    These are the horizontal reference lines of the paper's Figure 10:
+    Conventional/DCW = N/M (8), Flip-N-Write = N/2M (4), 2-Stage-Write =
+    (1/K + 1/2L)·N/M (3), Three-Stage-Write = (1/2K + 1/2L)·N/M (2.5).
+    """
+    nm = config.units_per_line
+    K, L = config.K, config.L
+    return {
+        "conventional": float(nm),
+        "dcw": float(nm),
+        "flip_n_write": nm / 2.0,
+        "two_stage": (1.0 / K + 1.0 / (2 * L)) * nm,
+        "three_stage": (1.0 / (2 * K) + 1.0 / (2 * L)) * nm,
+    }

@@ -1,0 +1,53 @@
+"""Tetris Write core: the paper's primary contribution.
+
+The write path has three stages (paper §III.B):
+
+1. **Read** (:mod:`repro.core.read_stage`) — read the stored line, decide
+   per data unit whether to flip (Flip-N-Write style), and count the SET
+   (write-1) and RESET (write-0) operations actually required.
+2. **Analysis** (:mod:`repro.core.analysis`) — greedy first-fit-decreasing
+   packing: write-1s claim whole write units under the power budget, then
+   write-0s are "Tetris-dropped" into the leftover sub-write-unit budget.
+3. **Individually write** (:mod:`repro.core.fsm`) — two independent finite
+   state machines drain the write-1 and write-0 queues simultaneously.
+"""
+
+from repro.core.analysis import TetrisScheduler, analyze
+from repro.core.batch import BatchPackResult, pack_batch, service_units_batch
+from repro.core.fsm import FSMExecutor, execute_schedule
+from repro.core.generalized import BurstClass, GeneralizedScheduler
+from repro.core.hwmodel import AreaModel, SortingNetwork, TetrisLogicModel
+from repro.core.overhead import AnalysisOverheadModel
+from repro.core.packers import (
+    best_fit_decreasing_bins,
+    ffd_bins,
+    optimal_bins,
+    worst_fit_decreasing_bins,
+)
+from repro.core.read_stage import ReadStageResult, cost_aware_flip, read_stage
+from repro.core.schedule import ScheduledOp, TetrisSchedule
+
+__all__ = [
+    "AnalysisOverheadModel",
+    "AreaModel",
+    "BatchPackResult",
+    "BurstClass",
+    "FSMExecutor",
+    "GeneralizedScheduler",
+    "ReadStageResult",
+    "ScheduledOp",
+    "SortingNetwork",
+    "TetrisLogicModel",
+    "TetrisScheduler",
+    "TetrisSchedule",
+    "analyze",
+    "best_fit_decreasing_bins",
+    "cost_aware_flip",
+    "execute_schedule",
+    "ffd_bins",
+    "optimal_bins",
+    "pack_batch",
+    "read_stage",
+    "service_units_batch",
+    "worst_fit_decreasing_bins",
+]

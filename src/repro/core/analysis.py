@@ -1,0 +1,229 @@
+"""Stage 2 of Tetris Write: the analysis (scheduling) stage, Algorithm 2.
+
+The scheduler is a greedy first-fit-decreasing bin packer with two passes
+run over the data units of one cache line:
+
+1. **Write-1 pass** — data units are sorted by the current their SET
+   burst draws (``IN1[i] = n_set[i]``, one SET unit per cell).  Each burst
+   occupies a *whole write unit* (duration ``t_set``) and is placed in the
+   first existing write unit whose residual budget fits it; a new write
+   unit is opened when none fits.  The number of write units opened is the
+   paper's ``result``.
+2. **Write-0 pass** — bursts draw ``IN0[i] = n_reset[i] * L`` and last one
+   *sub-write-unit* (``t_set / K``).  They are dropped, largest first,
+   into the earliest sub-slot whose residual budget fits — the interspace
+   left by the long write-1s, like a Tetris piece slotting into a gap.
+   Only when no existing sub-slot fits is an extra sub-write-unit appended
+   after the write units; the count of those is ``subresult``.
+
+Service time is Equation 5: ``(result + subresult / K) * Tset``.
+
+This module holds the clear scalar implementation used by the chip model,
+tests and examples; :mod:`repro.core.batch` provides the semantically
+identical vectorized version used to pre-compute service times for whole
+traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import ScheduledOp, TetrisSchedule
+
+__all__ = ["TetrisScheduler", "analyze"]
+
+
+class ScheduleError(ValueError):
+    """A burst cannot fit the power budget even in an empty slot."""
+
+
+class TetrisScheduler:
+    """Reusable Algorithm 2 engine for a fixed (K, L, budget) operating point.
+
+    Parameters
+    ----------
+    K:
+        Time asymmetry — sub-write-units per write unit (paper: 8).
+    L:
+        Power asymmetry — RESET current in SET units (paper: 2).
+    power_budget:
+        Maximum total current per sub-slot, in SET units (paper: 32 per
+        chip, 128 per GCP-pooled bank).
+    exclusive_unit_slots:
+        Ablation knob.  When true, a data unit's write-0 burst may not
+        share a sub-slot with its own write-1 burst (models a shared
+        per-unit select line).  The paper's worked example overlaps them,
+        so the default is ``False``.
+    """
+
+    def __init__(
+        self,
+        K: int,
+        L: float,
+        power_budget: float,
+        *,
+        exclusive_unit_slots: bool = False,
+        allow_split: bool = False,
+    ) -> None:
+        if K < 1:
+            raise ValueError("K must be >= 1")
+        if L <= 0 or power_budget <= 0:
+            raise ValueError("L and power_budget must be positive")
+        self.K = int(K)
+        self.L = float(L)
+        self.power_budget = float(power_budget)
+        self.exclusive_unit_slots = bool(exclusive_unit_slots)
+        # Mobile division modes shrink the budget below one unit's worst
+        # case; with allow_split an oversized burst is divided into
+        # budget-sized chunks scheduled independently (distinct cells of
+        # the same unit programmed in different write units).
+        self.allow_split = bool(allow_split)
+
+    # ------------------------------------------------------------------
+    def schedule(self, n_set: np.ndarray, n_reset: np.ndarray) -> TetrisSchedule:
+        """Pack one cache line's per-unit SET/RESET counts into a schedule.
+
+        ``n_set`` / ``n_reset`` are the read stage's per-unit program
+        counts.  Returns a validated :class:`TetrisSchedule`.
+        """
+        n_set = np.atleast_1d(np.asarray(n_set, dtype=np.int64))
+        n_reset = np.atleast_1d(np.asarray(n_reset, dtype=np.int64))
+        if n_set.shape != n_reset.shape or n_set.ndim != 1:
+            raise ValueError("n_set / n_reset must be matching 1-D arrays")
+        if int(n_set.min(initial=0)) < 0 or int(n_reset.min(initial=0)) < 0:
+            raise ValueError("program counts must be non-negative")
+
+        sched = TetrisSchedule(K=self.K, power_budget=self.power_budget)
+        in1 = n_set.astype(np.float64)  # SET draws 1 current unit per cell
+        in0 = n_reset.astype(np.float64) * self.L
+
+        self._pack_write1(sched, in1, n_set)
+        self._pack_write0(sched, in0, n_reset)
+        sched.validate()
+        return sched
+
+    # ------------------------------------------------------------------
+    def _chunks(self, unit: int, need: float, kind: str) -> list[tuple[int, int, float]]:
+        """Split one burst into budget-sized chunks: (unit, chunk, current)."""
+        budget = self.power_budget
+        if need <= budget:
+            return [(unit, 0, need)]
+        if not self.allow_split:
+            raise ScheduleError(
+                f"{kind} burst of unit {unit} needs {need} > budget {budget} "
+                "(pass allow_split=True to divide oversized bursts)"
+            )
+        out = []
+        chunk = 0
+        while need > 0:
+            out.append((unit, chunk, min(need, budget)))
+            need -= budget
+            chunk += 1
+        return out
+
+    def _pack_write1(
+        self, sched: TetrisSchedule, in1: np.ndarray, n_set: np.ndarray
+    ) -> None:
+        budget = self.power_budget
+        # First-fit-decreasing over write units; wu_used[j] is the current
+        # already committed to write unit j (uniform across its K slots
+        # because only write-1s are placed in this pass).
+        wu_used: list[float] = []
+        bursts: list[tuple[int, int, float]] = []
+        for i in np.argsort(-in1, kind="stable"):
+            if in1[i] > 0:
+                bursts.extend(self._chunks(int(i), float(in1[i]), "write-1"))
+        bursts.sort(key=lambda b: -b[2])
+        for unit, chunk, need in bursts:
+            for j, used in enumerate(wu_used):
+                if used + need <= budget:
+                    wu_used[j] = used + need
+                    break
+            else:
+                wu_used.append(need)
+                j = len(wu_used) - 1
+            # n_bits: the chunk programs `need` cells (SET current is 1/cell).
+            sched.write1_queue.append(
+                ScheduledOp(
+                    unit=unit, kind="write1", slot=j,
+                    current=need, n_bits=int(round(need)), chunk=chunk,
+                )
+            )
+        sched.result = len(wu_used)
+
+    def _pack_write0(
+        self, sched: TetrisSchedule, in0: np.ndarray, n_reset: np.ndarray
+    ) -> None:
+        budget = self.power_budget
+        K = self.K
+        # Residual budget per global sub-slot.  Slots [0, result*K) are
+        # the interspaces of the write-1 units; extra slots are appended
+        # on demand.
+        occ = np.zeros(sched.result * K, dtype=np.float64)
+        for op in sched.write1_queue:
+            occ[op.slot * K : (op.slot + 1) * K] += op.current
+        # Map data unit -> its write-1 unit for the exclusive-slot ablation.
+        own_unit = {op.unit: op.slot for op in sched.write1_queue}
+
+        extra: list[float] = []  # occupancy of appended sub-slots
+        bursts: list[tuple[int, int, float]] = []
+        for i in np.argsort(-in0, kind="stable"):
+            if in0[i] > 0:
+                bursts.extend(self._chunks(int(i), float(in0[i]), "write-0"))
+        bursts.sort(key=lambda b: -b[2])
+        for unit, chunk, need in bursts:
+            placed = -1
+            for s in range(occ.size):
+                if occ[s] + need > budget:
+                    continue
+                if (
+                    self.exclusive_unit_slots
+                    and unit in own_unit
+                    and s // K == own_unit[unit]
+                ):
+                    continue
+                placed = s
+                break
+            if placed < 0:
+                for e, used in enumerate(extra):
+                    if used + need <= budget:
+                        extra[e] = used + need
+                        placed = occ.size + e
+                        break
+                else:
+                    extra.append(need)
+                    placed = occ.size + len(extra) - 1
+            else:
+                occ[placed] += need
+            # A chunk of current `need` RESETs need/L cells.
+            sched.write0_queue.append(
+                ScheduledOp(
+                    unit=unit, kind="write0", slot=placed,
+                    current=need, n_bits=int(round(need / self.L)), chunk=chunk,
+                )
+            )
+        sched.subresult = len(extra)
+
+
+def analyze(
+    n_set: np.ndarray,
+    n_reset: np.ndarray,
+    *,
+    K: int = 8,
+    L: float = 2.0,
+    power_budget: float = 128.0,
+    exclusive_unit_slots: bool = False,
+    allow_split: bool = False,
+) -> TetrisSchedule:
+    """One-shot convenience wrapper around :class:`TetrisScheduler`.
+
+    Defaults correspond to the paper's bank-level operating point with the
+    Global Charge Pump pooling four chips (budget 128, K=8, L=2).
+    """
+    return TetrisScheduler(
+        K,
+        L,
+        power_budget,
+        exclusive_unit_slots=exclusive_unit_slots,
+        allow_split=allow_split,
+    ).schedule(n_set, n_reset)

@@ -1,0 +1,120 @@
+"""Stage 3 of Tetris Write: the two-FSM execution model (paper Fig. 8).
+
+``FSM1`` drains the write-1 queue: every ``t_set`` it selects the data
+units whose write-1 bursts belong to the current write unit, raises their
+MUX select and SET signals, and counts down ``Counter1``.  ``FSM0``
+independently drains the write-0 queue every ``t_reset`` (one
+sub-write-unit).  The two state machines share nothing but the memory
+clock, which is exactly why a write-0 can hide inside a write-1's slot.
+
+:class:`FSMExecutor` replays a :class:`~repro.core.schedule.TetrisSchedule`
+on a discrete sub-slot clock, recording which bursts are active in every
+sub-slot and the current drawn.  It is deliberately independent of the
+analysis stage's own bookkeeping so tests can cross-check the two:
+the executor must finish at exactly Equation 5's time and must never see
+a sub-slot draw above the power budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.schedule import TetrisSchedule
+
+__all__ = ["FSMExecutor", "FSMTrace", "execute_schedule"]
+
+
+@dataclass
+class FSMTrace:
+    """Cycle-by-cycle record of one schedule's execution.
+
+    ``active[s]`` lists ``(unit, kind)`` bursts driving cells during
+    global sub-slot ``s``; ``current[s]`` is the summed current.
+    ``completion_ns`` is when the last burst's last cell finishes.
+    """
+
+    K: int
+    t_set_ns: float
+    active: list[list[tuple[int, str]]] = field(default_factory=list)
+    current: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    completion_ns: float = 0.0
+    set_bits: int = 0
+    reset_bits: int = 0
+
+    @property
+    def t_sub_ns(self) -> float:
+        return self.t_set_ns / self.K
+
+    def peak_current(self) -> float:
+        return float(self.current.max()) if self.current.size else 0.0
+
+
+class FSMExecutor:
+    """Replays schedules on the sub-slot clock, mimicking FSM0/FSM1.
+
+    Parameters mirror the chip operating point.  ``power_budget`` is only
+    used for the safety check — the executor trusts the schedule's slot
+    assignments, as the hardware FSMs trust the analyzer.
+    """
+
+    def __init__(self, t_set_ns: float, power_budget: float) -> None:
+        if t_set_ns <= 0:
+            raise ValueError("t_set must be positive")
+        self.t_set_ns = float(t_set_ns)
+        self.power_budget = float(power_budget)
+
+    def execute(self, schedule: TetrisSchedule) -> FSMTrace:
+        """Run the schedule; returns the execution trace.
+
+        Raises ``RuntimeError`` if the FSMs would ever draw more current
+        than the budget — the analyzer guarantee the hardware relies on.
+        """
+        K = schedule.K
+        n_slots = schedule.total_sub_slots
+        trace = FSMTrace(K=K, t_set_ns=self.t_set_ns)
+        trace.active = [[] for _ in range(n_slots)]
+        current = np.zeros(max(n_slots, 1), dtype=np.float64)
+
+        # FSM1: each write-1 burst holds its select line for the K
+        # consecutive sub-slots of its write unit (Counter1 counts Tset).
+        for op in schedule.write1_queue:
+            base = op.slot * K
+            for s in range(base, base + K):
+                trace.active[s].append((op.unit, "write1"))
+                current[s] += op.current
+            trace.set_bits += op.n_bits
+
+        # FSM0: each write-0 burst holds its select line for one sub-slot
+        # (Counter0 counts Treset).
+        for op in schedule.write0_queue:
+            trace.active[op.slot].append((op.unit, "write0"))
+            current[op.slot] += op.current
+            trace.reset_bits += op.n_bits
+
+        trace.current = current[:n_slots]
+        if n_slots and float(trace.current.max()) > self.power_budget + 1e-9:
+            raise RuntimeError(
+                "FSM execution exceeded the power budget: "
+                f"{trace.current.max()} > {self.power_budget}"
+            )
+
+        # Completion: write units run back to back; an appended write-0
+        # sub-slot adds t_set/K.  This is Equation 5 by construction, but
+        # computed from the actual last active slot so tests can compare.
+        last_active = -1
+        for s in range(n_slots - 1, -1, -1):
+            if trace.active[s]:
+                last_active = s
+                break
+        trace.completion_ns = (last_active + 1) * self.t_set_ns / K if last_active >= 0 else 0.0
+        return trace
+
+
+def execute_schedule(
+    schedule: TetrisSchedule, *, t_set_ns: float = 430.0, power_budget: float | None = None
+) -> FSMTrace:
+    """Convenience wrapper: execute with the schedule's own budget."""
+    budget = schedule.power_budget if power_budget is None else power_budget
+    return FSMExecutor(t_set_ns, budget).execute(schedule)

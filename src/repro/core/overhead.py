@@ -1,0 +1,75 @@
+"""Analysis-stage overhead model (paper §IV.D).
+
+The authors synthesized Algorithm 2 with Vivado HLS onto a Virtex-7 and
+measured a worst case of **41 cycles at 400 MHz** (102.5 ns) for 8 data
+units, dominated by the two 8-element sorts and the first-fit scans.  They
+also report the added logic draws < 4 mW against a 125 mW pump budget
+(~3.2 %).
+
+We expose both the measured constant (used by the scheme model) and an
+analytic cycle estimate derived from the algorithm's operation count, so
+ablations over the number of data units (e.g. 128 B / 256 B cache lines,
+which the introduction motivates) can scale the overhead plausibly instead
+of pretending it stays flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AnalysisOverheadModel"]
+
+
+@dataclass(frozen=True)
+class AnalysisOverheadModel:
+    """Latency / power overhead of the Tetris Write logic.
+
+    Attributes
+    ----------
+    clock_mhz:
+        Clock of the analysis logic (paper: the 400 MHz memory bus clock;
+        an ASIC port could run faster — §IV.D calls the FPGA number
+        "primitive and pessimistic").
+    measured_worst_cycles:
+        The paper's measured worst case for 8 data units.
+    logic_power_mw / pump_power_mw:
+        Added logic power vs. the pump's division-write power.
+    """
+
+    clock_mhz: float = 400.0
+    measured_worst_cycles: int = 41
+    reference_units: int = 8
+    logic_power_mw: float = 4.0
+    pump_power_mw: float = 125.0
+
+    @property
+    def measured_worst_ns(self) -> float:
+        """The constant the scheme model charges per write (102.5 ns)."""
+        return self.measured_worst_cycles / self.clock_mhz * 1e3
+
+    @property
+    def power_overhead_fraction(self) -> float:
+        """§IV.D's ~3.2 % figure."""
+        return self.logic_power_mw / self.pump_power_mw
+
+    def estimated_cycles(self, n_units: int) -> int:
+        """Analytic worst-case cycle estimate for ``n_units`` data units.
+
+        The dominant costs in Algorithm 2 are two sorts of ``n`` elements
+        (an odd-even sorting network needs ``n`` stages of 1 cycle each in
+        the HLS mapping) and two first-fit passes whose inner scans touch
+        at most ``n`` bins / ``n*K`` sub-slots but are bounded by the
+        sequential outer loop of ``n`` iterations each.  Calibrated so the
+        paper's measured 41 cycles is reproduced at ``n = 8``:
+        ``2n (sorts) + 2n (scans) + n/8 constant-ish control ≈ 41``.
+        """
+        if n_units < 1:
+            raise ValueError("need at least one data unit")
+        n = n_units
+        # 2 sorting networks (n stages each) + 2 greedy passes (n stages
+        # each, scans pipelined) + fixed control/setup overhead.
+        control = self.measured_worst_cycles - 4 * self.reference_units
+        return 4 * n + max(control, 0)
+
+    def estimated_ns(self, n_units: int) -> float:
+        return self.estimated_cycles(n_units) / self.clock_mhz * 1e3

@@ -1,0 +1,146 @@
+"""Schedule datatypes produced by the Tetris analysis stage.
+
+A :class:`TetrisSchedule` is the contract between the analysis stage
+(Algorithm 2) and the execution stage (the FSM pair): it says, for every
+data unit, *which write unit* its write-1s run in and *which
+sub-write-unit* its write-0s run in, plus the derived occupancy matrix
+used to verify the power budget.
+
+Time axis convention
+--------------------
+Write units are numbered from 0 and each lasts ``t_set``.  Each write unit
+is divided into ``K`` sub-write-units of ``t_set / K``; the global
+sub-slot index of write unit *j*, slot *k* is ``j*K + k``.  Additional
+sub-write-units for overflow write-0s are appended after the last write
+unit, i.e. they start at global sub-slot ``result*K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ScheduledOp", "TetrisSchedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One queue entry: a data unit's write-1 or write-0 burst.
+
+    Attributes
+    ----------
+    unit:
+        Index of the data unit within the cache line.
+    kind:
+        ``"write1"`` (SET burst) or ``"write0"`` (RESET burst).
+    chunk:
+        Split index when one unit's burst exceeds the budget and is
+        divided across write units (mobile division modes); 0 otherwise.
+    slot:
+        For write-1s: the write-unit index.  For write-0s: the *global*
+        sub-write-unit index.
+    current:
+        Instantaneous current the burst draws, in SET units
+        (``n_set`` for write-1s, ``n_reset * L`` for write-0s).
+    n_bits:
+        Number of cells programmed by the burst.
+    """
+
+    unit: int
+    kind: str
+    slot: int
+    current: float
+    n_bits: int
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write1", "write0"):
+            raise ValueError(f"bad op kind: {self.kind}")
+        if self.slot < 0:
+            raise ValueError("slot must be non-negative")
+
+
+@dataclass
+class TetrisSchedule:
+    """Complete schedule for one cache-line write.
+
+    ``result`` and ``subresult`` are the two quantities of the paper's
+    Equation 5: the number of full write units consumed by write-1s and
+    the number of *extra* sub-write-units appended for overflow write-0s.
+    """
+
+    K: int
+    power_budget: float
+    write1_queue: list[ScheduledOp] = field(default_factory=list)
+    write0_queue: list[ScheduledOp] = field(default_factory=list)
+    result: int = 0
+    subresult: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_sub_slots(self) -> int:
+        """Number of occupied sub-write-unit slots on the time axis."""
+        return self.result * self.K + self.subresult
+
+    def service_units(self) -> float:
+        """Service time in units of ``t_set`` (Equation 5 without Tset)."""
+        return self.result + self.subresult / self.K
+
+    def service_time_ns(self, t_set_ns: float) -> float:
+        """Equation 5: ``(result + subresult / K) * Tset``."""
+        return self.service_units() * t_set_ns
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> np.ndarray:
+        """Current drawn in every sub-write-unit slot (verification aid).
+
+        Returns an array of length :attr:`total_sub_slots` whose entry
+        ``s`` is the total current (in SET units) flowing during global
+        sub-slot ``s``.  A write-1 op in write unit *j* contributes its
+        current to all ``K`` sub-slots of *j*; a write-0 op contributes to
+        its single sub-slot.
+        """
+        n = self.total_sub_slots
+        # Size defensively so a malformed schedule (slots beyond the
+        # declared range) can still be inspected by validate().
+        span = max(
+            [n, 1]
+            + [(op.slot + 1) * self.K for op in self.write1_queue]
+            + [op.slot + 1 for op in self.write0_queue]
+        )
+        occ = np.zeros(span, dtype=np.float64)
+        for op in self.write1_queue:
+            base = op.slot * self.K
+            occ[base : base + self.K] += op.current
+        for op in self.write0_queue:
+            occ[op.slot] += op.current
+        return occ[:n]
+
+    def validate(self) -> None:
+        """Raise ``AssertionError`` if the schedule breaks an invariant.
+
+        Checked invariants (see DESIGN.md §6):
+
+        * no sub-slot draws more than the power budget;
+        * write-1 slots lie inside ``[0, result)``;
+        * write-0 slots lie inside ``[0, result*K + subresult)``;
+        * no data unit appears twice in the same queue.
+        """
+        occ = self.occupancy()
+        assert occ.size == 0 or float(occ.max()) <= self.power_budget + 1e-9, (
+            f"power budget exceeded: {occ.max()} > {self.power_budget}"
+        )
+        for op in self.write1_queue:
+            assert 0 <= op.slot < self.result, f"write-1 slot out of range: {op}"
+        for op in self.write0_queue:
+            assert 0 <= op.slot < self.total_sub_slots, (
+                f"write-0 slot out of range: {op}"
+            )
+        for queue in (self.write1_queue, self.write0_queue):
+            keys = [(op.unit, op.chunk) for op in queue]
+            assert len(keys) == len(set(keys)), "data unit burst scheduled twice"
+
+    def units_in_queue(self, kind: str) -> set[int]:
+        queue = self.write1_queue if kind == "write1" else self.write0_queue
+        return {op.unit for op in queue}

@@ -1,0 +1,15 @@
+"""CPU timing model: trace-driven cores and the 4-core CMP system.
+
+Per DESIGN.md §4 this replaces GEM5's O3 ALPHA cores with discrete-event
+timing cores: a core executes the instruction gap between memory requests
+at its base CPI, *blocks* on post-LLC reads (loads are on the critical
+path) and *posts* writes (stalling only on write-queue backpressure).
+This preserves the causal chain the paper measures — write service time
+drives queue waits, queue waits drive read latency, read latency drives
+IPC and running time.
+"""
+
+from repro.cpu.core import CoreStats, TraceCore
+from repro.cpu.system import CMPSystem, SystemResult
+
+__all__ = ["CMPSystem", "CoreStats", "SystemResult", "TraceCore"]

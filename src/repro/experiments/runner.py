@@ -1,0 +1,102 @@
+"""Experiment orchestration: schemes x workloads sweeps with caching.
+
+The Fig 11-14 benches all need the same grid of full-system runs, so the
+runner generates each workload's trace once, prices it under every
+scheme, runs the DES, and hands back a tidy list of
+:class:`ExperimentResult` rows that the report layer turns into the
+paper's normalized figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, default_config
+from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.trace.record import Trace
+from repro.trace.synthetic import generate_trace
+from repro.trace.workloads import WORKLOAD_NAMES
+
+__all__ = ["ExperimentResult", "run_schemes_on_workloads", "BASELINE_SCHEME"]
+
+BASELINE_SCHEME = "dcw"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One (workload, scheme) cell of the evaluation grid."""
+
+    workload: str
+    scheme: str
+    read_latency_ns: float
+    write_latency_ns: float
+    ipc: float
+    runtime_ns: float
+    mean_write_units: float
+    mean_write_energy: float
+    forwarded_reads: int
+    events: int
+
+    def normalized(self, base: "ExperimentResult") -> dict[str, float]:
+        """The paper's normalizations against the DCW baseline."""
+        return {
+            "read_latency": self.read_latency_ns / base.read_latency_ns
+            if base.read_latency_ns
+            else 0.0,
+            "write_latency": self.write_latency_ns / base.write_latency_ns
+            if base.write_latency_ns
+            else 0.0,
+            "ipc_improvement": self.ipc / base.ipc if base.ipc else 0.0,
+            "running_time": self.runtime_ns / base.runtime_ns
+            if base.runtime_ns
+            else 0.0,
+        }
+
+
+def run_schemes_on_workloads(
+    schemes: tuple[str, ...],
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    *,
+    config: SystemConfig | None = None,
+    requests_per_core: int = 4000,
+    seed: int = 20160816,
+    traces: dict[str, Trace] | None = None,
+) -> list[ExperimentResult]:
+    """Run the full grid; returns one row per (workload, scheme)."""
+    config = config if config is not None else default_config()
+    results: list[ExperimentResult] = []
+    for workload in workloads:
+        trace = (
+            traces[workload]
+            if traces is not None and workload in traces
+            else generate_trace(
+                workload, requests_per_core, num_cores=config.cpu.num_cores, seed=seed
+            )
+        )
+        for scheme in schemes:
+            table = precompute_write_service(trace, scheme, config)
+            res = run_fullsystem(trace, scheme, config, table=table)
+            results.append(
+                ExperimentResult(
+                    workload=workload,
+                    scheme=scheme,
+                    read_latency_ns=res.mean_read_latency_ns,
+                    write_latency_ns=res.mean_write_latency_ns,
+                    ipc=res.ipc,
+                    runtime_ns=res.runtime_ns,
+                    mean_write_units=table.mean_units(),
+                    mean_write_energy=float(table.energy.mean())
+                    if table.energy.size
+                    else 0.0,
+                    forwarded_reads=res.controller.forwarded_reads,
+                    events=res.events,
+                )
+            )
+    return results
+
+
+def results_by(
+    results: list[ExperimentResult],
+) -> dict[tuple[str, str], ExperimentResult]:
+    """Index results by (workload, scheme)."""
+    return {(r.workload, r.scheme): r for r in results}

@@ -1,0 +1,24 @@
+"""Memory controller substrate: FR-FCFS with separate read/write queues.
+
+Matches the paper's Table II controller: 32-entry read and write queues,
+read-priority scheduling, and write servicing only when the write queue
+fills (drain watermarks).  With a flat PCM array (no row buffer — reads
+are a constant 50 ns) FR-FCFS degenerates to oldest-first per ready bank;
+an optional row-buffer model is provided for sensitivity studies.
+"""
+
+from repro.memctrl.request import MemRequest, ReqKind
+from repro.memctrl.queues import BoundedQueue
+from repro.memctrl.frfcfs import FRFCFSPolicy, RowBufferModel
+from repro.memctrl.controller import ControllerStats, MemoryController, ServiceModel
+
+__all__ = [
+    "BoundedQueue",
+    "ControllerStats",
+    "FRFCFSPolicy",
+    "MemRequest",
+    "MemoryController",
+    "ReqKind",
+    "RowBufferModel",
+    "ServiceModel",
+]

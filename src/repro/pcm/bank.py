@@ -1,0 +1,157 @@
+"""PCM bank: four chips behind one write scheme, with GCP pooling.
+
+The bank is the unit of service in the memory controller: one read or one
+cache-line write occupies it at a time.  :class:`PCMBank` binds together
+
+* the :class:`~repro.pcm.state.MemoryImage` holding line contents,
+* a :class:`~repro.schemes.base.WriteScheme` that prices and commits
+  writes, and
+* optionally the four functional :class:`~repro.pcm.chip.PCMChip` models,
+  which re-execute Tetris schedules at cell level so tests can check that
+  the scheduling layer and the cell layer agree (``verify_cells=True``).
+
+Service times returned here are pure occupancy; queueing is the memory
+controller's concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.pcm.chip import PCMChip
+from repro.pcm.state import MemoryImage
+
+if TYPE_CHECKING:  # avoid a circular import; schemes import repro.pcm
+    from repro.schemes.base import WriteOutcome, WriteScheme
+
+__all__ = ["PCMBank", "BankStats"]
+
+_U64 = np.uint64
+
+
+@dataclass
+class BankStats:
+    """Aggregate service counters for one bank."""
+
+    reads: int = 0
+    writes: int = 0
+    busy_ns: float = 0.0
+    set_bits: int = 0
+    reset_bits: int = 0
+    energy: float = 0.0
+    write_units: float = 0.0
+
+    def mean_write_units(self) -> float:
+        return self.write_units / self.writes if self.writes else 0.0
+
+
+class PCMBank:
+    """One bank of the Table II organization."""
+
+    def __init__(
+        self,
+        bank_id: int,
+        scheme: "WriteScheme",
+        config: SystemConfig | None = None,
+        *,
+        image: MemoryImage | None = None,
+        verify_cells: bool = False,
+        track_wear: bool = False,
+    ) -> None:
+        from repro.pcm.wear import WearTracker
+
+        self.bank_id = bank_id
+        self.scheme = scheme
+        self.config = config if config is not None else scheme.config
+        self.image = image if image is not None else MemoryImage(
+            seed=self.config.seed ^ bank_id,
+            units_per_line=self.config.data_units_per_line,
+        )
+        self.stats = BankStats()
+        self.verify_cells = verify_cells
+        self.wear: "WearTracker | None" = WearTracker() if track_wear else None
+        org = self.config.organization
+        self.chips = [
+            PCMChip(
+                chip_id=c,
+                slice_bits=org.chip_io_bits,
+                power_budget=self.config.power.power_budget_per_chip,
+            )
+            for c in range(org.chips_per_bank)
+        ] if verify_cells else []
+
+    # ------------------------------------------------------------------
+    def read(self, line_addr: int) -> tuple[np.ndarray, float]:
+        """Array read: returns (logical data, service time ns)."""
+        data = self.image.read_logical(line_addr)
+        t = self.config.timings.t_read_ns
+        self.stats.reads += 1
+        self.stats.busy_ns += t
+        return data, t
+
+    def write(self, line_addr: int, new_logical: np.ndarray) -> "WriteOutcome":
+        """Cache-line write through the bank's scheme."""
+        state = self.image.line(line_addr)
+        if self.verify_cells and not any(
+            (line_addr, 0) in chip._cells for chip in self.chips
+        ):
+            for chip in self.chips:
+                chip.load(line_addr, state.physical)
+
+        outcome = self.scheme.write(state, np.asarray(new_logical, dtype=_U64))
+
+        if self.verify_cells:
+            self._verify_cell_level(line_addr, state)
+
+        s = self.stats
+        s.writes += 1
+        s.busy_ns += outcome.service_ns
+        s.set_bits += outcome.n_set
+        s.reset_bits += outcome.n_reset
+        s.energy += outcome.energy
+        s.write_units += outcome.units
+        if self.wear is not None:
+            self.wear.record(line_addr, outcome.n_set, outcome.n_reset)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _verify_cell_level(self, line_addr: int, state) -> None:
+        """Replay the last Tetris schedule at cell level (if available).
+
+        For Tetris writes we push the committed physical image through
+        the functional chips using the schedule's burst order and check
+        (a) the chips converge to the same image and (b) no chip ever
+        exceeded the pooled budget.  For non-Tetris schemes the chips are
+        simply overwritten with the committed image.
+        """
+        sched = getattr(self.scheme, "last_schedule", None)
+        target = state.physical
+        if sched is not None:
+            pooled = np.zeros(max(sched.total_sub_slots, 1), dtype=np.float64)
+            for chip in self.chips:
+                pooled_part = chip.execute_schedule(
+                    line_addr, sched, target, L=self.config.L
+                )
+                pooled[: pooled_part.size] += pooled_part
+            if pooled.size and float(pooled.max()) > self.config.bank_power_budget + 1e-9:
+                raise RuntimeError(
+                    f"bank {self.bank_id}: pooled GCP current "
+                    f"{pooled.max():.1f} exceeded budget "
+                    f"{self.config.bank_power_budget}"
+                )
+            rebuilt = np.zeros(target.shape, dtype=_U64)
+            for chip in self.chips:
+                rebuilt |= chip.stored_word_slice(line_addr, target.size)
+            if not np.array_equal(rebuilt, target):
+                raise RuntimeError(
+                    f"bank {self.bank_id}: cell-level replay diverged from "
+                    "the committed image"
+                )
+        else:
+            for chip in self.chips:
+                chip.load(line_addr, target)

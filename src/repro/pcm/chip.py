@@ -1,0 +1,139 @@
+"""Functional PCM chip model: datapath of Fig. 6(b) + write logic of Fig. 7.
+
+A :class:`PCMChip` owns the per-chip slice of every stored data unit and
+executes Tetris schedules burst-by-burst through the
+:class:`~repro.pcm.write_driver.WriteDriver`, mimicking the FSM0/FSM1
+select sequence.  Its job in the reproduction is *verification*: after a
+schedule executes, the stored cells must equal the intended physical
+image, every programmed cell must have actually differed, and the per-
+sub-slot current must respect the chip budget.  It also accumulates
+endurance counters (programs per cell word) for the wear analysis bench.
+
+The chip is indexed by (line address, unit) rather than rows/columns; the
+GYDEC / S-A / DOUT stages of the datapath are latency, not function, and
+are charged by the timing model in :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.schedule import TetrisSchedule
+from repro.pcm.write_driver import WriteDriver
+
+__all__ = ["PCMChip"]
+
+_U64 = np.uint64
+
+
+@dataclass
+class PCMChip:
+    """One X-N chip: stores ``slice_bits`` of every data unit.
+
+    Parameters
+    ----------
+    chip_id:
+        Position of this chip within its bank (0-based).
+    slice_bits:
+        Data bits this chip stores per data unit (16 for an X16 chip).
+    power_budget:
+        Private charge-pump budget in SET units (ignored when the bank
+        validates a pooled GCP budget instead).
+    """
+
+    chip_id: int
+    slice_bits: int = 16
+    power_budget: float = 32.0
+    driver: WriteDriver = field(default_factory=WriteDriver)
+    # (line, unit) -> stored slice value (int); lazily populated.
+    _cells: dict[tuple[int, int], int] = field(default_factory=dict)
+    set_programs: int = 0
+    reset_programs: int = 0
+
+    @property
+    def lane_mask(self) -> int:
+        return (1 << self.slice_bits) - 1
+
+    def slice_of(self, word: int) -> int:
+        """Extract this chip's lane from a full data-unit word."""
+        return (word >> (self.chip_id * self.slice_bits)) & self.lane_mask
+
+    # ------------------------------------------------------------------
+    def read(self, line: int, unit: int, default: int = 0) -> int:
+        return self._cells.get((line, unit), default)
+
+    def load(self, line: int, units: np.ndarray) -> None:
+        """Initialize this chip's slices of a line from full unit words."""
+        for u, word in enumerate(np.asarray(units, dtype=_U64)):
+            self._cells[(line, u)] = self.slice_of(int(word))
+
+    def execute_burst(
+        self, line: int, unit: int, target_slice: int, direction: str
+    ) -> tuple[int, float]:
+        """Run one FSM burst on one data-unit slice.
+
+        Returns ``(cells_programmed, current_drawn)`` where current is in
+        SET units (RESETs weighted by the caller's L are *not* applied
+        here — the chip reports raw counts; the bank applies weights).
+        """
+        old = self.read(line, unit)
+        result, set_mask, reset_mask = self.driver.program(
+            old, target_slice, direction
+        )
+        self._cells[(line, unit)] = int(result[0])
+        n_set = int(np.bitwise_count(set_mask).sum())
+        n_reset = int(np.bitwise_count(reset_mask).sum())
+        self.set_programs += n_set
+        self.reset_programs += n_reset
+        return n_set + n_reset, float(n_set + n_reset)
+
+    # ------------------------------------------------------------------
+    def execute_schedule(
+        self,
+        line: int,
+        schedule: TetrisSchedule,
+        target_physical: np.ndarray,
+        *,
+        L: float = 2.0,
+    ) -> np.ndarray:
+        """Drain a schedule's queues against this chip's slices.
+
+        ``target_physical`` holds the full post-flip unit words; the chip
+        programs only its own lane.  Returns the per-sub-slot current the
+        chip drew, for budget verification by the caller.
+        """
+        target = np.asarray(target_physical, dtype=_U64)
+        n_slots = max(schedule.total_sub_slots, 1)
+        current = np.zeros(n_slots, dtype=np.float64)
+
+        for op in schedule.write1_queue:
+            tgt = self.slice_of(int(target[op.unit]))
+            old = self.read(line, op.unit)
+            # SET phase only: program the 0->1 differences of this lane.
+            result, set_mask, _ = self.driver.program(old, tgt, "set")
+            self._cells[(line, op.unit)] = int(result[0])
+            n = int(np.bitwise_count(set_mask).sum())
+            self.set_programs += n
+            base = op.slot * schedule.K
+            current[base : base + schedule.K] += n
+
+        for op in schedule.write0_queue:
+            tgt = self.slice_of(int(target[op.unit]))
+            old = self.read(line, op.unit)
+            result, _, reset_mask = self.driver.program(old, tgt, "reset")
+            self._cells[(line, op.unit)] = int(result[0])
+            n = int(np.bitwise_count(reset_mask).sum())
+            self.reset_programs += n
+            current[op.slot] += n * L
+
+        return current
+
+    # ------------------------------------------------------------------
+    def stored_word_slice(self, line: int, units: int) -> np.ndarray:
+        """Reassemble this chip's lanes of a line into shifted unit words."""
+        out = np.zeros(units, dtype=_U64)
+        for u in range(units):
+            out[u] = _U64(self.read(line, u)) << _U64(self.chip_id * self.slice_bits)
+        return out

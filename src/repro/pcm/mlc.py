@@ -1,0 +1,128 @@
+"""MLC (2-bit) PCM model — the paper's explicit non-goal, built as an
+extension on the generalized scheduler.
+
+A 2-bit MLC cell holds one of four resistance levels.  Programming uses
+the RESET-then-iterate strategy: full-RESET (level 0) is one short
+high-current pulse; full-SET (level 3) is one long low-current pulse;
+the partial levels 1-2 need program-and-verify staircases — intermediate
+duration at intermediate current (values follow the common MLC PCM
+literature, e.g. the FPB paper the authors cite for MLC power
+budgeting).  In SET-unit normalized terms, per programmed cell:
+
+==========  ===================  =========
+target      duration (sub-slots) current
+==========  ===================  =========
+level 0     1                    2.0   (RESET pulse)
+level 1     4                    1.5   (P&V staircase)
+level 2     6                    1.3   (longer staircase)
+level 3     8                    1.0   (full SET)
+==========  ===================  =========
+
+A 64-bit data unit is 32 MLC cells.  :class:`MLCModel` extracts the
+per-unit, per-target-level *changed-cell* counts from old/new unit words
+(comparison write at symbol granularity) and schedules them with the
+generalized Tetris packer, or serially for the conventional baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.generalized import (
+    BurstClass,
+    GeneralizedSchedule,
+    GeneralizedScheduler,
+)
+
+__all__ = ["MLC_LEVEL_CLASSES", "MLCModel", "mlc_level_counts"]
+
+_U64 = np.uint64
+_EVEN = np.uint64(0x5555_5555_5555_5555)  # bit 0 of every 2-bit symbol
+
+MLC_LEVEL_CLASSES: tuple[BurstClass, ...] = (
+    BurstClass("level0", 1, 2.0),
+    BurstClass("level1", 4, 1.5),
+    BurstClass("level2", 6, 1.3),
+    BurstClass("level3", 8, 1.0),
+)
+
+
+def mlc_level_counts(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Changed-cell counts per target level: (units, 4) matrix.
+
+    A cell changes when either bit of its 2-bit symbol differs; it is
+    then programmed to the *new* symbol's level.  Fully vectorized over
+    the unit words using lattice masks on the even bit positions.
+    """
+    old = np.atleast_1d(np.asarray(old, dtype=_U64))
+    new = np.atleast_1d(np.asarray(new, dtype=_U64))
+    if old.shape != new.shape:
+        raise ValueError("old/new shape mismatch")
+
+    diff = old ^ new
+    changed = (diff | (diff >> _U64(1))) & _EVEN  # one marker bit per cell
+
+    b0 = new & _EVEN                 # symbol bit 0 on the even lattice
+    b1 = (new >> _U64(1)) & _EVEN    # symbol bit 1 on the even lattice
+    level_masks = (
+        ~b1 & ~b0 & _EVEN,  # level 0: symbol 00
+        ~b1 & b0,           # level 1: symbol 01
+        b1 & ~b0,           # level 2: symbol 10
+        b1 & b0,            # level 3: symbol 11
+    )
+    counts = np.empty(old.shape + (4,), dtype=np.int64)
+    for lvl, mask in enumerate(level_masks):
+        counts[..., lvl] = np.bitwise_count(changed & mask)
+    return counts
+
+
+@dataclass
+class MLCModel:
+    """Prices MLC cache-line writes, scheduled or serial.
+
+    ``power_budget`` and ``sub_slot_ns`` define the operating point; the
+    default sub-slot is the SLC RESET time (53 ns) so MLC's full-SET
+    (8 sub-slots) matches the SLC ``t_set``.
+    """
+
+    power_budget: float = 128.0
+    sub_slot_ns: float = 53.75
+    level_classes: tuple[BurstClass, ...] = MLC_LEVEL_CLASSES
+    scheduler: GeneralizedScheduler = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.level_classes) != 4:
+            raise ValueError("MLC needs exactly four level classes")
+        self.scheduler = GeneralizedScheduler(self.power_budget, self.sub_slot_ns)
+
+    # ------------------------------------------------------------------
+    def schedule_line(
+        self, old: np.ndarray, new: np.ndarray
+    ) -> GeneralizedSchedule:
+        """Generalized-Tetris schedule for one line's MLC programs."""
+        counts = mlc_level_counts(old, new)
+        demands = {
+            cls: counts[:, lvl] for lvl, cls in enumerate(self.level_classes)
+        }
+        return self.scheduler.schedule(demands)
+
+    def serial_ns(self, old: np.ndarray, new: np.ndarray) -> float:
+        """Conventional baseline: one write unit at a time, each charged
+        the worst-case duration of its slowest changed level, bursts
+        serialized per unit under the budget."""
+        counts = mlc_level_counts(old, new)
+        total = 0.0
+        for unit_counts in counts:
+            for lvl, cls in enumerate(self.level_classes):
+                n = int(unit_counts[lvl])
+                while n > 0:
+                    max_cells = int(self.power_budget // cls.current_per_cell)
+                    chunk = min(n, max_cells)
+                    total += cls.duration_subslots * self.sub_slot_ns
+                    n -= chunk
+        return total
+
+    def tetris_ns(self, old: np.ndarray, new: np.ndarray) -> float:
+        return self.schedule_line(old, new).completion_ns()

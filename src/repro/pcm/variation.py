@@ -1,0 +1,75 @@
+"""Process variation: per-region cell-speed factors.
+
+Fabrication variation makes some PCM regions program slower than others;
+a write burst completes when its slowest cell does, so a line inherits
+(approximately) its region's worst-cell factor.  We model the factor as
+a deterministic lognormal per region (unit mean, configurable sigma) —
+the standard first-order treatment — and scale a write's service time by
+its target line's factor.
+
+The model is orthogonal to the scheme: every scheme's pulses stretch by
+the same regional factor, so the *ranking* of Figs 10-14 is invariant
+while the latency distributions widen — which the variation bench
+verifies rather than assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProcessVariation"]
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """Deterministic per-region latency factors.
+
+    ``sigma`` is the lognormal shape (0 disables variation); the
+    location is chosen so the factor's mean is exactly 1, keeping
+    average-case comparisons unbiased.  ``region_lines`` sets the spatial
+    granularity (cells in a region share fabrication conditions).
+    """
+
+    sigma: float = 0.15
+    region_lines: int = 1024
+    seed: int = 20160816
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.region_lines < 1:
+            raise ValueError("region must contain at least one line")
+
+    # ------------------------------------------------------------------
+    def factor_of(self, line: int) -> float:
+        """Latency multiplier of the region containing ``line``."""
+        if self.sigma == 0:
+            return 1.0
+        region = int(line) // self.region_lines
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, region & ((1 << 63) - 1)])
+        )
+        # mean of lognormal(mu, sigma) is exp(mu + sigma^2/2) == 1.
+        mu = -self.sigma ** 2 / 2.0
+        return float(rng.lognormal(mu, self.sigma))
+
+    def factors_of(self, lines: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`factor_of` (cached per region)."""
+        lines = np.asarray(lines, dtype=np.int64)
+        if self.sigma == 0:
+            return np.ones(lines.shape)
+        regions = lines // self.region_lines
+        unique, inverse = np.unique(regions, return_inverse=True)
+        table = np.array(
+            [self.factor_of(int(r) * self.region_lines) for r in unique]
+        )
+        return table[inverse]
+
+    def apply(self, service_ns: np.ndarray, lines: np.ndarray) -> np.ndarray:
+        """Scale per-write service times by their lines' factors."""
+        service_ns = np.asarray(service_ns, dtype=np.float64)
+        if service_ns.shape != np.asarray(lines).shape:
+            raise ValueError("service/lines shape mismatch")
+        return service_ns * self.factors_of(lines)

@@ -1,0 +1,60 @@
+"""PCM write schemes: the paper's baselines and Tetris Write.
+
+Every scheme implements the :class:`~repro.schemes.base.WriteScheme`
+interface: given the stored image of a line and the new logical data it
+returns a :class:`~repro.schemes.base.WriteOutcome` (service time, write
+units, programmed-cell counts, energy) and commits the new image.
+
+========================  ========================================  =====
+scheme                    key idea (paper Table I)                  read?
+========================  ========================================  =====
+``conventional``          worst-case serial write units             no
+``dcw``                   read-compare, program changed cells only  yes
+``flip_n_write``          flip to halve programmed cells, 2x unit   yes
+``two_stage``             split RESET/SET phases (asymmetries)      no
+``three_stage``           2-Stage + flip (halves both phases)       yes
+``tetris``                schedule by *actual* per-unit currents    yes
+========================  ========================================  =====
+"""
+
+from repro.schemes.base import SCHEME_REGISTRY, WriteOutcome, WriteScheme, get_scheme
+from repro.schemes.conventional import ConventionalWrite
+from repro.schemes.dcw import DCWWrite
+from repro.schemes.flip_n_write import FlipNWrite
+from repro.schemes.two_stage import TwoStageWrite
+from repro.schemes.three_stage import ThreeStageWrite
+from repro.schemes.tetris import TetrisWrite
+from repro.schemes.preset import PreSETWrite
+from repro.schemes.tetris_relaxed import TetrisRelaxedWrite
+
+ALL_SCHEMES = (
+    "dcw",
+    "conventional",
+    "flip_n_write",
+    "two_stage",
+    "three_stage",
+    "tetris",
+)
+
+EXTENSION_SCHEMES = ("preset", "tetris_relaxed")
+"""Schemes beyond the paper's comparison set (see each module's notes)."""
+
+COMPARED_SCHEMES = ("flip_n_write", "two_stage", "three_stage", "tetris")
+"""The four schemes the evaluation compares against the DCW baseline."""
+
+__all__ = [
+    "ALL_SCHEMES",
+    "COMPARED_SCHEMES",
+    "EXTENSION_SCHEMES",
+    "SCHEME_REGISTRY",
+    "ConventionalWrite",
+    "DCWWrite",
+    "FlipNWrite",
+    "PreSETWrite",
+    "TetrisWrite",
+    "ThreeStageWrite",
+    "TwoStageWrite",
+    "WriteOutcome",
+    "WriteScheme",
+    "get_scheme",
+]

@@ -1,0 +1,145 @@
+"""Common interface for PCM write schemes.
+
+A scheme turns ``(stored image, new logical data)`` into a
+:class:`WriteOutcome` — the bank-occupancy time, the Figure-10 write-unit
+count, and the programmed-cell counts that drive the energy model — and
+commits the new image to the :class:`~repro.pcm.state.LineState`.
+
+Service-time convention
+-----------------------
+``service_ns`` is the total time the write occupies the bank, including
+the read-before-write and analysis components where the scheme has them.
+``units`` is only the *write-stage* length expressed in multiples of
+``t_set`` — the quantity the paper's Figure 10 plots (Tetris: measured
+``result + subresult/K``; baselines: their worst-case constants).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from repro.config import SystemConfig, default_config
+from repro.pcm.energy import EnergyModel
+from repro.pcm.state import LineState
+
+__all__ = ["WriteOutcome", "WriteScheme", "SCHEME_REGISTRY", "get_scheme"]
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Everything the simulator and benches need to know about one write.
+
+    Attributes
+    ----------
+    service_ns:
+        Total bank occupancy (read + analysis + write stages).
+    units:
+        Write-stage length in ``t_set`` units (Figure 10's metric).
+    read_ns / analysis_ns:
+        The pre-write components (0 where the scheme has none).
+    n_set / n_reset:
+        Cells actually programmed to '1' / '0'.
+    energy:
+        Normalized energy (see :class:`~repro.pcm.energy.EnergyModel`).
+    flipped_units:
+        How many data units were stored inverted by this write.
+    """
+
+    service_ns: float
+    units: float
+    read_ns: float
+    analysis_ns: float
+    n_set: int
+    n_reset: int
+    energy: float
+    flipped_units: int = 0
+
+
+SCHEME_REGISTRY: dict[str, type["WriteScheme"]] = {}
+
+
+class WriteScheme(ABC):
+    """Base class: subclasses register themselves under ``name``."""
+
+    name: ClassVar[str]
+    requires_read: ClassVar[bool]
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config if config is not None else default_config()
+        self.energy_model = EnergyModel(
+            t_set_ns=self.config.timings.t_set_ns,
+            t_reset_ns=self.config.timings.t_reset_ns,
+            reset_current_ratio=self.config.L,
+        )
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if hasattr(cls, "name") and isinstance(getattr(cls, "name", None), str):
+            SCHEME_REGISTRY[cls.name] = cls
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+        """Service one cache-line write and commit the new image."""
+
+    @abstractmethod
+    def worst_case_units(self) -> float:
+        """The closed-form write-unit count (Equations 1-4, Fig 10 bars)."""
+
+    # ------------------------------------------------------------------
+    @property
+    def t_read(self) -> float:
+        return self.config.timings.t_read_ns
+
+    @property
+    def t_set(self) -> float:
+        return self.config.timings.t_set_ns
+
+    @property
+    def t_reset(self) -> float:
+        return self.config.timings.t_reset_ns
+
+    def worst_case_service_ns(self) -> float:
+        """Upper bound on ``service_ns`` (used for queue admission)."""
+        read = self.t_read if self.requires_read else 0.0
+        return read + self.worst_case_units() * self.t_set
+
+    def _outcome(
+        self,
+        *,
+        units: float,
+        read_ns: float,
+        analysis_ns: float,
+        n_set: int,
+        n_reset: int,
+        flipped_units: int = 0,
+    ) -> WriteOutcome:
+        """Assemble an outcome, deriving time and energy consistently."""
+        return WriteOutcome(
+            service_ns=read_ns + analysis_ns + units * self.t_set,
+            units=units,
+            read_ns=read_ns,
+            analysis_ns=analysis_ns,
+            n_set=n_set,
+            n_reset=n_reset,
+            energy=float(self.energy_model.write_energy(n_set, n_reset))
+            + (self.energy_model.read_energy_per_line if read_ns > 0 else 0.0),
+            flipped_units=flipped_units,
+        )
+
+
+def get_scheme(
+    name: str, config: SystemConfig | None = None, **kwargs
+) -> WriteScheme:
+    """Instantiate a registered scheme by name (see ``ALL_SCHEMES``)."""
+    try:
+        cls: Callable[..., WriteScheme] = SCHEME_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; registered: {sorted(SCHEME_REGISTRY)}"
+        ) from None
+    return cls(config, **kwargs)

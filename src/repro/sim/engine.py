@@ -1,0 +1,118 @@
+"""Minimal deterministic discrete-event engine.
+
+The full-system experiments replay memory traces through cores, a memory
+controller and PCM banks; all of them communicate by scheduling callbacks
+on this engine.  Design points:
+
+* **Determinism** — ties in time are broken by a monotone sequence
+  number, so two runs of the same trace produce identical schedules (the
+  reproduction's experiments must be exactly repeatable).
+* **No processes/coroutines** — callbacks keep the kernel tiny and fast;
+  components hold their own state machines (as the paper's FSMs do).
+* **Cancellation** — events carry a live flag; cancelling is O(1) and the
+  heap lazily discards dead entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    alive: bool = field(compare=False, default=True)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (lazy removal from the heap)."""
+        self.alive = False
+
+
+class Simulator:
+    """Event loop with a nanosecond clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10.0, handler, arg1)
+        sim.run()                 # drain all events
+        sim.run(until=1e6)        # or stop the clock at 1 ms
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.events_fired = 0
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args) -> Event:
+        """Schedule ``fn(*args)`` at an absolute time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
+        self._seq += 1
+        ev = Event(time=time, seq=self._seq, fn=fn, args=args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False when none remain."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.alive:
+                continue
+            if ev.time < self.now:  # defensive; cannot happen via the API
+                raise RuntimeError("event time went backwards")
+            self.now = ev.time
+            self.events_fired += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the event heap, optionally bounded in time or events.
+
+        ``until`` stops the clock *after* processing every event at or
+        before that time; ``max_events`` is a safety valve for tests.
+        """
+        fired = 0
+        while self._heap:
+            nxt = self._peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.now = until
+                return
+            if not self.step():
+                break
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}")
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def _peek_time(self) -> float | None:
+        while self._heap and not self._heap[0].alive:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for ev in self._heap if ev.alive)

@@ -1,0 +1,189 @@
+"""Statistics collection for simulation runs.
+
+Accumulators are streaming (O(1) memory for the moments, fixed bins for
+the histogram) because the Fig 11-14 runs see hundreds of thousands of
+requests.  A :class:`StatRegistry` groups the named stats of one run so
+experiment code can dump everything uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencyStat", "Histogram", "StatRegistry", "TimeSeries"]
+
+
+@dataclass
+class TimeSeries:
+    """Sparse (time, value) samples of a signal (e.g. queue occupancy).
+
+    Samples append in O(1); :meth:`resample` turns the step function
+    into a fixed-width vector (time-weighted) for plotting/sparklines.
+    """
+
+    name: str = "series"
+    times: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def sample(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("samples must be time-ordered")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def resample(self, buckets: int = 64) -> np.ndarray:
+        """Time-weighted mean of the step function over equal buckets."""
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        if not self.times:
+            return np.zeros(buckets)
+        t = np.asarray(self.times, dtype=np.float64)
+        v = np.asarray(self.values, dtype=np.float64)
+        t0, t1 = t[0], t[-1]
+        if t1 <= t0:
+            return np.full(buckets, v[-1])
+        out = np.zeros(buckets)
+        weight = np.zeros(buckets)
+        edges = np.linspace(t0, t1, buckets + 1)
+        # Each step [t_i, t_i+1) holds value v_i; distribute over buckets.
+        for i in range(len(t) - 1):
+            lo, hi = t[i], t[i + 1]
+            if hi <= lo:
+                continue
+            b_lo = int(np.searchsorted(edges, lo, side="right")) - 1
+            b_hi = int(np.searchsorted(edges, hi, side="left"))
+            for b in range(max(b_lo, 0), min(b_hi, buckets)):
+                seg = min(hi, edges[b + 1]) - max(lo, edges[b])
+                if seg > 0:
+                    out[b] += v[i] * seg
+                    weight[b] += seg
+        mask = weight > 0
+        out[mask] /= weight[mask]
+        return out
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def time_above(self, threshold: float) -> float:
+        """Total time the signal sat strictly above ``threshold``."""
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            if self.values[i] > threshold:
+                total += self.times[i + 1] - self.times[i]
+        return total
+
+
+@dataclass
+class LatencyStat:
+    """Streaming mean/min/max/variance of a latency series (Welford)."""
+
+    name: str = "latency"
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    total: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+@dataclass
+class Histogram:
+    """Fixed-width histogram with overflow bin (for latency tails)."""
+
+    name: str
+    bin_width: float
+    num_bins: int = 64
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.bin_width <= 0 or self.num_bins <= 0:
+            raise ValueError("bin_width and num_bins must be positive")
+        if self.counts is None:
+            self.counts = np.zeros(self.num_bins + 1, dtype=np.int64)
+
+    def add(self, value: float) -> None:
+        idx = int(value // self.bin_width)
+        if idx < 0:
+            raise ValueError("histogram values must be non-negative")
+        self.counts[min(idx, self.num_bins)] += 1
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile from bin edges (upper edge convention)."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        total = self.total
+        if total == 0:
+            return 0.0
+        target = total * p / 100.0
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, target))
+        return (idx + 1) * self.bin_width
+
+
+class StatRegistry:
+    """Named collection of stats for one simulation run."""
+
+    def __init__(self) -> None:
+        self._stats: dict[str, LatencyStat] = {}
+        self._hists: dict[str, Histogram] = {}
+        self.counters: dict[str, float] = {}
+
+    def latency(self, name: str) -> LatencyStat:
+        if name not in self._stats:
+            self._stats[name] = LatencyStat(name=name)
+        return self._stats[name]
+
+    def histogram(self, name: str, bin_width: float, num_bins: int = 64) -> Histogram:
+        if name not in self._hists:
+            self._hists[name] = Histogram(name, bin_width, num_bins)
+        return self._hists[name]
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def summary(self) -> dict[str, dict | float]:
+        out: dict[str, dict | float] = {k: s.summary() for k, s in self._stats.items()}
+        out.update(self.counters)
+        return out

@@ -1,0 +1,43 @@
+"""Workload substrate: PARSEC-2.0-calibrated synthetic memory traces.
+
+The paper drives its GEM5/NVMain system with 8 multi-threaded PARSEC
+workloads.  Real PARSEC memory traces require the full GEM5 toolchain, so
+per DESIGN.md §4 this package generates *synthetic* post-LLC traces whose
+measured statistics match what the paper reports about the real ones:
+
+* arrival rates — memory reads/writes per kilo-instruction (Table III);
+* bit-change profile — the per-64-bit-unit SET/RESET counts after data
+  inversion (Figure 3), including SET-dominance vs. the fifty-fifty mix
+  of ferret/vips and the intensity outliers (blackscholes vs. vips);
+* sharing behaviour — the low/medium/high data-sharing levels of
+  Table III map to how much of the line pool cores share.
+
+Those statistics are exactly what distinguishes the write schemes, so the
+comparison shape of Figs 10-14 is preserved.
+"""
+
+from repro.trace.record import OP_READ, OP_WRITE, Trace
+from repro.trace.workloads import PARSEC_WORKLOADS, WorkloadProfile, get_workload
+from repro.trace.content import ContentModel, realize_payload
+from repro.trace.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.trace.mixer import generate_mix, mix_traces
+from repro.trace.capture import capture_trace
+from repro.trace.io import load_trace, save_trace
+
+__all__ = [
+    "ContentModel",
+    "OP_READ",
+    "OP_WRITE",
+    "PARSEC_WORKLOADS",
+    "SyntheticTraceGenerator",
+    "Trace",
+    "WorkloadProfile",
+    "capture_trace",
+    "generate_mix",
+    "generate_trace",
+    "get_workload",
+    "load_trace",
+    "mix_traces",
+    "realize_payload",
+    "save_trace",
+]

@@ -1,0 +1,99 @@
+"""Capture post-LLC traces from a CPU-level address stream.
+
+Promotes the full-pipeline example's logic to a first-class API: feed a
+CPU access stream through the Table II cache hierarchy and collect the
+memory-boundary traffic (misses + dirty writebacks) as a replayable
+:class:`~repro.trace.record.Trace`.  This is the integration point for
+users with real instruction traces: anything that yields
+``(line, is_store)`` pairs becomes a workload for the write-scheme
+harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import SystemConfig, default_config
+from repro.trace.content import ContentModel
+from repro.trace.record import OP_READ, OP_WRITE, RECORD_DTYPE, Trace
+from repro.trace.workloads import WorkloadProfile, get_workload
+
+__all__ = ["capture_trace"]
+
+
+def capture_trace(
+    accesses: Iterable[tuple[int, bool]],
+    *,
+    config: SystemConfig | None = None,
+    content_profile: WorkloadProfile | str = "bodytrack",
+    num_cores: int | None = None,
+    seed: int = 20160816,
+    name: str = "captured",
+    flush_at_end: bool = True,
+) -> Trace:
+    """Filter a CPU stream through the cache hierarchy into a PCM trace.
+
+    Parameters
+    ----------
+    accesses:
+        Iterable of ``(line, is_store)`` CPU references (line indices).
+    content_profile:
+        Which Figure-3 bit-change profile to stamp on the writebacks —
+        captured streams carry addresses, not data, so the content model
+        supplies change statistics (pass a custom
+        :class:`~repro.trace.workloads.WorkloadProfile` to control them).
+    num_cores:
+        Post-LLC requests are dealt round-robin across this many cores
+        (defaults to the config's core count).
+    flush_at_end:
+        Drain dirty LLC lines into trailing writes, so the trace
+        conserves every store's eventual PCM write.
+    """
+    cfg = config if config is not None else default_config()
+    cores = num_cores if num_cores is not None else cfg.cpu.num_cores
+    profile = (
+        get_workload(content_profile)
+        if isinstance(content_profile, str)
+        else content_profile
+    )
+
+    hier = CacheHierarchy(cfg)
+    mem_ops: list[tuple[int, int]] = []
+    n_accesses = 0
+    for line, is_store in accesses:
+        n_accesses += 1
+        res = hier.access(int(line), bool(is_store))
+        if res.memory_read:
+            mem_ops.append((OP_READ, int(line)))
+        for wb in res.writebacks:
+            mem_ops.append((OP_WRITE, wb))
+    if flush_at_end:
+        for wb in hier.flush_all_dirty():
+            mem_ops.append((OP_WRITE, wb))
+
+    records = np.zeros(len(mem_ops), dtype=RECORD_DTYPE)
+    gap = max(n_accesses // max(len(mem_ops), 1), 1)
+    for i, (op, line) in enumerate(mem_ops):
+        records[i] = (i % cores, op, gap, line)
+
+    n_writes = int((records["op"] == OP_WRITE).sum())
+    rng = np.random.default_rng(np.random.SeedSequence([seed, n_writes]))
+    write_counts = ContentModel(profile).draw_counts(
+        rng, n_writes, cfg.data_units_per_line
+    )
+    return Trace(
+        workload=name,
+        seed=seed,
+        records=records,
+        write_counts=write_counts,
+        units_per_line=cfg.data_units_per_line,
+        meta={
+            "captured": True,
+            "cpu_accesses": n_accesses,
+            "l1_hit_rate": hier.stats()["l1_hit_rate"],
+            "l3_hit_rate": hier.stats()["l3_hit_rate"],
+        },
+    )

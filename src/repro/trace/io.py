@@ -1,0 +1,121 @@
+"""Trace persistence: compressed NPZ plus a human-readable text format.
+
+NPZ is the working format (compact, loads back bit-exact).  The text
+format exists for interoperability — one request per line,
+
+    <core> <R|W> <gap> <line> [<n_set:n_reset> x units]
+
+— so traces can be inspected with standard tools or produced by an
+external tracer (e.g. a real GEM5 + PARSEC pipeline) and replayed through
+this harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.record import OP_READ, OP_WRITE, RECORD_DTYPE, Trace
+
+__all__ = ["save_trace", "load_trace", "save_trace_text", "load_trace_text"]
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace as compressed NPZ (``.npz`` appended if missing)."""
+    np.savez_compressed(
+        Path(path),
+        records=trace.records,
+        write_counts=trace.write_counts,
+        meta=json.dumps(
+            {
+                "workload": trace.workload,
+                "seed": trace.seed,
+                "units_per_line": trace.units_per_line,
+                **trace.meta,
+            }
+        ),
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        records = data["records"]
+        write_counts = data["write_counts"]
+    units = int(meta.pop("units_per_line"))
+    return Trace(
+        workload=str(meta.pop("workload")),
+        seed=int(meta.pop("seed")),
+        records=records.astype(RECORD_DTYPE),
+        write_counts=write_counts,
+        units_per_line=units,
+        meta=meta,
+    )
+
+
+def save_trace_text(trace: Trace, path: str | Path) -> None:
+    """Write the human-readable text format (see module docstring)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(
+            f"# workload={trace.workload} seed={trace.seed} "
+            f"units={trace.units_per_line}\n"
+        )
+        w = 0
+        for rec in trace.records:
+            op = "W" if rec["op"] == OP_WRITE else "R"
+            fields = [str(int(rec["core"])), op, str(int(rec["gap"])), str(int(rec["line"]))]
+            if rec["op"] == OP_WRITE:
+                fields.extend(
+                    f"{int(s)}:{int(r)}" for s, r in trace.write_counts[w]
+                )
+                w += 1
+            fh.write(" ".join(fields) + "\n")
+
+
+def load_trace_text(path: str | Path) -> Trace:
+    path = Path(path)
+    workload, seed, units = "unknown", 0, 8
+    rows: list[tuple[int, int, int, int]] = []
+    counts: list[list[tuple[int, int]]] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    key, _, value = token.partition("=")
+                    if key == "workload":
+                        workload = value
+                    elif key == "seed":
+                        seed = int(value)
+                    elif key == "units":
+                        units = int(value)
+                continue
+            parts = line.split()
+            core, op_s, gap, addr = parts[:4]
+            op = OP_WRITE if op_s == "W" else OP_READ
+            rows.append((int(core), op, int(gap), int(addr)))
+            if op == OP_WRITE:
+                pairs = [tuple(map(int, tok.split(":"))) for tok in parts[4:]]
+                if len(pairs) != units:
+                    raise ValueError(
+                        f"write row has {len(pairs)} unit profiles, expected {units}"
+                    )
+                counts.append(pairs)  # type: ignore[arg-type]
+    records = np.array(rows, dtype=RECORD_DTYPE)
+    write_counts = (
+        np.array(counts, dtype=np.uint8)
+        if counts
+        else np.zeros((0, units, 2), dtype=np.uint8)
+    )
+    return Trace(
+        workload=workload,
+        seed=seed,
+        records=records,
+        write_counts=write_counts,
+        units_per_line=units,
+    )

@@ -1,0 +1,123 @@
+"""The eight PARSEC 2.0 workload profiles used in the paper.
+
+``rpki`` / ``wpki`` and the sharing/exchange levels are copied from the
+paper's Table III.  ``set_per_unit`` / ``reset_per_unit`` are the mean
+post-inversion bit-writes per 64-bit data unit, read off Figure 3 (the
+text pins the anchors: ~2 total for blackscholes, ~19 for vips, 9.6
+average = 6.7 SET + 2.9 RESET, ferret and vips near fifty-fifty while the
+rest are SET-dominant).
+
+The sharing level controls how much of the line pool is common to all
+cores in the synthetic generator; the exchange level controls how often a
+core re-touches lines recently written by another core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorkloadProfile", "PARSEC_WORKLOADS", "get_workload", "WORKLOAD_NAMES"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical fingerprint of one PARSEC workload (Table III + Fig 3)."""
+
+    name: str
+    domain: str
+    sharing: str           # low / medium / high  (Table III "Data Usage of Sharing")
+    exchange: str          # low / medium / high  (Table III "Data Usage of Exchange")
+    rpki: float
+    wpki: float
+    set_per_unit: float    # mean SET cells per 64-bit unit per write (Fig 3)
+    reset_per_unit: float  # mean RESET cells per 64-bit unit per write (Fig 3)
+    footprint_lines: int = 1 << 16   # working-set size in cache lines
+    hot_fraction: float = 0.125      # fraction of footprint that is hot
+    hot_probability: float = 0.6     # probability an access hits the hot set
+
+    def __post_init__(self) -> None:
+        if self.rpki < 0 or self.wpki < 0:
+            raise ValueError("RPKI/WPKI must be non-negative")
+        if self.set_per_unit + self.reset_per_unit > 32:
+            raise ValueError(
+                "mean bit-writes per unit must stay below the flip bound (32)"
+            )
+
+    @property
+    def total_pki(self) -> float:
+        return self.rpki + self.wpki
+
+    @property
+    def write_fraction(self) -> float:
+        return self.wpki / self.total_pki if self.total_pki else 0.0
+
+    @property
+    def mean_gap_instructions(self) -> float:
+        """Mean instructions between consecutive memory requests."""
+        if self.total_pki == 0:
+            raise ValueError(f"{self.name}: no memory traffic")
+        return 1000.0 / self.total_pki
+
+    @property
+    def set_dominance(self) -> float:
+        """SET share of all bit-writes (≈0.5 means fifty-fifty)."""
+        total = self.set_per_unit + self.reset_per_unit
+        return self.set_per_unit / total if total else 0.0
+
+
+_SHARING_FRACTION = {"low": 0.05, "medium": 0.35, "high": 0.75}
+
+PARSEC_WORKLOADS: dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in (
+        WorkloadProfile(
+            "blackscholes", "Financial Analysis", "low", "low",
+            rpki=0.04, wpki=0.02, set_per_unit=1.4, reset_per_unit=0.6,
+        ),
+        WorkloadProfile(
+            "bodytrack", "Computer Vision", "high", "medium",
+            rpki=0.72, wpki=0.24, set_per_unit=6.5, reset_per_unit=2.0,
+        ),
+        WorkloadProfile(
+            "canneal", "Engineering", "high", "high",
+            rpki=2.76, wpki=0.19, set_per_unit=5.5, reset_per_unit=1.5,
+        ),
+        WorkloadProfile(
+            "dedup", "Enterprise Storage", "high", "high",
+            rpki=0.82, wpki=0.49, set_per_unit=10.0, reset_per_unit=4.0,
+        ),
+        WorkloadProfile(
+            "ferret", "Similarity Search", "high", "high",
+            rpki=1.67, wpki=0.95, set_per_unit=7.0, reset_per_unit=6.5,
+        ),
+        WorkloadProfile(
+            "freqmine", "Data Mining", "high", "medium",
+            rpki=0.62, wpki=0.25, set_per_unit=6.0, reset_per_unit=1.5,
+        ),
+        WorkloadProfile(
+            "swaptions", "Financial Analysis", "low", "low",
+            rpki=0.04, wpki=0.02, set_per_unit=2.5, reset_per_unit=0.8,
+        ),
+        WorkloadProfile(
+            "vips", "Media Processing", "low", "medium",
+            rpki=2.56, wpki=1.56, set_per_unit=10.5, reset_per_unit=9.0,
+        ),
+    )
+}
+
+WORKLOAD_NAMES: tuple[str, ...] = tuple(PARSEC_WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    try:
+        return PARSEC_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(PARSEC_WORKLOADS)}"
+        ) from None
+
+
+def shared_fraction(profile: WorkloadProfile) -> float:
+    """Fraction of the line pool visible to all cores, from Table III's
+    qualitative sharing level."""
+    return _SHARING_FRACTION[profile.sharing]

@@ -1,0 +1,21 @@
+"""Shared low-level helpers (bit manipulation, RNG plumbing)."""
+
+from repro.util.bits import (
+    hamming_distance,
+    pack_units,
+    popcount64,
+    random_units,
+    reset_mask,
+    set_mask,
+    unpack_bits,
+)
+
+__all__ = [
+    "hamming_distance",
+    "pack_units",
+    "popcount64",
+    "random_units",
+    "reset_mask",
+    "set_mask",
+    "unpack_bits",
+]

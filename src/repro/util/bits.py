@@ -1,0 +1,109 @@
+"""Vectorized bit-level primitives shared by the read stage and schemes.
+
+A cache line is modelled as a small NumPy array of ``uint64`` *data units*
+(8 units for a 64 B line).  Everything that touches individual bits goes
+through this module so the hot paths stay vectorized: per the NumPy
+performance guidance, the per-write work is a handful of ufunc calls over
+the whole line rather than Python loops over 512 bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "popcount64",
+    "hamming_distance",
+    "set_mask",
+    "reset_mask",
+    "unpack_bits",
+    "pack_units",
+    "random_units",
+]
+
+_U64 = np.uint64
+
+
+def popcount64(values: np.ndarray | int) -> np.ndarray | int:
+    """Population count of uint64 values (vectorized).
+
+    Accepts scalars or arrays; returns the same shape with small-int dtype.
+    """
+    arr = np.asarray(values, dtype=_U64)
+    out = np.bitwise_count(arr)
+    if np.isscalar(values) or arr.ndim == 0:
+        return int(out)
+    return out.astype(np.int64)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Total number of differing bits between two equal-shape uint64 arrays."""
+    a = np.asarray(a, dtype=_U64)
+    b = np.asarray(b, dtype=_U64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.bitwise_count(a ^ b).sum())
+
+
+def set_mask(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Bits that must be programmed 0 -> 1 (SET operations)."""
+    old = np.asarray(old, dtype=_U64)
+    new = np.asarray(new, dtype=_U64)
+    return ~old & new
+
+
+def reset_mask(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Bits that must be programmed 1 -> 0 (RESET operations)."""
+    old = np.asarray(old, dtype=_U64)
+    new = np.asarray(new, dtype=_U64)
+    return old & ~new
+
+
+def unpack_bits(units: np.ndarray, width: int = 64) -> np.ndarray:
+    """Expand uint64 data units into a (n, width) array of 0/1 bytes.
+
+    Bit 0 (LSB) of each unit lands in column 0.  Used by tests and the
+    FSM-level chip model, never on the hot path.
+    """
+    units = np.atleast_1d(np.asarray(units, dtype=_U64))
+    cols = np.arange(width, dtype=_U64)
+    return ((units[:, None] >> cols) & _U64(1)).astype(np.uint8)
+
+
+def pack_units(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`unpack_bits`: (n, width) 0/1 array -> uint64 units."""
+    bits = np.asarray(bits, dtype=_U64)
+    if bits.ndim != 2 or bits.shape[1] > 64:
+        raise ValueError("expected (n, <=64) bit matrix")
+    cols = np.arange(bits.shape[1], dtype=_U64)
+    return (bits << cols).sum(axis=1, dtype=_U64)
+
+
+def random_units(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` uniformly random uint64 data units."""
+    return rng.integers(0, np.iinfo(np.uint64).max, size=n, dtype=np.uint64)
+
+
+def flip_k_bits(
+    rng: np.random.Generator, unit: int, ones_to_zero: int, zeros_to_one: int
+) -> int:
+    """Return ``unit`` with exactly the requested number of bit flips.
+
+    Chooses ``ones_to_zero`` random 1-bits to clear and ``zeros_to_one``
+    random 0-bits to set.  Raises ``ValueError`` if the unit does not have
+    enough bits of the requested polarity.  Used by the synthetic content
+    model to hit a target SET/RESET profile exactly.
+    """
+    u = int(unit)
+    one_positions = [i for i in range(64) if (u >> i) & 1]
+    zero_positions = [i for i in range(64) if not (u >> i) & 1]
+    if ones_to_zero > len(one_positions) or zeros_to_one > len(zero_positions):
+        raise ValueError(
+            f"cannot flip {ones_to_zero} ones / {zeros_to_one} zeros in a unit "
+            f"with {len(one_positions)} ones"
+        )
+    for i in rng.choice(len(one_positions), size=ones_to_zero, replace=False):
+        u &= ~(1 << one_positions[int(i)])
+    for i in rng.choice(len(zero_positions), size=zeros_to_one, replace=False):
+        u |= 1 << zero_positions[int(i)]
+    return u

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+
+
+@pytest.fixture
+def config():
+    """The paper's Table II configuration."""
+    return default_config()
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for content generation in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def line8(rng):
+    """A random 64 B line as 8 uint64 data units."""
+    return rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)

@@ -1,0 +1,115 @@
+"""Tests for the adaptive-analysis fast path and the M/D/1 validation
+of the DES queueing behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import MemCtrlConfig, default_config
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.request import MemRequest, ReqKind
+from repro.pcm.state import LineState
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulator
+
+
+class TestAdaptiveAnalysis:
+    def test_fast_path_on_trivial_write(self, line8):
+        scheme = get_scheme("tetris", adaptive_analysis=True)
+        new = line8 ^ np.uint64(0b11)  # 2 changed bits
+        out = scheme.write(LineState.from_logical(line8.copy()), new)
+        assert scheme.fast_path_hits == 1
+        assert out.analysis_ns == pytest.approx(10.0)
+
+    def test_slow_path_on_heavy_write(self, rng, line8):
+        scheme = get_scheme("tetris", adaptive_analysis=True)
+        new = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+        out = scheme.write(LineState.from_logical(line8.copy()), new)
+        # A random full rewrite changes ~256 cells: no single-unit fit.
+        assert scheme.fast_path_hits == 0
+        assert out.analysis_ns == pytest.approx(102.5)
+
+    def test_disabled_by_default(self, line8):
+        scheme = get_scheme("tetris")
+        new = line8 ^ np.uint64(0b11)
+        out = scheme.write(LineState.from_logical(line8.copy()), new)
+        assert out.analysis_ns == pytest.approx(102.5)
+
+    def test_fast_path_never_changes_units(self, rng, line8):
+        """The fast path skips sorting, not scheduling: unit counts are
+        identical with and without it."""
+        plain = get_scheme("tetris")
+        fast = get_scheme("tetris", adaptive_analysis=True)
+        for _ in range(10):
+            new = line8 ^ rng.integers(0, 1 << 16, size=8, dtype=np.uint64)
+            a = plain.write(LineState.from_logical(line8.copy()), new)
+            b = fast.write(LineState.from_logical(line8.copy()), new)
+            assert a.units == b.units
+
+    def test_common_case_rate_matches_observation1(self, rng):
+        """At the Fig-3 average profile (9.6 changed bits per unit), the
+        trivial-schedule fast path covers the vast majority of writes."""
+        scheme = get_scheme("tetris", adaptive_analysis=True)
+        n = 200
+        for _ in range(n):
+            old = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+            state = LineState.from_logical(old)
+            flips = np.zeros(8, dtype=np.uint64)
+            for u in range(8):
+                k = min(int(rng.poisson(9.6)), 30)
+                bits = rng.choice(64, size=k, replace=False)
+                flips[u] = np.bitwise_or.reduce(
+                    np.uint64(1) << bits.astype(np.uint64)
+                ) if k else np.uint64(0)
+            scheme.write(state, old ^ flips)
+        assert scheme.fast_path_hits / n > 0.5
+
+
+class TestMD1Validation:
+    """The controller's queueing must match M/D/1 theory.
+
+    One bank, deterministic service D, Poisson arrivals of rate lam:
+    mean wait W = lam * D^2 / (2 (1 - rho)).  We drive the raw
+    controller with exponential inter-arrivals and compare.
+    """
+
+    class FlatService:
+        def __init__(self, d):
+            self.d = d
+
+        def read_ns(self, req):
+            return self.d
+
+        def write_ns(self, req):
+            return self.d
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6])
+    def test_md1_mean_wait(self, rho):
+        D = 50.0
+        lam = rho / D  # arrivals per ns
+        rng = np.random.default_rng(42)
+        n = 12000
+
+        cfg = default_config().replace(
+            organization=default_config().organization.__class__(num_banks=1),
+            memctrl=MemCtrlConfig(read_queue_entries=4096),
+        )
+        sim = Simulator()
+        ctrl = MemoryController(
+            sim, cfg, self.FlatService(D), enable_forwarding=False
+        )
+        t = 0.0
+        for i in range(n):
+            t += float(rng.exponential(1.0 / lam))
+            sim.at(
+                t,
+                lambda i=i: ctrl.submit(
+                    MemRequest(req_id=i, kind=ReqKind.READ, core=0,
+                               line=0, bank=0)
+                ),
+            )
+        sim.run()
+        measured_wait = ctrl.stats.read_wait.mean
+        theory = lam * D * D / (2 * (1 - rho))
+        assert measured_wait == pytest.approx(theory, rel=0.15)

@@ -1,0 +1,106 @@
+"""Tests for metrics, report formatting and the timing diagram."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    improvement_factor,
+    normalize_to_baseline,
+    reduction_percent,
+)
+from repro.analysis.report import ascii_bar_chart, format_table
+from repro.analysis.timing_diagram import (
+    render_tetris_schedule,
+    render_timing_diagram,
+    scheme_timeline,
+)
+from repro.core.analysis import analyze
+
+
+class TestMetrics:
+    def test_reduction_percent(self):
+        assert reduction_percent(35.0, 100.0) == pytest.approx(65.0)
+        assert reduction_percent(100.0, 0.0) == 0.0
+
+    def test_improvement_factor(self):
+        assert improvement_factor(2.0, 1.0) == 2.0
+        assert improvement_factor(2.0, 0.0) == 0.0
+
+    def test_normalize(self):
+        vals = {"a": 2.0, "b": 4.0}
+        norm = normalize_to_baseline(vals, "a")
+        assert norm == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ZeroDivisionError):
+            normalize_to_baseline({"a": 0.0}, "a")
+
+    def test_means(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = format_table(["name", "x"], [["aa", 1.5], ["b", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in out and "2.250" in out
+
+    def test_table_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_bar_chart(self):
+        out = ascii_bar_chart({"x": 1.0, "y": 0.5}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert ascii_bar_chart({}, title="t") == "t"
+
+    def test_bar_chart_zero_peak(self):
+        out = ascii_bar_chart({"x": 0.0})
+        assert "#" not in out
+
+
+class TestTimingDiagram:
+    def test_fig4_timeline(self):
+        tl = scheme_timeline(
+            [8, 7, 7, 6, 6, 6, 5, 3], [1, 1, 1, 2, 3, 2, 2, 5],
+            power_budget=32.0,
+        )
+        assert tl.conventional == 8.0
+        assert tl.flip_n_write == 4.0
+        assert tl.two_stage == pytest.approx(3.0)
+        assert tl.three_stage == pytest.approx(2.5)
+        # T1 strictly fastest, as in Fig 4.
+        assert tl.tetris < tl.three_stage
+
+    def test_render_contains_all_schemes(self):
+        out = render_timing_diagram([4] * 8, [2] * 8)
+        for name in ("conventional", "flip_n_write", "two_stage",
+                     "three_stage", "tetris"):
+            assert name in out
+
+    def test_schedule_grid_dimensions(self):
+        sched = analyze([4, 0, 2, 0], [1, 0, 0, 0], power_budget=32.0)
+        out = render_tetris_schedule(sched, 4)
+        rows = [l for l in out.splitlines() if l.strip().startswith("u") and ":=" not in l and l.strip() != "unit"]
+        rows = [l for l in rows if not l.startswith("unit")]
+        assert len(rows) == 4
+
+    def test_grid_marks_bursts(self):
+        sched = analyze([4], [1], power_budget=8.0)
+        out = render_tetris_schedule(sched, 1)
+        assert "1" in out
+        assert ("0" in out) or ("*" in out)

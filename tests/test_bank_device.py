@@ -1,0 +1,104 @@
+"""Tests for PCMBank (incl. cell-level verification) and PCMDevice."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.pcm.bank import PCMBank
+from repro.pcm.device import AddressMap, PCMDevice
+from repro.schemes import get_scheme
+
+
+@pytest.fixture
+def bank(config):
+    return PCMBank(0, get_scheme("tetris", config), config)
+
+
+@pytest.fixture
+def verified_bank(config):
+    return PCMBank(0, get_scheme("tetris", config), config, verify_cells=True)
+
+
+class TestBank:
+    def test_read_returns_initial_content(self, bank):
+        data, t = bank.read(42)
+        assert t == 50.0
+        assert np.array_equal(data, bank.image.read_logical(42))
+
+    def test_write_then_read_roundtrip(self, bank, line8):
+        bank.write(7, line8)
+        data, _ = bank.read(7)
+        assert np.array_equal(data, line8)
+
+    def test_stats_accumulate(self, bank, line8):
+        bank.write(1, line8)
+        bank.write(2, line8)
+        bank.read(1)
+        assert bank.stats.writes == 2
+        assert bank.stats.reads == 1
+        assert bank.stats.busy_ns > 0
+        assert bank.stats.mean_write_units() > 0
+
+    def test_cell_level_verification_passes(self, verified_bank, rng):
+        """Tetris writes replayed on the functional chips must converge
+        to the committed image without tripping the GCP budget."""
+        for i in range(10):
+            line = int(rng.integers(0, 100))
+            old = verified_bank.image.read_logical(line)
+            new = old ^ rng.integers(0, 1 << 10, size=8, dtype=np.uint64)
+            verified_bank.write(line, new)
+            got, _ = verified_bank.read(line)
+            assert np.array_equal(got, new)
+
+    def test_verification_with_non_tetris_scheme(self, config, line8):
+        bank = PCMBank(0, get_scheme("dcw", config), config, verify_cells=True)
+        bank.write(3, line8)
+        got, _ = bank.read(3)
+        assert np.array_equal(got, line8)
+
+
+class TestAddressMap:
+    def test_line_interleaves_across_banks(self):
+        amap = AddressMap(num_banks=8)
+        banks = [amap.bank_of_line(i) for i in range(16)]
+        assert banks == list(range(8)) * 2
+
+    def test_decode_fields(self):
+        amap = AddressMap(line_bytes=64, num_banks=8)
+        rank, bank, row, line = amap.decode(64 * 13)
+        assert line == 13
+        assert bank == 5
+        assert rank == 0
+
+    def test_rejects_bad_row_size(self):
+        with pytest.raises(ValueError):
+            AddressMap(line_bytes=64, row_size_bytes=100)
+
+    def test_capacity_wraps(self):
+        amap = AddressMap(capacity_bytes=1 << 20)
+        assert amap.decode((1 << 20) + 64)[3] == 1
+
+
+class TestDevice:
+    def test_bank_count_matches_config(self, config):
+        dev = PCMDevice(lambda cfg: get_scheme("dcw", cfg), config)
+        assert len(dev.banks) == 8
+
+    def test_requests_route_by_line(self, config, line8):
+        dev = PCMDevice(lambda cfg: get_scheme("dcw", cfg), config)
+        dev.write(9, line8)   # line 9 -> bank 1
+        assert dev.banks[1].stats.writes == 1
+        assert dev.banks[0].stats.writes == 0
+
+    def test_total_stats(self, config, line8):
+        dev = PCMDevice(lambda cfg: get_scheme("tetris", cfg), config)
+        for line in range(16):
+            dev.write(line, line8)
+        stats = dev.total_stats()
+        assert stats["writes"] == 16
+        assert stats["mean_write_units"] > 0
+        assert stats["energy"] > 0
+
+    def test_per_bank_scheme_instances(self, config):
+        dev = PCMDevice(lambda cfg: get_scheme("tetris", cfg), config)
+        assert dev.banks[0].scheme is not dev.banks[1].scheme

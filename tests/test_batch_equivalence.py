@@ -1,0 +1,109 @@
+"""The vectorized packer must agree with the scalar Algorithm 2.
+
+This is the load-bearing equivalence of the fast experiment path: the
+(result, subresult) pair from :func:`repro.core.batch.pack_batch` must be
+bit-for-bit what the scalar scheduler produces for every row.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import TetrisScheduler
+from repro.core.batch import pack_batch, service_units_batch
+
+counts_matrix = st.lists(
+    st.lists(st.integers(min_value=0, max_value=32), min_size=8, max_size=8),
+    min_size=1,
+    max_size=12,
+)
+
+
+def scalar_pack(n_set, n_reset, K=8, L=2.0, budget=128.0, allow_split=False):
+    sched = TetrisScheduler(K, L, budget, allow_split=allow_split).schedule(
+        np.array(n_set), np.array(n_reset)
+    )
+    return sched.result, sched.subresult
+
+
+class TestEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(counts_matrix, counts_matrix)
+    def test_matches_scalar_default_operating_point(self, m_set, m_reset):
+        n = min(len(m_set), len(m_reset))
+        n_set = np.array(m_set[:n])
+        n_reset = np.array(m_reset[:n])
+        packed = pack_batch(n_set, n_reset)
+        for i in range(n):
+            r, s = scalar_pack(n_set[i], n_reset[i])
+            assert packed.result[i] == r, f"row {i}: result mismatch"
+            assert packed.subresult[i] == s, f"row {i}: subresult mismatch"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        counts_matrix,
+        st.integers(min_value=1, max_value=16),
+        st.floats(min_value=1.0, max_value=4.0),
+        st.sampled_from([70.0, 100.0, 128.0, 200.0]),
+    )
+    def test_matches_scalar_across_operating_points(self, m, K, L, budget):
+        n_set = np.array(m)
+        n_reset = np.array(m[::-1])
+        packed = pack_batch(n_set, n_reset, K=K, L=L, power_budget=budget, allow_split=True)
+        for i in range(len(m)):
+            r, s = scalar_pack(
+                n_set[i], n_reset[i], K=K, L=L, budget=budget, allow_split=True
+            )
+            assert packed.result[i] == r
+            assert packed.subresult[i] == s
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts_matrix)
+    def test_split_mode_matches_scalar_small_budget(self, m):
+        n_set = np.array(m)
+        n_reset = np.zeros_like(n_set)
+        packed = pack_batch(n_set, n_reset, power_budget=16.0, allow_split=True)
+        for i in range(len(m)):
+            r, s = scalar_pack(n_set[i], n_reset[i], budget=16.0, allow_split=True)
+            assert packed.result[i] == r
+            assert packed.subresult[i] == s
+
+
+class TestBatchAPI:
+    def test_single_row_shapes(self):
+        packed = pack_batch([1, 2, 3, 0, 0, 0, 0, 0], [0] * 8)
+        assert packed.result.shape == (1,)
+        assert packed.subresult.shape == (1,)
+
+    def test_service_units_shortcut(self):
+        n_set = np.array([[16] * 8])
+        units = service_units_batch(n_set, np.zeros_like(n_set))
+        assert units[0] == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pack_batch(np.zeros((2, 8)), np.zeros((3, 8)))
+
+    def test_overflow_without_split_raises(self):
+        with pytest.raises(ValueError):
+            pack_batch([[40] + [0] * 7], [[0] * 8], power_budget=32.0)
+
+    def test_write0_overflow_without_split_raises(self):
+        with pytest.raises(ValueError):
+            pack_batch([[0] * 8], [[30] + [0] * 7], power_budget=32.0)
+
+    def test_service_ns(self):
+        packed = pack_batch([[16] * 8], [[0] * 8])
+        assert packed.service_ns(430.0)[0] == pytest.approx(430.0)
+
+
+class TestBatchPerformance:
+    def test_large_batch_runs(self):
+        rng = np.random.default_rng(0)
+        n_set = rng.poisson(6.7, size=(5000, 8))
+        n_reset = rng.poisson(2.9, size=(5000, 8))
+        units = service_units_batch(n_set, n_reset)
+        assert units.shape == (5000,)
+        assert (units >= 0).all()
+        # The paper's average regime: close to one write unit.
+        assert 0.9 < units.mean() < 1.5

@@ -1,0 +1,132 @@
+"""Unit + property tests for repro.util.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    flip_k_bits,
+    hamming_distance,
+    pack_units,
+    popcount64,
+    random_units,
+    reset_mask,
+    set_mask,
+    unpack_bits,
+)
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestPopcount:
+    def test_scalar(self):
+        assert popcount64(0) == 0
+        assert popcount64(0xFF) == 8
+        assert popcount64((1 << 64) - 1) == 64
+
+    def test_array(self):
+        arr = np.array([0, 1, 3, 7], dtype=np.uint64)
+        assert popcount64(arr).tolist() == [0, 1, 2, 3]
+
+    @given(u64)
+    def test_matches_python_bitcount(self, x):
+        assert popcount64(x) == x.bit_count()
+
+
+class TestHamming:
+    def test_identical_is_zero(self, line8):
+        assert hamming_distance(line8, line8) == 0
+
+    def test_single_bit(self):
+        a = np.array([0], dtype=np.uint64)
+        b = np.array([1], dtype=np.uint64)
+        assert hamming_distance(a, b) == 1
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(2, np.uint64), np.zeros(3, np.uint64))
+
+    @given(u64, u64)
+    def test_symmetric(self, a, b):
+        aa = np.array([a], dtype=np.uint64)
+        bb = np.array([b], dtype=np.uint64)
+        assert hamming_distance(aa, bb) == hamming_distance(bb, aa)
+
+    @given(u64, u64)
+    def test_equals_xor_popcount(self, a, b):
+        aa = np.array([a], dtype=np.uint64)
+        bb = np.array([b], dtype=np.uint64)
+        assert hamming_distance(aa, bb) == (a ^ b).bit_count()
+
+
+class TestMasks:
+    @given(u64, u64)
+    def test_masks_partition_the_difference(self, old, new):
+        o = np.array([old], dtype=np.uint64)
+        n = np.array([new], dtype=np.uint64)
+        s = int(set_mask(o, n)[0])
+        r = int(reset_mask(o, n)[0])
+        assert s & r == 0                       # disjoint
+        assert s | r == old ^ new               # cover exactly the diff
+        assert s & old == 0                     # SETs start from 0-cells
+        assert r & ~old == 0                    # RESETs start from 1-cells
+
+    def test_known_example(self):
+        old = np.array([0b1100], dtype=np.uint64)
+        new = np.array([0b1010], dtype=np.uint64)
+        assert int(set_mask(old, new)[0]) == 0b0010
+        assert int(reset_mask(old, new)[0]) == 0b0100
+
+
+class TestPackUnpack:
+    @given(st.lists(u64, min_size=1, max_size=8))
+    def test_roundtrip(self, values):
+        units = np.array(values, dtype=np.uint64)
+        assert np.array_equal(pack_units(unpack_bits(units)), units)
+
+    def test_bit_order_lsb_first(self):
+        bits = unpack_bits(np.array([0b101], dtype=np.uint64))
+        assert bits[0, 0] == 1 and bits[0, 1] == 0 and bits[0, 2] == 1
+
+    def test_pack_rejects_wide(self):
+        with pytest.raises(ValueError):
+            pack_units(np.zeros((1, 65), dtype=np.uint64))
+
+    def test_unpack_narrow_width(self):
+        bits = unpack_bits(np.array([0xFFFF], dtype=np.uint64), width=16)
+        assert bits.shape == (1, 16)
+        assert bits.sum() == 16
+
+
+class TestRandomUnits:
+    def test_deterministic_for_seed(self):
+        a = random_units(np.random.default_rng(1), 10)
+        b = random_units(np.random.default_rng(1), 10)
+        assert np.array_equal(a, b)
+
+    def test_roughly_half_ones(self):
+        units = random_units(np.random.default_rng(0), 1000)
+        mean = popcount64(units).mean()
+        assert 30 < mean < 34
+
+
+class TestFlipKBits:
+    @given(
+        u64,
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_exact_counts_when_possible(self, word, k10, k01):
+        ones = word.bit_count()
+        zeros = 64 - ones
+        rng = np.random.default_rng(0)
+        if k10 > ones or k01 > zeros:
+            with pytest.raises(ValueError):
+                flip_k_bits(rng, word, k10, k01)
+            return
+        out = flip_k_bits(rng, word, k10, k01)
+        assert (word & ~out).bit_count() == k10   # 1 -> 0 flips
+        assert (~word & out & ((1 << 64) - 1)).bit_count() == k01
+
+    def test_zero_flips_is_identity(self):
+        assert flip_k_bits(np.random.default_rng(0), 0xDEAD, 0, 0) == 0xDEAD

@@ -1,0 +1,56 @@
+"""Tests for the run explainer (time attribution)."""
+
+import pytest
+
+from repro.analysis.bottleneck import explain_run, format_breakdown
+from repro.experiments.fullsystem import run_fullsystem
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def runs():
+    trace = generate_trace("dedup", requests_per_core=400, seed=18)
+    return {
+        scheme: run_fullsystem(trace, scheme) for scheme in ("dcw", "tetris")
+    }
+
+
+class TestExplainRun:
+    def test_fractions_valid(self, runs):
+        for scheme, res in runs.items():
+            for b in explain_run(res):
+                total = (
+                    b.compute_frac + b.read_block_frac
+                    + b.read_slot_frac + b.write_slot_frac
+                )
+                assert 0.0 <= total <= 1.0 + 1e-9, scheme
+                assert b.runtime_ns > 0
+
+    def test_memory_bound_shrinks_under_tetris(self, runs):
+        """The causal chain: faster writes -> less read blocking."""
+        dcw = explain_run(runs["dcw"])
+        tet = explain_run(runs["tetris"])
+        dcw_mem = sum(b.memory_bound_frac for b in dcw) / len(dcw)
+        tet_mem = sum(b.memory_bound_frac for b in tet) / len(tet)
+        assert tet_mem < dcw_mem
+
+    def test_compute_time_scheme_invariant(self, runs):
+        """Absolute compute time is the trace's instruction work — it
+        must not depend on the memory scheme."""
+        for dcw_b, tet_b in zip(explain_run(runs["dcw"]), explain_run(runs["tetris"])):
+            dcw_compute = dcw_b.compute_frac * dcw_b.runtime_ns
+            tet_compute = tet_b.compute_frac * tet_b.runtime_ns
+            assert tet_compute == pytest.approx(dcw_compute, rel=0.05)
+
+    def test_format_contains_memory_summary(self, runs):
+        text = format_breakdown(runs["tetris"])
+        assert "Time attribution" in text
+        assert "bank utilization" in text
+        assert "core" in text
+
+    def test_empty_core_handled(self):
+        trace = generate_trace("dedup", requests_per_core=20, seed=1, num_cores=1)
+        res = run_fullsystem(trace, "dcw")
+        breakdown = explain_run(res)
+        # Cores 1-3 had no records: zeroed breakdowns, no crash.
+        assert len(breakdown) == 4

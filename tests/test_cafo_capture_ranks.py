@@ -1,0 +1,166 @@
+"""Tests for cost-aware flip (CAFO), trace capture and multi-rank support."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PCMOrganization, default_config
+from repro.core.read_stage import cost_aware_flip, read_stage
+from repro.experiments.fullsystem import run_fullsystem
+from repro.pcm.device import AddressMap, PCMDevice
+from repro.schemes import get_scheme
+from repro.trace.capture import capture_trace
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_MASK = (1 << 64) - 1
+E_SET, E_RESET = 430.0, 106.0
+
+
+def _cost(old, new_phys, flip_new, flip_old):
+    n_set = (~old & new_phys & _MASK).bit_count()
+    n_reset = (old & ~new_phys & _MASK).bit_count()
+    tag = 0.0
+    if flip_new != flip_old:
+        tag = E_SET if flip_new else E_RESET
+    return n_set * E_SET + n_reset * E_RESET + tag
+
+
+class TestCostAwareFlip:
+    def test_prefers_resets_when_sets_expensive(self):
+        """33 SETs vs (after flip) 31 RESETs: count-based flip says flip;
+        cost-aware agrees here, but 20 SETs vs 44 RESETs flips only
+        count-wise when >32 — the cost rule flips earlier for SET-heavy
+        patterns: 20 SETs (8600) > 44 RESETs + tag (4664+430)."""
+        old = 0
+        new = (1 << 20) - 1  # 20 SETs straight; flipped -> 44 SETs?? no:
+        # flipped store = ~new: old=0 -> program 44 SETs. More costly.
+        rs_plain = read_stage(
+            np.array([old], dtype=np.uint64), np.array([False]),
+            np.array([new], dtype=np.uint64),
+        )
+        rs_cost = cost_aware_flip(
+            np.array([old], dtype=np.uint64), np.array([False]),
+            np.array([new], dtype=np.uint64),
+        )
+        assert not rs_plain.flip[0] and not rs_cost.flip[0]
+
+    def test_flips_to_trade_sets_for_resets(self):
+        """Old all-ones, new has 30 zeros: straight needs 30 RESETs
+        (3180); flipped stores ~new -> needs 34 RESETs... construct a
+        case where flipping converts SETs into RESETs:
+        old = 0, new with 25 ones -> straight 25 SETs (10750);
+        flip stores ~new: 39 SETs (16770) - worse.  Use old = all-ones:
+        new with 25 ones -> straight RESETs 39 (4134); flipped stores
+        ~new with 39 ones -> RESETs 25 (2650) + tag SET 430 = 3080 <
+        4134: cost-aware flips although only 39 < 32 is false for
+        count-based (39 > 32 also flips).  Tighter: new with 35 ones ->
+        straight RESETs 29 (3074); flipped RESETs 35+... compute below.
+        """
+        old = _MASK
+        new = (1 << 25) - 1
+        o = np.array([old], dtype=np.uint64)
+        f = np.array([False])
+        n = np.array([new], dtype=np.uint64)
+        rs_cost = cost_aware_flip(o, f, n)
+        # Verify optimality directly instead of hand-arithmetic.
+        chosen = _cost(old, int(rs_cost.physical[0]), bool(rs_cost.flip[0]), False)
+        other_phys = ~new & _MASK if not rs_cost.flip[0] else new
+        other = _cost(old, other_phys, not rs_cost.flip[0], False)
+        assert chosen <= other
+
+    @settings(max_examples=150, deadline=None)
+    @given(u64, st.booleans(), u64)
+    def test_always_picks_cheaper_encoding(self, old, flip_old, new):
+        o = np.array([old], dtype=np.uint64)
+        f = np.array([flip_old])
+        n = np.array([new], dtype=np.uint64)
+        rs = cost_aware_flip(o, f, n)
+        straight_cost = _cost(old, new, False, flip_old)
+        flipped_cost = _cost(old, ~new & _MASK, True, flip_old)
+        chosen = flipped_cost if rs.flip[0] else straight_cost
+        assert chosen <= min(straight_cost, flipped_cost) + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(u64, st.booleans(), u64)
+    def test_never_more_expensive_than_count_flip(self, old, flip_old, new):
+        o = np.array([old], dtype=np.uint64)
+        f = np.array([flip_old])
+        n = np.array([new], dtype=np.uint64)
+        cost_rs = cost_aware_flip(o, f, n)
+        count_rs = read_stage(o, f, n)
+        cost_energy = (
+            int(cost_rs.n_set[0]) * E_SET + int(cost_rs.n_reset[0]) * E_RESET
+        )
+        count_energy = (
+            int(count_rs.n_set[0]) * E_SET + int(count_rs.n_reset[0]) * E_RESET
+        )
+        # Including tag costs, the cost-aware choice is globally optimal;
+        # excluding them it can differ only by one tag's worth.
+        assert cost_energy <= count_energy + E_SET
+
+    @settings(max_examples=60, deadline=None)
+    @given(u64, u64)
+    def test_logical_value_recoverable(self, old, new):
+        o = np.array([old], dtype=np.uint64)
+        rs = cost_aware_flip(o, np.array([False]), np.array([new], dtype=np.uint64))
+        logical = ~int(rs.physical[0]) & _MASK if rs.flip[0] else int(rs.physical[0])
+        assert logical == new
+
+
+class TestCaptureTrace:
+    def _stream(self, n=30_000):
+        rng = np.random.default_rng(4)
+        hot = rng.random(n) < 0.8
+        lines = np.where(hot, rng.integers(0, 1024, n), rng.integers(0, 200_000, n))
+        stores = rng.random(n) < 0.3
+        return list(zip(lines.tolist(), stores.tolist()))
+
+    def test_capture_produces_replayable_trace(self):
+        trace = capture_trace(self._stream(), name="synthcpu")
+        assert trace.workload == "synthcpu"
+        assert trace.n_reads > 0 and trace.n_writes > 0
+        res = run_fullsystem(trace, "tetris")
+        assert res.controller.completed == len(trace)
+
+    def test_capture_meta_records_hierarchy(self):
+        trace = capture_trace(self._stream(5000))
+        assert trace.meta["captured"] is True
+        assert 0 <= trace.meta["l1_hit_rate"] <= 1
+
+    def test_flush_conserves_dirty_lines(self):
+        # All-store stream to a tiny set: without flush, dirty lines
+        # would vanish inside the LLC.
+        stream = [(i % 64, True) for i in range(5000)]
+        with_flush = capture_trace(stream, flush_at_end=True)
+        without = capture_trace(stream, flush_at_end=False)
+        assert with_flush.n_writes >= without.n_writes + 1
+
+    def test_custom_profile(self):
+        trace = capture_trace(self._stream(5000), content_profile="vips")
+        mean_set, mean_reset = trace.mean_bit_profile()
+        assert mean_set + mean_reset > 12  # vips's heavy profile
+
+
+class TestMultiRank:
+    def test_global_bank_indexing(self):
+        amap = AddressMap(num_banks=8, num_ranks=2)
+        seen = {amap.global_bank_of_line(i) for i in range(16)}
+        assert seen == set(range(16))
+
+    def test_device_builds_ranks_x_banks(self):
+        cfg = default_config().replace(
+            organization=PCMOrganization(num_ranks=2)
+        )
+        dev = PCMDevice(lambda c: get_scheme("dcw", c), cfg)
+        assert len(dev.banks) == 16
+
+    def test_two_ranks_double_parallelism(self):
+        from repro.trace.synthetic import generate_trace
+
+        trace = generate_trace("vips", requests_per_core=500, seed=6)
+        one = default_config()
+        two = one.replace(organization=PCMOrganization(num_ranks=2))
+        r1 = run_fullsystem(trace, "dcw", one)
+        r2 = run_fullsystem(trace, "dcw", two)
+        assert r2.runtime_ns < r1.runtime_ns
+        assert r2.mean_read_latency_ns < r1.mean_read_latency_ns

@@ -1,0 +1,72 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--workloads", "quake"])
+
+
+class TestCommands:
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--workloads", "blackscholes", "--requests", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "blackscholes" in out
+        assert "SET" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "--workloads", "swaptions", "--requests", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Tetris" in out
+
+    def test_fullsystem(self, capsys):
+        code = main([
+            "fullsystem", "--workloads", "swaptions",
+            "--schemes", "tetris", "--requests", "200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tetris" in out and "dcw" in out  # baseline auto-included
+
+    def test_diagram_fig4(self, capsys):
+        assert main(["diagram", "--fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "tetris" in out
+        assert "result=" in out
+
+    def test_diagram_random(self, capsys):
+        assert main(["diagram", "--seed", "3"]) == 0
+        assert "Tset" in capsys.readouterr().out
+
+    def test_trace_save(self, capsys, tmp_path):
+        out_file = tmp_path / "t.npz"
+        assert main([
+            "trace", "--workload", "ferret", "--requests", "100",
+            "--out", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        assert "RPKI" in capsys.readouterr().out
+
+    def test_trace_text_save(self, tmp_path):
+        out_file = tmp_path / "t.txt"
+        assert main([
+            "trace", "--workload", "ferret", "--requests", "50",
+            "--out", str(out_file),
+        ]) == 0
+        assert out_file.read_text().startswith("# workload=ferret")
+
+    @pytest.mark.parametrize("sweep", ["budget", "K", "L", "width", "flip"])
+    def test_ablation_sweeps(self, sweep, capsys):
+        assert main([
+            "ablation", "--sweep", sweep, "--requests", "150",
+            "--workload", "dedup",
+        ]) == 0
+        assert "mean units" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""Integration tests for the event-driven memory controller."""
+
+import pytest
+
+from repro.config import MemCtrlConfig, default_config
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.request import MemRequest, ReqKind
+from repro.sim.engine import Simulator
+
+
+class FlatService:
+    """Constant-cost service model for controller-focused tests."""
+
+    def __init__(self, read=50.0, write=500.0):
+        self.read = read
+        self.write = write
+
+    def read_ns(self, req):
+        return self.read
+
+    def write_ns(self, req):
+        return self.write
+
+
+def make_controller(sim, *, write=500.0, forwarding=True, **mc_kwargs):
+    cfg = default_config()
+    if mc_kwargs:
+        cfg = cfg.replace(memctrl=MemCtrlConfig(**mc_kwargs))
+    return MemoryController(
+        sim, cfg, FlatService(write=write), enable_forwarding=forwarding
+    )
+
+
+def read_req(i, line=0, done=None):
+    return MemRequest(
+        req_id=i, kind=ReqKind.READ, core=0, line=line, bank=line % 8, on_done=done
+    )
+
+
+def write_req(i, line=0, write_idx=0):
+    return MemRequest(
+        req_id=i, kind=ReqKind.WRITE, core=0, line=line, bank=line % 8,
+        write_idx=write_idx,
+    )
+
+
+class TestReads:
+    def test_single_read_latency(self):
+        sim = Simulator()
+        ctrl = make_controller(sim)
+        done = []
+        assert ctrl.submit(read_req(1, done=done.append))
+        sim.run()
+        assert len(done) == 1
+        assert done[0].latency_ns == pytest.approx(50.0)
+
+    def test_same_bank_reads_serialize(self):
+        sim = Simulator()
+        ctrl = make_controller(sim)
+        done = []
+        ctrl.submit(read_req(1, line=0, done=done.append))
+        ctrl.submit(read_req(2, line=8, done=done.append))  # same bank 0
+        sim.run()
+        assert done[0].finish_ns == pytest.approx(50.0)
+        assert done[1].finish_ns == pytest.approx(100.0)
+
+    def test_different_banks_parallel(self):
+        sim = Simulator()
+        ctrl = make_controller(sim)
+        done = []
+        ctrl.submit(read_req(1, line=0, done=done.append))
+        ctrl.submit(read_req(2, line=1, done=done.append))
+        sim.run()
+        assert done[0].finish_ns == pytest.approx(50.0)
+        assert done[1].finish_ns == pytest.approx(50.0)
+
+    def test_read_queue_backpressure(self):
+        sim = Simulator()
+        ctrl = make_controller(
+            sim, read_queue_entries=2, write_queue_entries=2,
+            drain_high_watermark=2, drain_low_watermark=0,
+        )
+        # Fill the queue before the simulator runs: all target bank 0.
+        assert ctrl.submit(read_req(1, line=0))
+        assert ctrl.submit(read_req(2, line=8))
+        assert not ctrl.submit(read_req(3, line=16))
+        assert ctrl.stats.read_stalls == 1
+
+
+class TestWriteDrain:
+    def test_writes_wait_for_watermark(self):
+        sim = Simulator()
+        ctrl = make_controller(
+            sim, drain_high_watermark=3, drain_low_watermark=0,
+            opportunistic_drain=False,
+        )
+        ctrl.submit(write_req(1, line=0))
+        sim.run()
+        assert ctrl.stats.write_latency.count == 0   # still parked
+        ctrl.submit(write_req(2, line=8))
+        ctrl.submit(write_req(3, line=16))           # hits the watermark
+        sim.run()
+        assert ctrl.stats.write_latency.count == 3
+
+    def test_flush_writes_drains_everything(self):
+        sim = Simulator()
+        ctrl = make_controller(sim, opportunistic_drain=False)
+        ctrl.submit(write_req(1, line=0))
+        sim.run()
+        assert not ctrl.idle
+        ctrl.flush_writes()
+        sim.run()
+        assert ctrl.idle
+        assert ctrl.stats.write_latency.count == 1
+
+    def test_write_queue_backpressure_and_waiter(self):
+        sim = Simulator()
+        ctrl = make_controller(
+            sim, write_queue_entries=1, drain_high_watermark=1,
+            drain_low_watermark=0, opportunistic_drain=False,
+        )
+        assert ctrl.submit(write_req(1, line=0))
+        assert not ctrl.submit(write_req(2, line=8))
+        woken = []
+        ctrl.stall_until_write_slot(lambda: woken.append(True))
+        sim.run()
+        assert woken == [True]
+
+    def test_drain_blocks_reads_on_same_bank(self):
+        sim = Simulator()
+        ctrl = make_controller(
+            sim, write=1000.0, drain_high_watermark=2, drain_low_watermark=0,
+            opportunistic_drain=False,
+        )
+        done = []
+        ctrl.submit(write_req(1, line=0))
+        ctrl.submit(write_req(2, line=8))  # drain starts (both bank 0)
+        ctrl.submit(read_req(3, line=16, done=done.append))
+        sim.run()
+        # The read waited behind both 1000 ns writes.
+        assert done[0].latency_ns == pytest.approx(2050.0)
+
+
+class TestForwarding:
+    def test_read_hits_pending_write(self):
+        sim = Simulator()
+        ctrl = make_controller(sim, forwarding=True, opportunistic_drain=False)
+        ctrl.submit(write_req(1, line=5))
+        done = []
+        ctrl.submit(read_req(2, line=5, done=done.append))
+        sim.run()
+        assert done and done[0].forwarded
+        assert done[0].latency_ns == pytest.approx(1.0)
+        assert ctrl.stats.forwarded_reads == 1
+
+    def test_forwarding_disabled(self):
+        sim = Simulator()
+        ctrl = make_controller(sim, forwarding=False)
+        ctrl.submit(write_req(1, line=5))
+        done = []
+        ctrl.submit(read_req(2, line=5, done=done.append))
+        ctrl.flush_writes()
+        sim.run()
+        assert done and not done[0].forwarded
+
+
+class TestAccounting:
+    def test_bank_busy_time(self):
+        sim = Simulator()
+        ctrl = make_controller(sim)
+        ctrl.submit(read_req(1, line=0))
+        ctrl.submit(read_req(2, line=0))
+        sim.run()
+        assert ctrl.stats.bank_busy_ns[0] == pytest.approx(100.0)
+
+    def test_negative_service_rejected(self):
+        class Broken:
+            def read_ns(self, req):
+                return -1.0
+
+            def write_ns(self, req):
+                return -1.0
+
+        sim = Simulator()
+        ctrl = MemoryController(sim, default_config(), Broken())
+        ctrl.submit(read_req(1))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_queue_wait_recorded(self):
+        sim = Simulator()
+        ctrl = make_controller(sim)
+        ctrl.submit(read_req(1, line=0))
+        ctrl.submit(read_req(2, line=8))
+        sim.run()
+        assert ctrl.stats.read_wait.max == pytest.approx(50.0)

@@ -1,0 +1,121 @@
+"""Stateful (model-based) testing of the memory controller.
+
+Hypothesis drives random interleavings of submissions and time steps
+against a shadow model; after every step the controller must satisfy its
+structural invariants, and at teardown every accepted request must have
+completed exactly once.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.config import MemCtrlConfig, default_config
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.request import MemRequest, ReqKind
+from repro.sim.engine import Simulator
+
+
+class FlatService:
+    def read_ns(self, req):
+        return 50.0
+
+    def write_ns(self, req):
+        return 700.0
+
+
+class ControllerMachine(RuleBasedStateMachine):
+    @initialize(
+        pausing=st.booleans(),
+        coalescing=st.booleans(),
+        opportunistic=st.booleans(),
+        subarrays=st.sampled_from([1, 4]),
+    )
+    def setup(self, pausing, coalescing, opportunistic, subarrays):
+        from repro.config import PCMOrganization
+
+        cfg = default_config().replace(
+            memctrl=MemCtrlConfig(
+                read_queue_entries=8,
+                write_queue_entries=8,
+                drain_high_watermark=6,
+                drain_low_watermark=2,
+                write_pausing=pausing,
+                write_coalescing=coalescing,
+                opportunistic_drain=opportunistic,
+            ),
+            organization=PCMOrganization(subarrays_per_bank=subarrays),
+        )
+        self.sim = Simulator()
+        self.ctrl = MemoryController(
+            self.sim, cfg, FlatService(), enable_forwarding=True
+        )
+        self.seq = 0
+        self.accepted = 0
+        self.done = []
+
+    # ------------------------------------------------------------------
+    @rule(line=st.integers(min_value=0, max_value=31), is_write=st.booleans())
+    def submit(self, line, is_write):
+        self.seq += 1
+        req = MemRequest(
+            req_id=self.seq,
+            kind=ReqKind.WRITE if is_write else ReqKind.READ,
+            core=0,
+            line=line,
+            bank=line % 8,
+            write_idx=0 if is_write else -1,
+            on_done=lambda r: self.done.append(r.req_id),
+        )
+        if self.ctrl.submit(req):
+            self.accepted += 1
+
+    @rule(steps=st.integers(min_value=1, max_value=30))
+    def advance(self, steps):
+        for _ in range(steps):
+            if not self.sim.step():
+                break
+
+    @rule()
+    def flush(self):
+        self.ctrl.flush_writes()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def queues_within_capacity(self):
+        assert self.ctrl.read_queue.occupancy() <= 8
+        assert self.ctrl.write_queue.occupancy() <= 8
+
+    @invariant()
+    def completions_unique(self):
+        assert len(self.done) == len(set(self.done))
+
+    @invariant()
+    def completions_bounded_by_accepted(self):
+        assert self.ctrl.stats.completed <= self.accepted
+
+    @invariant()
+    def paused_banks_not_busy(self):
+        for bank in range(self.ctrl.num_banks):
+            if self.ctrl._paused[bank] is not None:
+                assert not self.ctrl.bank_busy[bank]
+
+    def teardown(self):
+        # Drain everything: every accepted request completes exactly once.
+        self.ctrl.flush_writes()
+        self.sim.run()
+        assert self.ctrl.idle
+        assert self.ctrl.stats.completed == self.accepted
+        assert len(self.done) == self.accepted
+
+
+ControllerMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestControllerStateful = ControllerMachine.TestCase

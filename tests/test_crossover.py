@@ -1,0 +1,72 @@
+"""Tests for the intensity-scaling and crossover analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.crossover import (
+    CrossoverPoint,
+    find_knee,
+    scale_intensity,
+    sweep_intensity,
+)
+from repro.trace.synthetic import generate_trace
+
+
+class TestScaleIntensity:
+    def test_gaps_shrink(self):
+        trace = generate_trace("dedup", 100, seed=1)
+        fast = scale_intensity(trace, 2.0)
+        assert fast.records["gap"].sum() < trace.records["gap"].sum()
+        assert (fast.records["gap"] >= 1).all()
+
+    def test_requests_unchanged(self):
+        trace = generate_trace("dedup", 100, seed=1)
+        fast = scale_intensity(trace, 4.0)
+        assert len(fast) == len(trace)
+        assert np.array_equal(fast.write_counts, trace.write_counts)
+        assert np.array_equal(fast.records["line"], trace.records["line"])
+
+    def test_rpki_scales(self):
+        trace = generate_trace("canneal", 500, seed=1)
+        fast = scale_intensity(trace, 2.0)
+        r0, _ = trace.measured_rpki_wpki()
+        r1, _ = fast.measured_rpki_wpki()
+        assert r1 == pytest.approx(2 * r0, rel=0.05)
+
+    def test_slowdown_factor(self):
+        trace = generate_trace("vips", 100, seed=1)
+        slow = scale_intensity(trace, 0.5)
+        assert slow.records["gap"].sum() > 1.9 * trace.records["gap"].sum()
+
+    def test_rejects_bad_factor(self):
+        trace = generate_trace("dedup", 10, seed=1)
+        with pytest.raises(ValueError):
+            scale_intensity(trace, 0.0)
+
+    def test_metadata_recorded(self):
+        trace = generate_trace("dedup", 10, seed=1)
+        fast = scale_intensity(trace, 3.0)
+        assert fast.meta["intensity"] == 3.0
+        assert "@x3" in fast.workload
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        points = sweep_intensity(
+            "swaptions", factors=(0.5, 2.0), schemes=("tetris",),
+            requests_per_core=150,
+        )
+        assert len(points) == 2
+        assert all("tetris" in p.runtime_ratio for p in points)
+
+    def test_find_knee(self):
+        points = [
+            CrossoverPoint(0.1, {"tetris": 0.99}, {}),
+            CrossoverPoint(1.0, {"tetris": 0.80}, {}),
+            CrossoverPoint(2.0, {"tetris": 0.50}, {}),
+        ]
+        assert find_knee(points) == 1.0
+
+    def test_find_knee_none(self):
+        points = [CrossoverPoint(1.0, {"tetris": 0.99}, {})]
+        assert find_knee(points) is None

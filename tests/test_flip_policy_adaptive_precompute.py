@@ -1,0 +1,98 @@
+"""Tests for the flip_policy scheme option and the adaptive-analysis
+precompute path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.read_stage import cost_aware_flip
+from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.pcm.state import LineState
+from repro.schemes import get_scheme
+from repro.trace.synthetic import generate_trace
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestFlipPolicy:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            get_scheme("flip_n_write", flip_policy="entropy")
+
+    def test_cost_policy_commits_logical_data(self, rng, line8):
+        scheme = get_scheme("flip_n_write", flip_policy="cost")
+        state = LineState.from_logical(line8.copy())
+        new = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+        scheme.write(state, new)
+        assert np.array_equal(state.logical, new)
+
+    @settings(max_examples=60, deadline=None)
+    @given(u64, u64)
+    def test_bounded_cost_flip_respects_count_bound(self, old, new):
+        """With max_programs = N/2 the chosen encoding never programs
+        more than half the cells — FNW's power guarantee."""
+        rs = cost_aware_flip(
+            np.array([old], dtype=np.uint64),
+            np.array([False]),
+            np.array([new], dtype=np.uint64),
+            max_programs=32,
+        )
+        assert rs.total_bit_writes <= 32
+
+    def test_cost_policy_never_costs_more_energy(self, rng, line8):
+        count_scheme = get_scheme("flip_n_write")
+        cost_scheme = get_scheme("flip_n_write", flip_policy="cost")
+        total_count = total_cost = 0.0
+        for _ in range(40):
+            new = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+            a = count_scheme.write(LineState.from_logical(line8.copy()), new)
+            b = cost_scheme.write(LineState.from_logical(line8.copy()), new)
+            total_count += a.energy
+            total_cost += b.energy
+        assert total_cost <= total_count + 1e-6
+
+
+class TestAdaptivePrecompute:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace("bodytrack", requests_per_core=250, seed=16)
+
+    def test_units_unchanged(self, trace):
+        plain = precompute_write_service(trace, "tetris")
+        fast = precompute_write_service(trace, "tetris", adaptive_analysis=True)
+        assert np.array_equal(plain.units, fast.units)
+
+    def test_service_strictly_cheaper_on_trivial_writes(self, trace):
+        plain = precompute_write_service(trace, "tetris")
+        fast = precompute_write_service(trace, "tetris", adaptive_analysis=True)
+        assert (fast.service_ns <= plain.service_ns + 1e-9).all()
+        # Observation 1: most writes take the fast path.
+        saved = plain.service_ns - fast.service_ns
+        assert (saved > 0).mean() > 0.5
+
+    def test_system_level_effect(self, trace):
+        plain_table = precompute_write_service(trace, "tetris")
+        fast_table = precompute_write_service(
+            trace, "tetris", adaptive_analysis=True
+        )
+        plain = run_fullsystem(trace, "tetris", table=plain_table)
+        fast = run_fullsystem(trace, "tetris", table=fast_table)
+        assert fast.runtime_ns <= plain.runtime_ns
+
+    def test_matches_scalar_scheme_fast_path(self, trace):
+        """The vectorized trivial-schedule condition agrees with the
+        scalar scheme's detector on realized content."""
+        from repro.pcm.state import MemoryImage
+        from repro.trace.content import realize_payload
+
+        scheme = get_scheme("tetris", adaptive_analysis=True)
+        table = precompute_write_service(trace, "tetris", adaptive_analysis=True)
+        image = MemoryImage(seed=trace.seed)
+        lines = trace.records["line"][trace.records["op"] == 1]
+        for w in range(60):
+            state = image.line(int(lines[w]))
+            rng = np.random.default_rng(np.random.SeedSequence([trace.seed, w]))
+            new = realize_payload(rng, state.logical, trace.write_counts[w])
+            out = scheme.write(state, new)
+            expected_fast = table.service_ns[w] < 50.0 + 50.0 + out.units * 430.0
+            assert (out.analysis_ns == pytest.approx(10.0)) == bool(expected_fast)

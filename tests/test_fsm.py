@@ -1,0 +1,88 @@
+"""Tests for the FSM execution stage (paper Fig. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import analyze
+from repro.core.fsm import FSMExecutor, execute_schedule
+from repro.core.schedule import ScheduledOp, TetrisSchedule
+
+counts8 = st.lists(st.integers(min_value=0, max_value=32), min_size=8, max_size=8)
+
+
+class TestExecution:
+    def test_completion_matches_equation5(self):
+        sched = analyze([8, 7, 7, 6, 6, 6, 5, 3], [1, 1, 1, 2, 3, 2, 2, 5],
+                        power_budget=32.0)
+        trace = execute_schedule(sched, t_set_ns=430.0)
+        assert trace.completion_ns == pytest.approx(sched.service_time_ns(430.0))
+
+    def test_bit_totals(self):
+        sched = analyze([4, 2], [1, 3], power_budget=128.0)
+        trace = execute_schedule(sched)
+        assert trace.set_bits == 6
+        assert trace.reset_bits == 4
+
+    def test_empty_schedule_completes_instantly(self):
+        sched = analyze([0] * 4, [0] * 4)
+        trace = execute_schedule(sched)
+        assert trace.completion_ns == 0.0
+        assert trace.peak_current() == 0.0
+
+    def test_write1_active_all_K_subslots(self):
+        sched = analyze([10], [0], power_budget=128.0)
+        trace = execute_schedule(sched)
+        assert all((0, "write1") in slot for slot in trace.active)
+
+    def test_write0_active_one_subslot(self):
+        sched = analyze([10, 0], [0, 3], power_budget=128.0)
+        trace = execute_schedule(sched)
+        active_w0 = [i for i, slot in enumerate(trace.active) if (1, "write0") in slot]
+        assert len(active_w0) == 1
+
+    def test_budget_violation_detected(self):
+        # Hand-build an invalid schedule; the FSM guard must catch it.
+        sched = TetrisSchedule(K=8, power_budget=32.0, result=1)
+        sched.write1_queue.append(
+            ScheduledOp(unit=0, kind="write1", slot=0, current=50.0, n_bits=50)
+        )
+        with pytest.raises(RuntimeError):
+            FSMExecutor(430.0, 32.0).execute(sched)
+
+    def test_rejects_bad_t_set(self):
+        with pytest.raises(ValueError):
+            FSMExecutor(0.0, 32.0)
+
+
+class TestCrossValidation:
+    """The executor must agree with the analyzer on every schedule."""
+
+    @settings(max_examples=150)
+    @given(counts8, counts8)
+    def test_completion_equals_equation5(self, n_set, n_reset):
+        sched = analyze(n_set, n_reset)
+        trace = execute_schedule(sched, t_set_ns=430.0)
+        assert trace.completion_ns == pytest.approx(sched.service_time_ns(430.0))
+
+    @settings(max_examples=150)
+    @given(counts8, counts8)
+    def test_fsm_current_equals_occupancy(self, n_set, n_reset):
+        sched = analyze(n_set, n_reset)
+        trace = execute_schedule(sched)
+        assert np.allclose(trace.current, sched.occupancy())
+
+    @settings(max_examples=150)
+    @given(counts8, counts8)
+    def test_fsm_never_exceeds_budget(self, n_set, n_reset):
+        sched = analyze(n_set, n_reset)
+        trace = execute_schedule(sched)
+        assert trace.peak_current() <= 128.0 + 1e-9
+
+    @settings(max_examples=100)
+    @given(counts8, counts8)
+    def test_bit_totals_match_inputs(self, n_set, n_reset):
+        sched = analyze(n_set, n_reset)
+        trace = execute_schedule(sched)
+        assert trace.set_bits == sum(n_set)
+        assert trace.reset_bits == sum(n_reset)

@@ -1,0 +1,102 @@
+"""Full-system integration: functional vs. precomputed paths, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.experiments.fullsystem import (
+    FunctionalServiceModel,
+    PrecomputedServiceModel,
+    precompute_write_service,
+    run_fullsystem,
+)
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace("bodytrack", requests_per_core=120, seed=17)
+
+
+class TestFunctionalEquivalence:
+    """The fast precomputed path must match the slow functional path.
+
+    The functional model realizes actual payloads and runs the real
+    scheme objects on a live PCM device; the precomputed path prices the
+    same writes from the trace's count tables.  Tiny differences can
+    come only from payload realization truncation (exhausted polarity),
+    which the chosen trace sizes avoid.
+    """
+
+    @pytest.mark.parametrize("scheme", ["dcw", "flip_n_write", "three_stage"])
+    def test_constant_schemes_identical(self, small_trace, scheme):
+        fast = run_fullsystem(small_trace, scheme)
+        slow = run_fullsystem(small_trace, scheme, functional=True)
+        assert fast.runtime_ns == pytest.approx(slow.runtime_ns, rel=1e-9)
+        assert fast.mean_read_latency_ns == pytest.approx(
+            slow.mean_read_latency_ns, rel=1e-9
+        )
+
+    def test_tetris_service_times_match(self, small_trace):
+        cfg = default_config()
+        table = precompute_write_service(small_trace, "tetris", cfg)
+        functional = FunctionalServiceModel(small_trace, "tetris", cfg)
+        fast = run_fullsystem(small_trace, "tetris", cfg, table=table)
+        slow_res = run_fullsystem(small_trace, "tetris", cfg, functional=True)
+        assert fast.runtime_ns == pytest.approx(slow_res.runtime_ns, rel=0.02)
+        assert fast.mean_write_latency_ns == pytest.approx(
+            slow_res.mean_write_latency_ns, rel=0.02
+        )
+
+    def test_functional_with_cell_verification(self):
+        """End-to-end with the chips replaying every Tetris schedule."""
+        trace = generate_trace("swaptions", requests_per_core=60, seed=5)
+        cfg = default_config()
+        service = FunctionalServiceModel(trace, "tetris", cfg, verify_cells=True)
+        res = run_fullsystem(trace, "tetris", cfg, functional=False)
+        # Drive the functional model manually over all writes in order.
+        from repro.memctrl.request import MemRequest, ReqKind
+
+        lines = trace.records["line"][trace.records["op"] == 1]
+        for w in range(trace.n_writes):
+            req = MemRequest(
+                req_id=w, kind=ReqKind.WRITE, core=0,
+                line=int(lines[w]), bank=int(lines[w]) % 8, write_idx=w,
+            )
+            service.write_ns(req)  # raises if any chip replay diverges
+        assert len(service.outcomes) == trace.n_writes
+
+
+class TestRunDeterminism:
+    def test_same_seed_same_result(self, small_trace):
+        a = run_fullsystem(small_trace, "tetris")
+        b = run_fullsystem(small_trace, "tetris")
+        assert a.runtime_ns == b.runtime_ns
+        assert a.ipc == b.ipc
+        assert a.events == b.events
+
+    def test_all_requests_serviced(self, small_trace):
+        res = run_fullsystem(small_trace, "two_stage")
+        n = res.controller.read_latency.count + res.controller.write_latency.count
+        assert n == len(small_trace)
+
+
+class TestForwardingEffect:
+    def test_forwarding_reduces_read_latency(self):
+        """Write-then-read of the same line: with forwarding the read is
+        answered from the write queue; without it the read waits behind
+        the full drain of the bank."""
+        from repro.trace.record import OP_READ, OP_WRITE, RECORD_DTYPE, Trace
+
+        rows = []
+        for i in range(30):
+            rows.append((0, OP_WRITE, 20, i % 8))
+            rows.append((0, OP_READ, 20, i % 8))
+        records = np.array(rows, dtype=RECORD_DTYPE)
+        counts = np.full((30, 8, 2), 2, dtype=np.uint8)
+        trace = Trace("wtr", 1, records, counts)
+
+        on = run_fullsystem(trace, "dcw", enable_forwarding=True)
+        off = run_fullsystem(trace, "dcw", enable_forwarding=False)
+        assert on.controller.forwarded_reads > 0
+        assert on.mean_read_latency_ns < off.mean_read_latency_ns

@@ -1,0 +1,109 @@
+"""Tests for the RTL-level Tetris Write Logic model (§IV.D derivation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import analyze
+from repro.core.hwmodel import (
+    AreaModel,
+    FirstFitUnit,
+    SortingNetwork,
+    SubSlotFitUnit,
+    TetrisLogicModel,
+)
+from repro.core.overhead import AnalysisOverheadModel
+
+counts8 = st.lists(st.integers(min_value=0, max_value=32), min_size=8, max_size=8)
+
+
+class TestSortingNetwork:
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=8, max_size=8))
+    def test_sorts_descending(self, values):
+        keys, _ = SortingNetwork(8).sort_descending(np.array(values))
+        assert list(keys) == sorted(values, reverse=True)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=8, max_size=8))
+    def test_tags_follow_keys(self, values):
+        keys, tags = SortingNetwork(8).sort_descending(np.array(values))
+        for k, t in zip(keys, tags):
+            assert values[t] == k
+
+    def test_cycle_cost_is_n(self):
+        assert SortingNetwork(8).cycles_per_sort == 8
+        assert SortingNetwork(16).cycles_per_sort == 16
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            SortingNetwork(8).sort_descending(np.zeros(4))
+        with pytest.raises(ValueError):
+            SortingNetwork(0)
+
+
+class TestPipelines:
+    def test_first_fit_unit_matches_reference(self):
+        ffu = FirstFitUnit(budget=32.0)
+        for d in (30.0, 20.0, 10.0, 2.0):
+            ffu.place(d)
+        assert len(ffu.bins) == 2
+        assert ffu.cycles == 4
+
+    def test_first_fit_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            FirstFitUnit(budget=8.0).place(10.0)
+
+    def test_subslot_unit_uses_interspace(self):
+        ssu = SubSlotFitUnit(budget=32.0, K=8)
+        ssu.load_interspace([30.0])       # one write unit, residual 2
+        slot = ssu.place(2.0)
+        assert slot < 8                   # hid inside the interspace
+        slot = ssu.place(4.0)
+        assert slot >= 8                  # needed an extra sub-slot
+        assert len(ssu.extra) == 1
+
+
+class TestTetrisLogicModel:
+    def test_worst_case_is_41_cycles_at_8_units(self):
+        """The paper's HLS measurement, derived from the RTL schedule."""
+        assert TetrisLogicModel.worst_case_cycles(8) == 41
+
+    def test_worst_case_matches_overhead_model(self):
+        analytic = AnalysisOverheadModel()
+        for n in (4, 8, 16, 32):
+            assert TetrisLogicModel.worst_case_cycles(n) == analytic.estimated_cycles(n)
+
+    def test_analyze_counts_cycles(self):
+        model = TetrisLogicModel(8, K=8, L=2.0, budget=128.0)
+        model.analyze([5] * 8, [2] * 8)
+        assert model.cycles == 41
+
+    def test_input_width_checked(self):
+        model = TetrisLogicModel(8, K=8, L=2.0, budget=128.0)
+        with pytest.raises(ValueError):
+            model.analyze([1] * 4, [1] * 4)
+
+    def test_area_model_supports_minimal_claim(self):
+        """§IV.D: 'the area overhead hence is minimal' — a few thousand
+        gate equivalents, well under a percent of chip periphery."""
+        m = AreaModel()
+        assert 1_000 < m.total_ge < 10_000
+        assert m.fraction_of() < 0.01
+        # The sorter dominates, as the paper's HLS discussion implies.
+        assert m.sorter_ge > m.scan_ge > m.driver_ge
+
+    def test_area_scales_with_units(self):
+        small, big = AreaModel(n_units=8), AreaModel(n_units=16)
+        assert big.total_ge > small.total_ge
+        # Sorting network area grows quadratically in n.
+        assert big.sorter_ge == pytest.approx(4 * small.sorter_ge)
+
+    @settings(max_examples=150, deadline=None)
+    @given(counts8, counts8)
+    def test_hardware_matches_software_scheduler(self, n_set, n_reset):
+        """The RTL model and the reference Algorithm 2 implementation
+        must produce identical (result, subresult)."""
+        hw = TetrisLogicModel(8, K=8, L=2.0, budget=128.0)
+        result, subresult = hw.analyze(n_set, n_reset)
+        sw = analyze(n_set, n_reset, K=8, L=2.0, power_budget=128.0)
+        assert result == sw.result
+        assert subresult == sw.subresult

@@ -1,0 +1,72 @@
+"""The whole stack must hold at 128 B / 256 B cache lines (§I motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.batch import pack_batch
+from repro.experiments.fullsystem import run_fullsystem
+from repro.pcm.state import LineState
+from repro.schemes import get_scheme
+from repro.trace.synthetic import generate_trace
+
+LINE_SIZES = (128, 256)
+
+
+@pytest.mark.parametrize("line_bytes", LINE_SIZES)
+class TestBigLines:
+    def units(self, line_bytes):
+        return line_bytes * 8 // 64
+
+    def cfg(self, line_bytes):
+        return default_config().replace(cache_line_bytes=line_bytes)
+
+    def test_equations_scale(self, line_bytes):
+        cfg = self.cfg(line_bytes)
+        nm = cfg.units_per_line
+        assert nm == line_bytes // 8
+        three = get_scheme("three_stage", cfg)
+        assert three.worst_case_units() == pytest.approx(
+            nm / 16 + nm / 4
+        )
+
+    def test_scheme_roundtrip(self, line_bytes, rng):
+        u = self.units(line_bytes)
+        old = rng.integers(0, np.iinfo(np.uint64).max, size=u, dtype=np.uint64)
+        new = old ^ rng.integers(0, 1 << 14, size=u, dtype=np.uint64)
+        for name in ("dcw", "three_stage", "tetris"):
+            scheme = get_scheme(name, self.cfg(line_bytes))
+            state = LineState.from_logical(old.copy())
+            out = scheme.write(state, new)
+            assert np.array_equal(state.logical, new), name
+            assert out.units > 0
+
+    def test_batch_packer_scales(self, line_bytes, rng):
+        u = self.units(line_bytes)
+        n_set = rng.poisson(6.7, size=(50, u))
+        n_reset = rng.poisson(2.9, size=(50, u))
+        packed = pack_batch(n_set, n_reset, power_budget=128.0)
+        assert packed.result.shape == (50,)
+        # More units per line -> more write units, sublinearly.
+        assert packed.service_units().mean() < u  # far below worst case
+
+    def test_fullsystem_runs(self, line_bytes, rng):
+        cfg = self.cfg(line_bytes)
+        trace = generate_trace(
+            "dedup", requests_per_core=100, seed=2,
+            units_per_line=self.units(line_bytes),
+        )
+        res = run_fullsystem(trace, "tetris", cfg)
+        assert res.controller.completed == len(trace)
+
+    def test_tetris_advantage_grows(self, line_bytes, rng):
+        """The §I claim: bigger lines widen Tetris's relative win."""
+        u = self.units(line_bytes)
+        n_set = rng.poisson(6.7, size=(200, u))
+        n_reset = rng.poisson(2.9, size=(200, u))
+        tetris_units = pack_batch(
+            n_set, n_reset, power_budget=128.0
+        ).service_units().mean()
+        gain = (line_bytes // 8) / tetris_units
+        baseline_gain_64 = 8 / 1.3  # the 64 B regime's ~6x
+        assert gain > baseline_gain_64

@@ -1,0 +1,72 @@
+"""Tests for multiprogrammed trace mixing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fullsystem import run_fullsystem
+from repro.trace.mixer import generate_mix
+from repro.trace.record import OP_WRITE
+
+
+class TestGenerateMix:
+    def test_cores_run_their_workloads(self):
+        mix = generate_mix(["blackscholes", "vips"], requests_per_core=300)
+        assert set(np.unique(mix.records["core"])) == {0, 1}
+        # vips is ~40x more memory-intensive: core 1 executes far fewer
+        # instructions for the same request count.
+        instr = mix.instructions_per_core()
+        assert instr[0] > 10 * instr[1]
+
+    def test_address_spaces_disjoint(self):
+        mix = generate_mix(["dedup", "dedup"], requests_per_core=200,
+                           address_stride=1 << 20)
+        lines0 = mix.records["line"][mix.records["core"] == 0]
+        lines1 = mix.records["line"][mix.records["core"] == 1]
+        assert set(lines0.tolist()).isdisjoint(lines1.tolist())
+
+    def test_write_counts_aligned(self):
+        mix = generate_mix(["ferret", "freqmine"], requests_per_core=200)
+        assert mix.write_counts.shape[0] == mix.n_writes
+
+    def test_counts_follow_core_profiles(self):
+        """Writes from the vips core must carry vips's heavy profile."""
+        mix = generate_mix(["blackscholes", "vips"], requests_per_core=400)
+        is_write = mix.records["op"] == OP_WRITE
+        cores_of_writes = mix.records["core"][is_write]
+        per_write = mix.write_counts.astype(int).sum(axis=(1, 2))
+        mean_bs = per_write[cores_of_writes == 0].mean()
+        mean_vips = per_write[cores_of_writes == 1].mean()
+        assert mean_vips > 4 * mean_bs
+
+    def test_clock_merge_is_time_ordered_per_core(self):
+        mix = generate_mix(["dedup", "ferret"], requests_per_core=150)
+        for core in (0, 1):
+            gaps = mix.records["gap"][mix.records["core"] == core]
+            assert len(gaps) == 150
+
+    def test_empty_workload_list_rejected(self):
+        with pytest.raises(ValueError):
+            generate_mix([])
+
+    def test_deterministic(self):
+        a = generate_mix(["dedup", "vips"], requests_per_core=100, seed=9)
+        b = generate_mix(["dedup", "vips"], requests_per_core=100, seed=9)
+        assert np.array_equal(a.records, b.records)
+        assert np.array_equal(a.write_counts, b.write_counts)
+
+
+class TestMixSimulation:
+    def test_mix_runs_end_to_end(self):
+        mix = generate_mix(
+            ["blackscholes", "canneal", "dedup", "vips"], requests_per_core=150
+        )
+        res = run_fullsystem(mix, "tetris")
+        done = res.controller.read_latency.count + res.controller.write_latency.count
+        assert done == len(mix)
+
+    def test_tetris_still_wins_on_mixes(self):
+        mix = generate_mix(["canneal", "vips"], requests_per_core=400)
+        dcw = run_fullsystem(mix, "dcw")
+        tetris = run_fullsystem(mix, "tetris")
+        assert tetris.mean_read_latency_ns < dcw.mean_read_latency_ns
+        assert tetris.runtime_ns < dcw.runtime_ns

@@ -1,0 +1,33 @@
+"""Tests for the §IV.D overhead model."""
+
+import pytest
+
+from repro.core.overhead import AnalysisOverheadModel
+
+
+class TestOverheadModel:
+    def test_measured_worst_case(self):
+        m = AnalysisOverheadModel()
+        assert m.measured_worst_ns == pytest.approx(102.5)
+
+    def test_power_overhead_fraction(self):
+        # §IV.D: 4 / 125 ~ 3.2 %.
+        assert AnalysisOverheadModel().power_overhead_fraction == pytest.approx(0.032)
+
+    def test_estimate_calibrated_at_8_units(self):
+        m = AnalysisOverheadModel()
+        assert m.estimated_cycles(8) == m.measured_worst_cycles
+
+    def test_estimate_scales_with_units(self):
+        m = AnalysisOverheadModel()
+        # 128 B / 256 B cache lines -> 16 / 32 data units.
+        assert m.estimated_cycles(16) > m.estimated_cycles(8)
+        assert m.estimated_cycles(32) > m.estimated_cycles(16)
+
+    def test_estimated_ns_uses_clock(self):
+        m = AnalysisOverheadModel(clock_mhz=800.0)
+        assert m.estimated_ns(8) == pytest.approx(m.estimated_cycles(8) / 0.8)
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            AnalysisOverheadModel().estimated_cycles(0)

@@ -1,0 +1,112 @@
+"""Tests for the alternative packers and the FFD optimality gap."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packers import (
+    best_fit_decreasing_bins,
+    ffd_bins,
+    optimal_bins,
+    worst_fit_decreasing_bins,
+)
+
+demands8 = st.lists(st.integers(min_value=0, max_value=32), min_size=1, max_size=8)
+ALL_PACKERS = (ffd_bins, best_fit_decreasing_bins, worst_fit_decreasing_bins)
+
+
+def brute_force_bins(items, budget):
+    """Ground truth by trying every assignment of items to bins."""
+    items = [d for d in items if d > 0]
+    if not items:
+        return 0
+    n = len(items)
+    for k in range(1, n + 1):
+        for assign in itertools.product(range(k), repeat=n):
+            if len(set(assign)) != k:
+                continue
+            loads = [0.0] * k
+            for item, b in zip(items, assign):
+                loads[b] += item
+            if max(loads) <= budget:
+                return k
+    return n
+
+
+class TestBasics:
+    @pytest.mark.parametrize("packer", ALL_PACKERS + (optimal_bins,))
+    def test_empty_is_zero(self, packer):
+        assert packer([0, 0, 0], 32.0) == 0
+
+    @pytest.mark.parametrize("packer", ALL_PACKERS + (optimal_bins,))
+    def test_single_item(self, packer):
+        assert packer([5], 32.0) == 1
+
+    @pytest.mark.parametrize("packer", ALL_PACKERS + (optimal_bins,))
+    def test_oversized_raises(self, packer):
+        with pytest.raises(ValueError):
+            packer([40], 32.0)
+
+    def test_optimal_rejects_large_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_bins([1] * 17, 32.0)
+
+
+class TestKnownInstances:
+    def test_ffd_exact_fit(self):
+        assert ffd_bins([16, 16, 16, 16], 32.0) == 2
+
+    def test_bfd_beats_ffd_classic_instance(self):
+        """A classic case where tighter placement matters: FFD and BFD
+        agree here, but both must match optimal."""
+        items, budget = [15, 10, 10, 7, 7, 7, 5, 5], 33.0
+        assert optimal_bins(items, budget) <= ffd_bins(items, budget)
+
+    def test_fig4_write1s_need_two_bins(self):
+        items = [8, 7, 7, 6, 6, 6, 5, 3]
+        assert ffd_bins(items, 32.0) == 2
+        assert optimal_bins(items, 32.0) == 2
+
+
+class TestOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=16), min_size=1, max_size=6))
+    def test_optimal_matches_brute_force(self, items):
+        assert optimal_bins(items, 16.0) == brute_force_bins(items, 16.0)
+
+    @settings(max_examples=150, deadline=None)
+    @given(demands8)
+    def test_heuristics_never_beat_optimal(self, items):
+        opt = optimal_bins(items, 32.0)
+        for packer in ALL_PACKERS:
+            assert packer(items, 32.0) >= opt
+
+    @settings(max_examples=150, deadline=None)
+    @given(demands8)
+    def test_ffd_within_theory_bound(self, items):
+        """FFD <= 11/9 OPT + 1 (classic Johnson bound, relaxed)."""
+        opt = optimal_bins(items, 32.0)
+        assert ffd_bins(items, 32.0) <= np.ceil(11 / 9 * opt) + 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(demands8)
+    def test_ffd_matches_scheduler_result(self, items):
+        """The standalone FFD agrees with Algorithm 2's write-1 pass."""
+        from repro.core.analysis import analyze
+
+        sched = analyze(items, [0] * len(items), power_budget=32.0)
+        assert sched.result == ffd_bins(items, 32.0)
+
+
+class TestPaperRegime:
+    def test_ffd_nearly_always_optimal_on_workload_demands(self):
+        """At the paper's operating point (budget 128, ~6.7 SETs/unit),
+        FFD equals optimal on essentially every write."""
+        rng = np.random.default_rng(0)
+        gap = 0
+        for _ in range(300):
+            items = rng.poisson(6.7, size=8)
+            gap += ffd_bins(items, 128.0) - optimal_bins(items, 128.0)
+        assert gap == 0

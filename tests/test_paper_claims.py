@@ -1,0 +1,160 @@
+"""Shape-level reproduction of the paper's headline claims.
+
+These integration tests assert the *qualitative* results of the
+evaluation section — who wins, the ordering, and rough magnitudes — on
+moderately sized synthetic runs.  Exact percentages depend on the
+substituted substrate (DESIGN.md §4) and are recorded in EXPERIMENTS.md;
+here we pin the invariants that must hold for the reproduction to be
+faithful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.experiments.fig03 import run_fig03
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.runner import run_schemes_on_workloads
+
+SCHEMES = ("dcw", "flip_n_write", "two_stage", "three_stage", "tetris")
+HEAVY_WORKLOADS = ("dedup", "ferret", "vips")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """One shared medium-size grid over three memory-heavy workloads."""
+    return run_schemes_on_workloads(
+        SCHEMES, HEAVY_WORKLOADS, requests_per_core=1200, seed=20160816
+    )
+
+
+def norm(grid, metric):
+    """Per-workload normalized metric dict: {workload: {scheme: value}}."""
+    base = {r.workload: r for r in grid if r.scheme == "dcw"}
+    out = {}
+    for r in grid:
+        out.setdefault(r.workload, {})[r.scheme] = r.normalized(base[r.workload])[
+            metric
+        ]
+    return out
+
+
+class TestObservation1:
+    def test_average_bit_writes_small(self):
+        """Observation 1: ~9.6 bit-writes per 64-bit unit (about 15 %)."""
+        rows = run_fig03(requests_per_core=800)
+        total = arithmetic_mean([r.total for r in rows])
+        assert 7.0 <= total <= 12.0
+        sets = arithmetic_mean([r.mean_set for r in rows])
+        resets = arithmetic_mean([r.mean_reset for r in rows])
+        assert sets > resets  # SET-dominant overall
+
+
+class TestObservation2:
+    def test_heterogeneity_across_workloads(self):
+        rows = {r.workload: r for r in run_fig03(requests_per_core=800)}
+        assert rows["blackscholes"].total < 4
+        assert rows["vips"].total > 14
+
+    def test_ferret_and_vips_fifty_fifty(self):
+        rows = {r.workload: r for r in run_fig03(requests_per_core=800)}
+        for name in ("ferret", "vips"):
+            share = rows[name].mean_set / rows[name].total
+            assert 0.45 <= share <= 0.62
+
+
+class TestFig10Claims:
+    def test_tetris_average_band(self):
+        rows = run_fig10(requests_per_core=800)
+        values = [r.tetris for r in rows]
+        # Paper: 1.06 to 1.46 write units on average.
+        assert 0.95 <= min(values)
+        assert max(values) <= 1.6
+        assert all(r.tetris < r.three_stage for r in rows)
+
+    def test_heavy_workloads_use_more_units(self):
+        rows = {r.workload: r for r in run_fig10(requests_per_core=800)}
+        light = rows["blackscholes"].tetris
+        for heavy in ("dedup", "vips"):
+            assert rows[heavy].tetris >= light
+
+
+class TestFig11To14Ordering:
+    """Every workload must exhibit the paper's ranking:
+    tetris > three_stage > two_stage > flip_n_write > dcw."""
+
+    def test_read_latency_ranking(self, grid):
+        for wl, values in norm(grid, "read_latency").items():
+            assert (
+                values["tetris"]
+                < values["three_stage"]
+                < values["two_stage"]
+                < values["flip_n_write"]
+                < 1.0 + 1e-9
+            ), wl
+
+    def test_write_latency_ranking(self, grid):
+        for wl, values in norm(grid, "write_latency").items():
+            assert values["tetris"] < values["three_stage"] <= values["two_stage"], wl
+            assert values["tetris"] < 1.0, wl
+
+    def test_ipc_ranking(self, grid):
+        for wl, values in norm(grid, "ipc_improvement").items():
+            assert (
+                values["tetris"]
+                > values["three_stage"]
+                > values["two_stage"]
+                > values["flip_n_write"]
+                > 1.0 - 1e-9
+            ), wl
+
+    def test_running_time_ranking(self, grid):
+        for wl, values in norm(grid, "running_time").items():
+            assert (
+                values["tetris"]
+                < values["three_stage"]
+                < values["two_stage"]
+                < values["flip_n_write"]
+                < 1.0 + 1e-9
+            ), wl
+
+
+class TestMagnitudes:
+    """Loose magnitude bands around the paper's averages (46 % runtime
+    reduction, 2x IPC, 65 % read-latency reduction on memory-bound
+    workloads)."""
+
+    def test_tetris_runtime_reduction_substantial(self, grid):
+        values = norm(grid, "running_time")
+        mean_rt = arithmetic_mean([v["tetris"] for v in values.values()])
+        assert mean_rt < 0.70   # at least ~30 % reduction on heavy workloads
+
+    def test_tetris_ipc_improvement_substantial(self, grid):
+        values = norm(grid, "ipc_improvement")
+        mean_ipc = arithmetic_mean([v["tetris"] for v in values.values()])
+        assert mean_ipc > 1.5
+
+    def test_tetris_read_latency_reduction_substantial(self, grid):
+        values = norm(grid, "read_latency")
+        mean_rd = arithmetic_mean([v["tetris"] for v in values.values()])
+        assert mean_rd < 0.5
+
+
+class TestReadDominantNuance:
+    """§V.B.3: blackscholes/swaptions show little write-latency gain —
+    the write queue rarely fills, so waiting dominates service time."""
+
+    def test_write_latency_gain_small_for_light_workloads(self):
+        grid = run_schemes_on_workloads(
+            ("dcw", "tetris"), ("blackscholes", "swaptions"),
+            requests_per_core=800,
+        )
+        base = {r.workload: r for r in grid if r.scheme == "dcw"}
+        for r in grid:
+            if r.scheme != "tetris":
+                continue
+            ratio = r.normalized(base[r.workload])["write_latency"]
+            assert ratio > 0.85, (
+                f"{r.workload}: expected weak write-latency improvement, "
+                f"got ratio {ratio:.3f}"
+            )

@@ -1,0 +1,73 @@
+"""Tests for the PreSET extension scheme (paper ref [23])."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.pcm.state import LineState
+from repro.schemes import get_scheme
+from repro.trace.synthetic import generate_trace
+
+
+class TestPreSET:
+    def test_registered(self):
+        assert get_scheme("preset").name == "preset"
+
+    def test_write_commits_logical_data(self, rng, line8):
+        scheme = get_scheme("preset")
+        state = LineState.from_logical(line8.copy())
+        new = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+        scheme.write(state, new)
+        assert np.array_equal(state.logical, new)
+
+    def test_resets_equal_zero_count(self, line8):
+        scheme = get_scheme("preset")
+        state = LineState.from_logical(line8.copy())
+        new = np.full(8, (1 << 48) - 1, dtype=np.uint64)  # 16 zeros per unit
+        out = scheme.write(state, new)
+        assert out.n_set == 0
+        assert out.n_reset == 8 * 16
+
+    def test_all_ones_write_is_free(self, line8):
+        scheme = get_scheme("preset")
+        state = LineState.from_logical(line8.copy())
+        all_ones = np.full(8, (1 << 64) - 1, dtype=np.uint64)
+        out = scheme.write(state, all_ones)
+        assert out.units == 0.0
+        assert out.n_reset == 0
+
+    def test_faster_than_dcw_but_energy_hungry(self, rng, line8):
+        new = line8 ^ np.uint64(0xFF)
+        preset = get_scheme("preset").write(LineState.from_logical(line8.copy()), new)
+        dcw = get_scheme("dcw").write(LineState.from_logical(line8.copy()), new)
+        assert preset.service_ns < dcw.service_ns
+        assert preset.energy > dcw.energy  # pays SET+RESET for every 0-cell
+
+    def test_background_debt_tracked(self, line8):
+        scheme = get_scheme("preset")
+        state = LineState.from_logical(line8.copy())
+        scheme.write(state, np.zeros(8, dtype=np.uint64))
+        assert scheme.preset_cells == 512
+
+    def test_worst_case_bound(self, rng):
+        scheme = get_scheme("preset")
+        bound = scheme.worst_case_units()
+        for _ in range(10):
+            old = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+            new = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+            out = scheme.write(LineState.from_logical(old), new)
+            assert out.units <= bound + 1e-9
+
+    def test_precompute_and_fullsystem(self):
+        trace = generate_trace("dedup", requests_per_core=150, seed=6)
+        table = precompute_write_service(trace, "preset")
+        assert table.service_ns.shape == (trace.n_writes,)
+        res = run_fullsystem(trace, "preset", table=table)
+        n = res.controller.read_latency.count + res.controller.write_latency.count
+        assert n == len(trace)
+
+    def test_preset_write_latency_beats_dcw_system_level(self):
+        trace = generate_trace("vips", requests_per_core=300, seed=6)
+        dcw = run_fullsystem(trace, "dcw")
+        preset = run_fullsystem(trace, "preset")
+        assert preset.mean_write_latency_ns < dcw.mean_write_latency_ns

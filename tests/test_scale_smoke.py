@@ -1,0 +1,48 @@
+"""Scale smoke tests: the pipeline must handle large traces gracefully.
+
+These are correctness-at-scale tests (conservation, determinism, memory
+discipline), with a very generous wall-clock guard so slow machines
+don't flake — they catch accidental O(n^2) regressions, not µs-level
+noise (pytest-benchmark covers that).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.validation import validate_system_result
+from repro.config import default_config
+from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    # 4 cores x 25k requests = 100k memory operations.
+    return generate_trace("vips", requests_per_core=25_000, seed=99)
+
+
+class TestScale:
+    def test_pricing_100k_requests(self, big_trace):
+        t0 = time.perf_counter()
+        table = precompute_write_service(big_trace, "tetris")
+        elapsed = time.perf_counter() - t0
+        assert table.service_ns.size == big_trace.n_writes
+        assert elapsed < 30.0, f"pricing took {elapsed:.1f}s"
+
+    def test_fullsystem_100k_requests(self, big_trace):
+        cfg = default_config()
+        t0 = time.perf_counter()
+        res = run_fullsystem(big_trace, "tetris", cfg)
+        elapsed = time.perf_counter() - t0
+        validate_system_result(res, big_trace, cfg)
+        assert elapsed < 120.0, f"simulation took {elapsed:.1f}s"
+        # Sanity on the metrics at scale.
+        assert res.ipc > 0
+        assert res.controller.read_latency.count == big_trace.n_reads
+
+    def test_determinism_at_scale(self, big_trace):
+        a = run_fullsystem(big_trace, "three_stage")
+        b = run_fullsystem(big_trace, "three_stage")
+        assert a.runtime_ns == b.runtime_ns
+        assert a.events == b.events

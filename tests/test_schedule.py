@@ -1,0 +1,109 @@
+"""Tests for the TetrisSchedule datatypes and their validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import ScheduledOp, TetrisSchedule
+
+
+def make_sched(**kw):
+    defaults = dict(K=8, power_budget=32.0)
+    defaults.update(kw)
+    return TetrisSchedule(**defaults)
+
+
+class TestScheduledOp:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            ScheduledOp(unit=0, kind="bogus", slot=0, current=1.0, n_bits=1)
+
+    def test_rejects_negative_slot(self):
+        with pytest.raises(ValueError):
+            ScheduledOp(unit=0, kind="write1", slot=-1, current=1.0, n_bits=1)
+
+    def test_chunk_defaults_to_zero(self):
+        op = ScheduledOp(unit=0, kind="write0", slot=0, current=1.0, n_bits=1)
+        assert op.chunk == 0
+
+
+class TestServiceTime:
+    def test_equation5(self):
+        sched = make_sched(result=2, subresult=3)
+        assert sched.service_units() == pytest.approx(2 + 3 / 8)
+        assert sched.service_time_ns(430.0) == pytest.approx((2 + 3 / 8) * 430.0)
+
+    def test_total_sub_slots(self):
+        sched = make_sched(result=2, subresult=3)
+        assert sched.total_sub_slots == 19
+
+
+class TestOccupancy:
+    def test_write1_spans_K_slots(self):
+        sched = make_sched(result=1)
+        sched.write1_queue.append(
+            ScheduledOp(unit=0, kind="write1", slot=0, current=5.0, n_bits=5)
+        )
+        occ = sched.occupancy()
+        assert occ.shape == (8,)
+        assert (occ == 5.0).all()
+
+    def test_write0_single_slot(self):
+        sched = make_sched(result=1)
+        sched.write1_queue.append(
+            ScheduledOp(unit=0, kind="write1", slot=0, current=5.0, n_bits=5)
+        )
+        sched.write0_queue.append(
+            ScheduledOp(unit=1, kind="write0", slot=3, current=4.0, n_bits=2)
+        )
+        occ = sched.occupancy()
+        assert occ[3] == 9.0
+        assert occ[2] == 5.0
+
+    def test_empty_schedule_occupancy(self):
+        assert make_sched().occupancy().size == 0
+
+
+class TestValidation:
+    def test_detects_budget_violation(self):
+        sched = make_sched(result=1)
+        sched.write1_queue.append(
+            ScheduledOp(unit=0, kind="write1", slot=0, current=40.0, n_bits=40)
+        )
+        with pytest.raises(AssertionError):
+            sched.validate()
+
+    def test_detects_out_of_range_write1(self):
+        sched = make_sched(result=1)
+        sched.write1_queue.append(
+            ScheduledOp(unit=0, kind="write1", slot=5, current=1.0, n_bits=1)
+        )
+        with pytest.raises(AssertionError):
+            sched.validate()
+
+    def test_detects_out_of_range_write0(self):
+        sched = make_sched(result=1, subresult=0)
+        sched.write0_queue.append(
+            ScheduledOp(unit=0, kind="write0", slot=8, current=1.0, n_bits=1)
+        )
+        with pytest.raises(AssertionError):
+            sched.validate()
+
+    def test_detects_duplicate_unit(self):
+        sched = make_sched(result=2)
+        for slot in (0, 1):
+            sched.write1_queue.append(
+                ScheduledOp(unit=0, kind="write1", slot=slot, current=1.0, n_bits=1)
+            )
+        with pytest.raises(AssertionError):
+            sched.validate()
+
+    def test_chunks_of_same_unit_allowed(self):
+        sched = make_sched(result=2)
+        for slot, chunk in ((0, 0), (1, 1)):
+            sched.write1_queue.append(
+                ScheduledOp(
+                    unit=0, kind="write1", slot=slot, current=1.0, n_bits=1,
+                    chunk=chunk,
+                )
+            )
+        sched.validate()  # no error

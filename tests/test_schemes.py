@@ -1,0 +1,209 @@
+"""Unit tests for every write scheme against the paper's equations."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.pcm.state import LineState
+from repro.schemes import (
+    ALL_SCHEMES,
+    COMPARED_SCHEMES,
+    SCHEME_REGISTRY,
+    get_scheme,
+)
+
+T_READ, T_RESET, T_SET = 50.0, 53.0, 430.0
+
+
+@pytest.fixture
+def old_new(rng):
+    old = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+    new = old.copy()
+    new[0] ^= np.uint64(0b111)          # 3 changed cells in unit 0
+    new[5] ^= np.uint64(0xFF << 10)     # 8 changed cells in unit 5
+    return old, new
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        for name in ALL_SCHEMES:
+            assert name in SCHEME_REGISTRY
+
+    def test_get_scheme_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scheme("nope")
+
+    def test_compared_schemes_subset(self):
+        assert set(COMPARED_SCHEMES) <= set(ALL_SCHEMES)
+
+    def test_default_config_attached(self):
+        s = get_scheme("dcw")
+        assert s.config.K == 8
+
+
+class TestServiceTimeEquations:
+    """Equations 1-4 at the Table II operating point (N/M = 8, K=8, L=2)."""
+
+    def test_conventional_equation1(self, old_new):
+        old, new = old_new
+        out = get_scheme("conventional").write(LineState.from_logical(old), new)
+        assert out.service_ns == pytest.approx(8 * T_SET)
+
+    def test_dcw_adds_read(self, old_new):
+        old, new = old_new
+        out = get_scheme("dcw").write(LineState.from_logical(old), new)
+        assert out.service_ns == pytest.approx(T_READ + 8 * T_SET)
+
+    def test_flip_n_write_equation2(self, old_new):
+        old, new = old_new
+        out = get_scheme("flip_n_write").write(LineState.from_logical(old), new)
+        assert out.service_ns == pytest.approx(T_READ + 4 * T_SET)
+
+    def test_two_stage_equation3(self, old_new):
+        old, new = old_new
+        out = get_scheme("two_stage").write(LineState.from_logical(old), new)
+        # (1/K + 1/2L) * 8 * Tset = 3 * Tset, no read.
+        assert out.service_ns == pytest.approx(3 * T_SET)
+
+    def test_three_stage_equation4(self, old_new):
+        old, new = old_new
+        out = get_scheme("three_stage").write(LineState.from_logical(old), new)
+        assert out.service_ns == pytest.approx(T_READ + 2.5 * T_SET)
+
+    def test_tetris_equation5(self, old_new):
+        old, new = old_new
+        scheme = get_scheme("tetris")
+        out = scheme.write(LineState.from_logical(old), new)
+        sched = scheme.last_schedule
+        expected = T_READ + 102.5 + sched.service_time_ns(T_SET)
+        assert out.service_ns == pytest.approx(expected)
+
+    def test_scheme_ordering_on_typical_write(self, old_new):
+        """On a typical few-bits write the paper's ranking must hold:
+        tetris < 3SW < 2SW < FNW < DCW."""
+        old, new = old_new
+        times = {}
+        for name in ALL_SCHEMES:
+            times[name] = get_scheme(name).write(
+                LineState.from_logical(old.copy()), new
+            ).service_ns
+        assert times["tetris"] < times["three_stage"]
+        assert times["three_stage"] < times["two_stage"]
+        assert times["two_stage"] < times["flip_n_write"]
+        assert times["flip_n_write"] < times["dcw"]
+
+
+class TestStateCommit:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_logical_view_after_write(self, name, old_new):
+        old, new = old_new
+        state = LineState.from_logical(old.copy())
+        get_scheme(name).write(state, new)
+        assert np.array_equal(state.logical, new)
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_write_twice_roundtrip(self, name, old_new, rng):
+        old, new = old_new
+        state = LineState.from_logical(old.copy())
+        scheme = get_scheme(name)
+        scheme.write(state, new)
+        newer = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+        scheme.write(state, newer)
+        assert np.array_equal(state.logical, newer)
+
+    def test_flip_scheme_inverts_heavy_units(self):
+        state = LineState.from_logical(np.zeros(4, dtype=np.uint64))
+        heavy = np.full(4, (1 << 40) - 1, dtype=np.uint64)  # 40 changed bits
+        out = get_scheme("flip_n_write").write(state, heavy)
+        assert out.flipped_units == 4
+        assert state.flip.all()
+        assert np.array_equal(state.logical, heavy)
+
+
+class TestProgrammedCells:
+    def test_dcw_counts_changed_cells_only(self, old_new):
+        old, new = old_new
+        out = get_scheme("dcw").write(LineState.from_logical(old.copy()), new)
+        assert out.n_set + out.n_reset == 11  # 3 + 8 changed bits
+
+    def test_conventional_programs_every_cell(self, old_new):
+        old, new = old_new
+        out = get_scheme("conventional").write(LineState.from_logical(old.copy()), new)
+        total_ones = int(np.bitwise_count(new).sum())
+        assert out.n_set == total_ones
+        assert out.n_reset == 512 - total_ones
+
+    def test_two_stage_programs_every_cell_post_flip(self, old_new):
+        old, new = old_new
+        out = get_scheme("two_stage").write(LineState.from_logical(old.copy()), new)
+        assert out.n_set + out.n_reset == 512
+
+    def test_two_stage_flip_bounds_sets(self, rng):
+        # Unit with 60 ones: flip bounds the SET phase at <= 32 per unit.
+        heavy = np.array([(1 << 60) - 1], dtype=np.uint64)
+        state = LineState.from_logical(np.zeros(1, dtype=np.uint64))
+        out = get_scheme("two_stage").write(state, heavy)
+        assert out.n_set <= 32
+        assert out.flipped_units == 1
+
+    def test_flip_family_agree_on_counts(self, old_new):
+        """FNW / 3SW / Tetris share the read stage, so identical inputs
+        give identical programmed-cell counts."""
+        old, new = old_new
+        outs = [
+            get_scheme(n).write(LineState.from_logical(old.copy()), new)
+            for n in ("flip_n_write", "three_stage", "tetris")
+        ]
+        assert len({(o.n_set, o.n_reset) for o in outs}) == 1
+
+
+class TestEnergyAccounting:
+    def test_comparison_schemes_cheaper_than_full_writes(self, old_new):
+        old, new = old_new
+        e = {
+            n: get_scheme(n).write(LineState.from_logical(old.copy()), new).energy
+            for n in ALL_SCHEMES
+        }
+        # Table I: 2-Stage-Write does NOT reduce energy; the others do.
+        assert e["dcw"] < e["conventional"]
+        assert e["flip_n_write"] < e["two_stage"]
+        assert e["three_stage"] < e["two_stage"]
+        assert e["tetris"] < e["two_stage"]
+
+    def test_unchanged_write_costs_only_the_read(self, line8):
+        state = LineState.from_logical(line8.copy())
+        out = get_scheme("dcw").write(state, line8)
+        assert out.n_set == 0 and out.n_reset == 0
+        assert out.energy == pytest.approx(
+            get_scheme("dcw").energy_model.read_energy_per_line
+        )
+
+
+class TestWorstCaseBounds:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_service_never_exceeds_worst_case(self, name, rng):
+        scheme = get_scheme(name)
+        bound = scheme.worst_case_service_ns()
+        for _ in range(20):
+            old = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+            new = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+            out = scheme.write(LineState.from_logical(old), new)
+            assert out.service_ns <= bound + scheme.config.analysis_overhead_ns + 1e-6
+
+
+class TestTetrisGranularity:
+    def test_chip_mode_runs_and_bounds_bank_mode(self, old_new):
+        old, new = old_new
+        cfg = default_config()
+        bank = get_scheme("tetris", cfg)
+        chip = get_scheme("tetris", cfg, granularity="chip")
+        out_bank = bank.write(LineState.from_logical(old.copy()), new)
+        out_chip = chip.write(LineState.from_logical(old.copy()), new)
+        # Without GCP pooling the slowest chip gates the bank: never faster.
+        assert out_chip.units >= out_bank.units - 1e-9
+        assert chip.last_chip_schedules is not None
+        assert len(chip.last_chip_schedules) == 4
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            get_scheme("tetris", granularity="rank")

@@ -1,0 +1,85 @@
+"""Tests for LineState / MemoryImage (stored cell state)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pcm.state import LineState, MemoryImage, initial_line_content
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestLineState:
+    def test_from_logical_starts_unflipped(self, line8):
+        state = LineState.from_logical(line8)
+        assert not state.flip.any()
+        assert np.array_equal(state.logical, line8)
+
+    @given(st.lists(u64, min_size=4, max_size=4), st.lists(st.booleans(), min_size=4, max_size=4))
+    def test_logical_decodes_flip(self, words, flips):
+        physical = np.array(words, dtype=np.uint64)
+        flip = np.array(flips)
+        state = LineState(physical.copy(), flip.copy())
+        expected = np.where(flip, ~physical, physical)
+        assert np.array_equal(state.logical, expected)
+
+    def test_copy_is_independent(self, line8):
+        a = LineState.from_logical(line8)
+        b = a.copy()
+        b.physical[0] = np.uint64(0)
+        assert a.physical[0] == line8[0]
+
+    def test_store_commits(self, line8):
+        state = LineState.from_logical(line8)
+        newp = np.zeros(8, dtype=np.uint64)
+        newf = np.ones(8, dtype=bool)
+        state.store(newp, newf)
+        assert np.array_equal(state.physical, newp)
+        assert state.flip.all()
+
+
+class TestInitialContent:
+    def test_deterministic(self):
+        a = initial_line_content(1, 42)
+        b = initial_line_content(1, 42)
+        assert np.array_equal(a, b)
+
+    def test_varies_with_address(self):
+        assert not np.array_equal(initial_line_content(1, 1), initial_line_content(1, 2))
+
+    def test_varies_with_seed(self):
+        assert not np.array_equal(initial_line_content(1, 7), initial_line_content(2, 7))
+
+    def test_unit_count(self):
+        assert initial_line_content(0, 0, units=4).shape == (4,)
+
+    def test_roughly_balanced_bits(self):
+        lines = np.concatenate([initial_line_content(0, i) for i in range(50)])
+        mean_ones = np.bitwise_count(lines).mean()
+        assert 30 < mean_ones < 34
+
+
+class TestMemoryImage:
+    def test_lazy_materialization(self):
+        img = MemoryImage(seed=3)
+        assert len(img) == 0
+        img.line(100)
+        assert len(img) == 1
+        assert img.touched_lines() == [100]
+
+    def test_same_line_same_object(self):
+        img = MemoryImage(seed=3)
+        assert img.line(5) is img.line(5)
+
+    def test_read_logical_matches_initializer(self):
+        img = MemoryImage(seed=9)
+        assert np.array_equal(img.read_logical(17), initial_line_content(9, 17))
+
+    def test_units_per_line_respected(self):
+        img = MemoryImage(seed=0, units_per_line=4)
+        assert img.line(0).physical.shape == (4,)
+
+    def test_two_images_same_seed_agree(self):
+        a = MemoryImage(seed=11)
+        b = MemoryImage(seed=11)
+        assert np.array_equal(a.read_logical(123), b.read_logical(123))

@@ -1,0 +1,98 @@
+"""Tests for the streaming statistics accumulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import Histogram, LatencyStat, StatRegistry
+
+
+class TestLatencyStat:
+    def test_mean_min_max(self):
+        s = LatencyStat()
+        for v in (10.0, 20.0, 30.0):
+            s.add(v)
+        assert s.mean == pytest.approx(20.0)
+        assert s.min == 10.0
+        assert s.max == 30.0
+        assert s.count == 3
+        assert s.total == 60.0
+
+    def test_welford_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(100.0, size=500)
+        s = LatencyStat()
+        for v in data:
+            s.add(float(v))
+        assert s.mean == pytest.approx(data.mean())
+        assert s.std == pytest.approx(data.std(ddof=1))
+
+    def test_empty_stat(self):
+        s = LatencyStat()
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.summary()["count"] == 0
+
+    def test_single_value_variance(self):
+        s = LatencyStat()
+        s.add(5.0)
+        assert s.variance == 0.0
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram("lat", bin_width=10.0, num_bins=4)
+        for v in (5, 15, 15, 45):
+            h.add(v)
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[4] == 1  # overflow bin
+
+    def test_percentile(self):
+        h = Histogram("lat", bin_width=1.0, num_bins=100)
+        for v in range(100):
+            h.add(v + 0.5)
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(99) == pytest.approx(99.0)
+
+    def test_rejects_negative_values(self):
+        h = Histogram("lat", bin_width=1.0)
+        with pytest.raises(ValueError):
+            h.add(-1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bin_width=0.0)
+        h = Histogram("x", bin_width=1.0)
+        with pytest.raises(ValueError):
+            h.percentile(200)
+
+    def test_empty_percentile(self):
+        assert Histogram("x", bin_width=1.0).percentile(50) == 0.0
+
+
+class TestStatRegistry:
+    def test_latency_created_once(self):
+        reg = StatRegistry()
+        assert reg.latency("read") is reg.latency("read")
+
+    def test_counters(self):
+        reg = StatRegistry()
+        reg.bump("drains")
+        reg.bump("drains", 2.0)
+        assert reg.counters["drains"] == 3.0
+
+    def test_summary_merges(self):
+        reg = StatRegistry()
+        reg.latency("read").add(10.0)
+        reg.bump("stalls")
+        summary = reg.summary()
+        assert summary["read"]["count"] == 1
+        assert summary["stalls"] == 1.0
+
+    def test_histogram_registry(self):
+        reg = StatRegistry()
+        h = reg.histogram("lat", 10.0)
+        h.add(5.0)
+        assert reg.histogram("lat", 10.0).total == 1

@@ -1,0 +1,136 @@
+"""Tests for subarray read-under-write (refs [13]/[15] extension)."""
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    MemCtrlConfig,
+    PCMOrganization,
+    default_config,
+)
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.request import MemRequest, ReqKind
+from repro.sim.engine import Simulator
+
+
+class FlatService:
+    def read_ns(self, req):
+        return 50.0
+
+    def write_ns(self, req):
+        return 3000.0
+
+
+def make(sim, subarrays, **mc):
+    defaults = dict(opportunistic_drain=True)
+    defaults.update(mc)
+    cfg = default_config().replace(
+        organization=PCMOrganization(subarrays_per_bank=subarrays),
+        memctrl=MemCtrlConfig(**defaults),
+    )
+    return MemoryController(sim, cfg, FlatService(), enable_forwarding=False)
+
+
+def read_req(i, line, done=None):
+    return MemRequest(req_id=i, kind=ReqKind.READ, core=0, line=line,
+                      bank=line % 8, on_done=done)
+
+
+def write_req(i, line):
+    return MemRequest(req_id=i, kind=ReqKind.WRITE, core=0, line=line,
+                      bank=line % 8, write_idx=0)
+
+
+class TestConfig:
+    def test_rejects_zero_subarrays(self):
+        with pytest.raises(ConfigError):
+            PCMOrganization(subarrays_per_bank=0)
+
+    def test_default_is_one(self):
+        assert default_config().organization.subarrays_per_bank == 1
+
+
+class TestReadUnderWrite:
+    def test_read_bypasses_write_in_other_subarray(self):
+        sim = Simulator()
+        ctrl = make(sim, subarrays=4)
+        done = []
+        ctrl.submit(write_req(1, 0))      # bank 0, subarray (0//8)%4 = 0
+        sim.run(until=100.0)
+        ctrl.submit(read_req(2, 8, done.append))  # bank 0, subarray 1
+        sim.run()
+        assert ctrl.stats.subarray_reads == 1
+        assert done[0].finish_ns < 1000.0  # did not wait for the write
+
+    def test_same_subarray_read_waits(self):
+        sim = Simulator()
+        ctrl = make(sim, subarrays=4)
+        done = []
+        ctrl.submit(write_req(1, 0))       # subarray 0
+        sim.run(until=100.0)
+        ctrl.submit(read_req(2, 256, done.append))  # (256//8)%4 = 0: same
+        sim.run()
+        assert ctrl.stats.subarray_reads == 0
+        assert done[0].start_ns >= 3000.0
+
+    def test_disabled_with_one_subarray(self):
+        sim = Simulator()
+        ctrl = make(sim, subarrays=1)
+        done = []
+        ctrl.submit(write_req(1, 0))
+        sim.run(until=100.0)
+        ctrl.submit(read_req(2, 8, done.append))
+        sim.run()
+        assert ctrl.stats.subarray_reads == 0
+        assert done[0].start_ns >= 3000.0
+
+    def test_single_read_port(self):
+        """Two bypass-eligible reads serialize on the read port."""
+        sim = Simulator()
+        ctrl = make(sim, subarrays=4)
+        done = []
+        ctrl.submit(write_req(1, 0))
+        sim.run(until=100.0)
+        ctrl.submit(read_req(2, 8, done.append))
+        ctrl.submit(read_req(3, 16, done.append))
+        sim.run()
+        assert ctrl.stats.subarray_reads == 2
+        finishes = sorted(r.finish_ns for r in done)
+        assert finishes[1] >= finishes[0] + 50.0
+
+    def test_conservation_with_bypass(self):
+        sim = Simulator()
+        ctrl = make(sim, subarrays=2)
+        n_done = []
+        ctrl.submit(write_req(1, 0))
+        sim.run(until=10.0)
+        for i in range(4):
+            ctrl.submit(read_req(10 + i, 8 * i, n_done.append))
+        ctrl.flush_writes()
+        sim.run()
+        assert ctrl.idle
+        assert len(n_done) == 4
+        assert ctrl.stats.write_latency.count == 1
+
+    def test_pausing_defers_to_bypass(self):
+        """With both features on, a cross-subarray read bypasses instead
+        of pausing the write."""
+        sim = Simulator()
+        ctrl = make(sim, subarrays=4, write_pausing=True)
+        done = []
+        ctrl.submit(write_req(1, 0))
+        sim.run(until=100.0)
+        ctrl.submit(read_req(2, 8, done.append))   # other subarray
+        sim.run()
+        assert ctrl.stats.write_pauses == 0
+        assert ctrl.stats.subarray_reads == 1
+
+    def test_pausing_still_used_same_subarray(self):
+        sim = Simulator()
+        ctrl = make(sim, subarrays=4, write_pausing=True)
+        done = []
+        ctrl.submit(write_req(1, 0))
+        sim.run(until=100.0)
+        ctrl.submit(read_req(2, 256, done.append))  # same subarray
+        sim.run()
+        assert ctrl.stats.write_pauses == 1

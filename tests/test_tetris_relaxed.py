@@ -1,0 +1,54 @@
+"""Tests for the unaligned Tetris-Relaxed extension scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.pcm.state import LineState
+from repro.schemes import get_scheme
+from repro.trace.synthetic import generate_trace
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+line = st.lists(u64, min_size=8, max_size=8).map(
+    lambda xs: np.array(xs, dtype=np.uint64)
+)
+
+
+class TestTetrisRelaxed:
+    def test_registered(self):
+        assert get_scheme("tetris_relaxed").name == "tetris_relaxed"
+
+    def test_commits_logical_data(self, rng, line8):
+        scheme = get_scheme("tetris_relaxed")
+        state = LineState.from_logical(line8.copy())
+        new = line8 ^ np.uint64(0xFFF)
+        scheme.write(state, new)
+        assert np.array_equal(state.logical, new)
+
+    @settings(max_examples=40, deadline=None)
+    @given(line, line)
+    def test_never_slower_than_aligned_tetris(self, old, new):
+        relaxed = get_scheme("tetris_relaxed")
+        aligned = get_scheme("tetris")
+        out_r = relaxed.write(LineState.from_logical(old.copy()), new)
+        out_a = aligned.write(LineState.from_logical(old.copy()), new)
+        assert out_r.units <= out_a.units + 1e-9
+        assert out_r.n_set == out_a.n_set
+        assert out_r.n_reset == out_a.n_reset
+
+    def test_budget_respected(self, rng, line8):
+        scheme = get_scheme("tetris_relaxed")
+        new = rng.integers(0, np.iinfo(np.uint64).max, size=8, dtype=np.uint64)
+        scheme.write(LineState.from_logical(line8.copy()), new)
+        sched = scheme.last_schedule
+        assert sched.occupancy().max() <= scheme.config.bank_power_budget + 1e-9
+
+    def test_precompute_and_fullsystem(self):
+        trace = generate_trace("ferret", requests_per_core=120, seed=7)
+        table_r = precompute_write_service(trace, "tetris_relaxed")
+        table_a = precompute_write_service(trace, "tetris")
+        assert (table_r.units <= table_a.units + 1e-9).all()
+        res = run_fullsystem(trace, "tetris_relaxed", table=table_r)
+        done = res.controller.read_latency.count + res.controller.write_latency.count
+        assert done == len(trace)

@@ -1,0 +1,103 @@
+"""Tests for TimeSeries, sparkline rendering and occupancy tracing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import sparkline
+from repro.config import default_config
+from repro.cpu.system import CMPSystem
+from repro.experiments.fullsystem import (
+    PrecomputedServiceModel,
+    precompute_write_service,
+)
+from repro.sim.stats import TimeSeries
+from repro.trace.synthetic import generate_trace
+
+
+class TestTimeSeries:
+    def test_samples_append(self):
+        ts = TimeSeries()
+        ts.sample(0.0, 1.0)
+        ts.sample(5.0, 3.0)
+        assert len(ts) == 2
+        assert ts.max() == 3.0
+
+    def test_rejects_time_travel(self):
+        ts = TimeSeries()
+        ts.sample(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.sample(1.0, 2.0)
+
+    def test_resample_step_function(self):
+        ts = TimeSeries()
+        ts.sample(0.0, 0.0)
+        ts.sample(50.0, 10.0)
+        ts.sample(100.0, 10.0)
+        out = ts.resample(2)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(10.0)
+
+    def test_resample_empty(self):
+        assert TimeSeries().resample(4).tolist() == [0.0] * 4
+
+    def test_resample_single_point(self):
+        ts = TimeSeries()
+        ts.sample(1.0, 7.0)
+        assert (ts.resample(3) == 7.0).all()
+
+    def test_time_above(self):
+        ts = TimeSeries()
+        ts.sample(0.0, 5.0)     # above 3 for 10 ns
+        ts.sample(10.0, 1.0)    # below
+        ts.sample(30.0, 9.0)    # terminal sample: no following interval
+        assert ts.time_above(3.0) == pytest.approx(10.0)
+
+    def test_resample_validates(self):
+        with pytest.raises(ValueError):
+            TimeSeries().resample(0)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert len(out) == 8
+
+    def test_flat_zero(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_shared_peak_scale(self):
+        a = sparkline([1, 1], peak=8.0)
+        b = sparkline([8, 8], peak=8.0)
+        assert a == "▂▂" or a == "▁▁"
+        assert b == "██"
+
+
+class TestOccupancyTracing:
+    def test_controller_traces_write_queue(self):
+        cfg = default_config()
+        trace = generate_trace("dedup", requests_per_core=150, seed=2)
+        table = precompute_write_service(trace, "dcw", cfg)
+        system = CMPSystem(
+            trace, cfg, PrecomputedServiceModel(table, cfg), scheme_name="dcw"
+        )
+        series = system.controller.track_write_occupancy()
+        system.run()
+        assert len(series) > 0
+        # Occupancy stays within the queue capacity.
+        assert series.max() <= cfg.memctrl.write_queue_entries
+        # Every enqueue and every dequeue sampled: 2 samples per write.
+        assert len(series) == 2 * trace.n_writes
+
+    def test_tracing_off_by_default(self):
+        cfg = default_config()
+        trace = generate_trace("dedup", requests_per_core=50, seed=2)
+        table = precompute_write_service(trace, "dcw", cfg)
+        system = CMPSystem(
+            trace, cfg, PrecomputedServiceModel(table, cfg), scheme_name="dcw"
+        )
+        system.run()
+        assert system.controller.occupancy_trace is None

@@ -1,0 +1,199 @@
+"""Tests for the trace substrate: workloads, content model, generator, IO."""
+
+import numpy as np
+import pytest
+
+from repro.core.read_stage import read_stage
+from repro.trace.content import ContentModel, realize_payload
+from repro.trace.record import OP_READ, OP_WRITE, RECORD_DTYPE, Trace
+from repro.trace.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.trace.workloads import (
+    PARSEC_WORKLOADS,
+    WORKLOAD_NAMES,
+    WorkloadProfile,
+    get_workload,
+    shared_fraction,
+)
+
+
+class TestWorkloadTable:
+    def test_eight_workloads(self):
+        assert len(PARSEC_WORKLOADS) == 8
+
+    def test_table3_rates(self):
+        """RPKI/WPKI copied verbatim from Table III."""
+        expected = {
+            "blackscholes": (0.04, 0.02),
+            "bodytrack": (0.72, 0.24),
+            "canneal": (2.76, 0.19),
+            "dedup": (0.82, 0.49),
+            "ferret": (1.67, 0.95),
+            "freqmine": (0.62, 0.25),
+            "swaptions": (0.04, 0.02),
+            "vips": (2.56, 1.56),
+        }
+        for name, (rpki, wpki) in expected.items():
+            p = get_workload(name)
+            assert p.rpki == rpki and p.wpki == wpki
+
+    def test_fig3_anchors(self):
+        """The text pins blackscholes ~2 and vips ~19 total bit-writes."""
+        bs = get_workload("blackscholes")
+        vips = get_workload("vips")
+        assert 1.5 <= bs.set_per_unit + bs.reset_per_unit <= 2.5
+        assert 17 <= vips.set_per_unit + vips.reset_per_unit <= 21
+
+    def test_set_dominance_pattern(self):
+        """Most workloads SET-dominant; ferret/vips near fifty-fifty."""
+        for name in WORKLOAD_NAMES:
+            p = get_workload(name)
+            if name in ("ferret", "vips"):
+                assert 0.45 <= p.set_dominance <= 0.60
+            else:
+                assert p.set_dominance > 0.65
+
+    def test_mean_gap(self):
+        p = get_workload("blackscholes")
+        assert p.mean_gap_instructions == pytest.approx(1000 / 0.06)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_sharing_fraction_levels(self):
+        assert shared_fraction(get_workload("blackscholes")) < shared_fraction(
+            get_workload("dedup")
+        )
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "d", "low", "low", rpki=-1, wpki=0,
+                            set_per_unit=1, reset_per_unit=1)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "d", "low", "low", rpki=1, wpki=1,
+                            set_per_unit=20, reset_per_unit=20)
+
+
+class TestContentModel:
+    def test_counts_shape_and_dtype(self, rng):
+        cm = ContentModel(get_workload("dedup"))
+        counts = cm.draw_counts(rng, 100, 8)
+        assert counts.shape == (100, 8, 2)
+        assert counts.dtype == np.uint8
+
+    def test_means_match_profile(self, rng):
+        prof = get_workload("bodytrack")
+        cm = ContentModel(prof, burstiness=0.0)
+        counts = cm.draw_counts(rng, 4000, 8)
+        assert counts[..., 0].mean() == pytest.approx(prof.set_per_unit, rel=0.08)
+        assert counts[..., 1].mean() == pytest.approx(prof.reset_per_unit, rel=0.12)
+
+    def test_flip_bound_respected(self, rng):
+        cm = ContentModel(get_workload("vips"), burstiness=0.5)
+        counts = cm.draw_counts(rng, 2000, 8).astype(int)
+        assert (counts.sum(axis=-1) <= 32).all()
+
+    def test_burstiness_preserves_mean(self, rng):
+        prof = get_workload("freqmine")
+        flat = ContentModel(prof, burstiness=0.0).draw_counts(rng, 5000, 8)
+        bursty = ContentModel(prof, burstiness=0.3).draw_counts(
+            np.random.default_rng(7), 5000, 8
+        )
+        assert flat[..., 0].mean() == pytest.approx(bursty[..., 0].mean(), rel=0.1)
+
+
+class TestRealizePayload:
+    def test_exact_counts_against_balanced_old(self, rng, line8):
+        counts = np.tile([3, 2], (8, 1))
+        new = realize_payload(rng, line8, counts)
+        rs = read_stage(line8, np.zeros(8, bool), new)
+        assert (rs.n_set == 3).all()
+        assert (rs.n_reset == 2).all()
+
+    def test_truncates_when_polarity_exhausted(self, rng):
+        old = np.array([(1 << 64) - 1], dtype=np.uint64)  # all ones
+        new = realize_payload(rng, old, np.array([[5, 2]]))
+        # No zeros available: SETs truncated to 0, RESETs applied.
+        assert int(np.bitwise_count(old ^ new)[0]) == 2
+
+    def test_shape_check(self, rng, line8):
+        with pytest.raises(ValueError):
+            realize_payload(rng, line8, np.zeros((3, 2)))
+
+    def test_deterministic(self, line8):
+        counts = np.tile([2, 1], (8, 1))
+        a = realize_payload(np.random.default_rng(5), line8, counts)
+        b = realize_payload(np.random.default_rng(5), line8, counts)
+        assert np.array_equal(a, b)
+
+
+class TestGenerator:
+    def test_rpki_wpki_calibration(self):
+        for name in ("canneal", "ferret"):
+            t = generate_trace(name, requests_per_core=3000)
+            rpki, wpki = t.measured_rpki_wpki()
+            p = get_workload(name)
+            assert rpki == pytest.approx(p.rpki, rel=0.1)
+            assert wpki == pytest.approx(p.wpki, rel=0.15)
+
+    def test_bit_profile_calibration(self):
+        t = generate_trace("bodytrack", requests_per_core=3000)
+        mean_set, mean_reset = t.mean_bit_profile()
+        p = get_workload("bodytrack")
+        assert mean_set == pytest.approx(p.set_per_unit, rel=0.12)
+        assert mean_reset == pytest.approx(p.reset_per_unit, rel=0.15)
+
+    def test_deterministic_for_seed(self):
+        a = generate_trace("dedup", 200, seed=42)
+        b = generate_trace("dedup", 200, seed=42)
+        assert np.array_equal(a.records, b.records)
+        assert np.array_equal(a.write_counts, b.write_counts)
+
+    def test_seed_changes_trace(self):
+        a = generate_trace("dedup", 200, seed=1)
+        b = generate_trace("dedup", 200, seed=2)
+        assert not np.array_equal(a.records, b.records)
+
+    def test_all_cores_present(self):
+        t = generate_trace("ferret", 500)
+        assert set(np.unique(t.records["core"])) == {0, 1, 2, 3}
+
+    def test_per_core_request_count(self):
+        t = generate_trace("vips", 500)
+        for c in range(4):
+            assert len(t.per_core(c)) == 500
+
+    def test_lines_spread_across_banks(self):
+        t = generate_trace("dedup", 2000)
+        banks = np.unique(t.records["line"] % 8)
+        assert banks.size == 8
+
+    def test_write_counts_align_with_writes(self):
+        t = generate_trace("ferret", 300)
+        assert t.write_counts.shape[0] == t.n_writes
+
+    def test_instructions_per_core(self):
+        t = generate_trace("swaptions", 100)
+        per_core = t.instructions_per_core()
+        assert len(per_core) == 4
+        assert all(v > 0 for v in per_core.values())
+
+
+class TestTraceValidation:
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            Trace("x", 0, np.zeros(3), np.zeros((0, 8, 2), np.uint8))
+
+    def test_count_shape_mismatch_rejected(self):
+        records = np.array([(0, OP_WRITE, 1, 0)], dtype=RECORD_DTYPE)
+        with pytest.raises(ValueError):
+            Trace("x", 0, records, np.zeros((2, 8, 2), np.uint8))
+
+    def test_write_indices(self):
+        records = np.array(
+            [(0, OP_READ, 1, 0), (0, OP_WRITE, 1, 1), (0, OP_WRITE, 1, 2)],
+            dtype=RECORD_DTYPE,
+        )
+        t = Trace("x", 0, records, np.zeros((2, 8, 2), np.uint8))
+        assert t.write_indices.tolist() == [1, 2]
+        assert t.n_reads == 1 and t.n_writes == 2

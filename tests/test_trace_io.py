@@ -1,0 +1,69 @@
+"""Round-trip tests for the trace persistence formats."""
+
+import numpy as np
+import pytest
+
+from repro.trace.io import load_trace, load_trace_text, save_trace, save_trace_text
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture
+def trace():
+    return generate_trace("ferret", requests_per_core=150, seed=99)
+
+
+class TestNPZ:
+    def test_roundtrip_bit_exact(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        back = load_trace(path)
+        assert back.workload == trace.workload
+        assert back.seed == trace.seed
+        assert back.units_per_line == trace.units_per_line
+        assert np.array_equal(back.records, trace.records)
+        assert np.array_equal(back.write_counts, trace.write_counts)
+
+    def test_meta_preserved(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        back = load_trace(path)
+        assert back.meta["requests_per_core"] == 150
+
+
+class TestText:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.txt"
+        save_trace_text(trace, path)
+        back = load_trace_text(path)
+        assert back.workload == trace.workload
+        assert np.array_equal(back.records["line"], trace.records["line"])
+        assert np.array_equal(back.records["op"], trace.records["op"])
+        assert np.array_equal(back.records["gap"], trace.records["gap"])
+        assert np.array_equal(back.write_counts, trace.write_counts)
+
+    def test_header_parsed(self, trace, tmp_path):
+        path = tmp_path / "t.txt"
+        save_trace_text(trace, path)
+        back = load_trace_text(path)
+        assert back.seed == trace.seed
+        assert back.units_per_line == 8
+
+    def test_malformed_write_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# workload=x seed=0 units=8\n0 W 10 5 1:2\n")
+        with pytest.raises(ValueError):
+            load_trace_text(path)
+
+    def test_hand_written_trace(self, tmp_path):
+        """The text format accepts externally produced traces."""
+        path = tmp_path / "ext.txt"
+        pairs = " ".join(["1:1"] * 8)
+        path.write_text(
+            "# workload=custom seed=7 units=8\n"
+            "0 R 100 12\n"
+            f"1 W 50 13 {pairs}\n"
+        )
+        t = load_trace_text(path)
+        assert t.workload == "custom"
+        assert t.n_reads == 1 and t.n_writes == 1
+        assert t.write_counts[0, 0].tolist() == [1, 1]

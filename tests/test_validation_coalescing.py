@@ -1,0 +1,84 @@
+"""Tests for run validation and write coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import ValidationError, validate_system_result
+from repro.config import MemCtrlConfig, default_config
+from repro.experiments.fullsystem import run_fullsystem
+from repro.trace.record import OP_READ, OP_WRITE, RECORD_DTYPE, Trace
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("ferret", requests_per_core=300, seed=21)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("scheme", ["dcw", "tetris"])
+    def test_valid_runs_pass(self, trace, scheme):
+        cfg = default_config()
+        res = run_fullsystem(trace, scheme, cfg)
+        validate_system_result(res, trace, cfg)  # no exception
+
+    def test_detects_request_loss(self, trace):
+        cfg = default_config()
+        res = run_fullsystem(trace, "dcw", cfg)
+        # Tamper: pretend one read vanished.
+        res.controller.completed_reads -= 1
+        with pytest.raises(ValidationError):
+            validate_system_result(res, trace, cfg)
+
+    def test_detects_instruction_mismatch(self, trace):
+        cfg = default_config()
+        res = run_fullsystem(trace, "dcw", cfg)
+        res.total_instructions += 7  # tamper
+        with pytest.raises(ValidationError):
+            validate_system_result(res, trace, cfg)
+
+
+def make_write_trace(lines, gap=10):
+    rows = [(0, OP_WRITE, gap, ln) for ln in lines]
+    records = np.array(rows, dtype=RECORD_DTYPE)
+    counts = np.full((len(lines), 8, 2), 2, dtype=np.uint8)
+    return Trace("coal", 1, records, counts)
+
+
+class TestCoalescing:
+    def cfg(self, coalescing):
+        return default_config().replace(
+            memctrl=MemCtrlConfig(write_coalescing=coalescing)
+        )
+
+    def test_same_line_writes_absorb(self):
+        trace = make_write_trace([5, 5, 5, 5])
+        res = run_fullsystem(trace, "dcw", self.cfg(True))
+        assert res.controller.coalesced_writes == 3
+        # All four writes completed (conservation), three instantly.
+        assert res.controller.write_latency.count == 4
+
+    def test_distinct_lines_do_not_absorb(self):
+        trace = make_write_trace([1, 2, 3, 4])
+        res = run_fullsystem(trace, "dcw", self.cfg(True))
+        assert res.controller.coalesced_writes == 0
+
+    def test_disabled_by_default(self):
+        trace = make_write_trace([5, 5, 5, 5])
+        res = run_fullsystem(trace, "dcw", default_config())
+        assert res.controller.coalesced_writes == 0
+
+    def test_coalescing_reduces_bank_work(self):
+        lines = [7, 7, 7, 7, 7, 7, 15, 15, 15, 15]
+        trace = make_write_trace(lines)
+        plain = run_fullsystem(trace, "dcw", self.cfg(False))
+        merged = run_fullsystem(trace, "dcw", self.cfg(True))
+        plain_busy = sum(plain.controller.bank_busy_ns.values())
+        merged_busy = sum(merged.controller.bank_busy_ns.values())
+        assert merged_busy < plain_busy
+
+    def test_validation_passes_with_coalescing(self):
+        trace = make_write_trace([3, 3, 11, 11, 19])
+        cfg = self.cfg(True)
+        res = run_fullsystem(trace, "dcw", cfg)
+        validate_system_result(res, trace, cfg)

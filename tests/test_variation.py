@@ -1,0 +1,82 @@
+"""Tests for the process-variation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import default_config
+from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.pcm.variation import ProcessVariation
+from repro.trace.synthetic import generate_trace
+
+
+class TestProcessVariation:
+    def test_zero_sigma_is_identity(self):
+        pv = ProcessVariation(sigma=0.0)
+        assert pv.factor_of(12345) == 1.0
+        service = np.array([100.0, 200.0])
+        assert np.array_equal(pv.apply(service, np.array([1, 2])), service)
+
+    def test_deterministic_per_region(self):
+        pv = ProcessVariation(sigma=0.2, region_lines=64)
+        assert pv.factor_of(0) == pv.factor_of(63)     # same region
+        assert pv.factor_of(0) != pv.factor_of(64)     # next region
+
+    def test_factors_positive(self):
+        pv = ProcessVariation(sigma=0.3)
+        factors = pv.factors_of(np.arange(0, 100_000, 997))
+        assert (factors > 0).all()
+
+    def test_unit_mean(self):
+        pv = ProcessVariation(sigma=0.2, region_lines=1)
+        factors = pv.factors_of(np.arange(20000))
+        assert factors.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_vectorized_matches_scalar(self):
+        pv = ProcessVariation(sigma=0.25, region_lines=128)
+        lines = np.array([0, 100, 500, 5000])
+        vec = pv.factors_of(lines)
+        scalar = [pv.factor_of(int(l)) for l in lines]
+        assert np.allclose(vec, scalar)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessVariation(sigma=-0.1)
+        with pytest.raises(ValueError):
+            ProcessVariation(region_lines=0)
+        with pytest.raises(ValueError):
+            ProcessVariation().apply(np.zeros(2), np.zeros(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    def test_spread_grows_with_sigma(self, sigma):
+        pv = ProcessVariation(sigma=sigma, region_lines=1)
+        factors = pv.factors_of(np.arange(2000))
+        assert factors.std() > 0
+
+
+class TestVariationInPrecompute:
+    def test_service_scaled_by_region_factor(self):
+        trace = generate_trace("dedup", requests_per_core=200, seed=3)
+        base = precompute_write_service(trace, "tetris")
+        varied = precompute_write_service(
+            trace, "tetris", variation=ProcessVariation(sigma=0.2)
+        )
+        assert varied.service_ns.shape == base.service_ns.shape
+        ratio = varied.service_ns / base.service_ns
+        assert ratio.std() > 0                      # spread introduced
+        assert ratio.mean() == pytest.approx(1.0, rel=0.15)
+
+    def test_ranking_survives_variation(self):
+        """Variation scales every scheme alike per line: Tetris still wins."""
+        trace = generate_trace("ferret", requests_per_core=300, seed=3)
+        pv = ProcessVariation(sigma=0.25)
+        results = {}
+        for scheme in ("dcw", "tetris"):
+            table = precompute_write_service(trace, scheme, variation=pv)
+            results[scheme] = run_fullsystem(trace, scheme, table=table)
+        assert (
+            results["tetris"].mean_read_latency_ns
+            < results["dcw"].mean_read_latency_ns
+        )
+        assert results["tetris"].runtime_ns < results["dcw"].runtime_ns

@@ -1,0 +1,88 @@
+"""Tests for measurement warmup and device-level wear tracking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_system_result
+from repro.config import default_config
+from repro.experiments.fullsystem import run_fullsystem
+from repro.pcm.device import PCMDevice
+from repro.schemes import get_scheme
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("dedup", requests_per_core=200, seed=14)
+
+
+class TestWarmup:
+    def test_warmup_excludes_early_requests_from_stats(self, trace):
+        full = run_fullsystem(trace, "dcw")
+        warm = run_fullsystem(trace, "dcw", warmup_requests=100)
+        assert (
+            warm.controller.read_latency.count
+            + warm.controller.write_latency.count
+            == len(trace) - 100
+        )
+        assert full.controller.completed == warm.controller.completed
+
+    def test_conservation_still_validates(self, trace):
+        cfg = default_config()
+        res = run_fullsystem(trace, "tetris", cfg, warmup_requests=50)
+        validate_system_result(res, trace, cfg)
+
+    def test_warmup_zero_is_default_behavior(self, trace):
+        res = run_fullsystem(trace, "dcw")
+        assert res.controller.completed == (
+            res.controller.read_latency.count
+            + res.controller.write_latency.count
+        )
+
+    def test_warmup_changes_means_not_conservation(self, trace):
+        """Cold-start requests see empty queues: excluding them moves
+        the mean without touching completion counts."""
+        full = run_fullsystem(trace, "dcw")
+        warm = run_fullsystem(trace, "dcw", warmup_requests=200)
+        assert warm.controller.completed == full.controller.completed
+        assert warm.controller.read_latency.count < full.controller.read_latency.count
+
+
+class TestDeviceWear:
+    def test_wear_tracked_per_line(self, rng):
+        dev = PCMDevice(lambda cfg: get_scheme("dcw", cfg), track_wear=True)
+        initial = dev.bank_for(3).image.read_logical(3).copy()
+        flipped = initial.copy()
+        flipped[0] ^= np.uint64(0xFF)            # 8 changed cells
+        dev.write(3, flipped)
+        dev.write(3, initial)                    # 8 back
+        bank = dev.bank_for(3)
+        assert bank.wear is not None
+        assert bank.wear.programs_of(3) == 16
+
+    def test_wear_stats_merge_across_banks(self, line8):
+        dev = PCMDevice(lambda cfg: get_scheme("dcw", cfg), track_wear=True)
+        for line in range(16):  # touches both banks 0..7
+            dev.write(line, line8 ^ np.uint64(0b1))
+        stats = dev.wear_stats()
+        assert stats.lines_touched == 16
+        assert stats.total_programs >= 16
+
+    def test_wear_disabled_by_default(self, line8):
+        dev = PCMDevice(lambda cfg: get_scheme("dcw", cfg))
+        dev.write(0, line8)
+        with pytest.raises(RuntimeError):
+            dev.wear_stats()
+
+    def test_comparison_scheme_wears_less(self, rng):
+        heavy = PCMDevice(lambda cfg: get_scheme("conventional", cfg), track_wear=True)
+        light = PCMDevice(lambda cfg: get_scheme("tetris", cfg), track_wear=True)
+        for i in range(10):
+            old_h = heavy.bank_for(i).image.read_logical(i)
+            old_l = light.bank_for(i).image.read_logical(i)
+            heavy.write(i, old_h ^ np.uint64(0b11))
+            light.write(i, old_l ^ np.uint64(0b11))
+        assert (
+            light.wear_stats().total_programs
+            < heavy.wear_stats().total_programs / 10
+        )

@@ -1,0 +1,74 @@
+"""Tests for the gated write driver (paper Fig. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pcm.write_driver import DriverCommand, WriteDriver
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_MASK = (1 << 64) - 1
+
+
+class TestDriverCommand:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            DriverCommand(unit=0, direction="sideways")
+
+    @pytest.mark.parametrize("d", ["set", "reset", "both"])
+    def test_accepts_valid(self, d):
+        assert DriverCommand(unit=1, direction=d).direction == d
+
+
+class TestProgEnable:
+    @given(u64, u64)
+    def test_xor_gate(self, old, new):
+        enable = WriteDriver.prog_enable(old, new)
+        assert int(enable) == old ^ new
+
+
+class TestProgram:
+    def setup_method(self):
+        self.driver = WriteDriver()
+
+    @given(u64, u64)
+    def test_both_directions_complete_the_write(self, old, new):
+        result, set_mask, reset_mask = self.driver.program(old, new, "both")
+        assert int(result[0]) == new
+        assert int(set_mask[0]) == ~old & new & _MASK
+        assert int(reset_mask[0]) == old & ~new
+
+    @given(u64, u64)
+    def test_set_phase_only_raises_cells(self, old, new):
+        result, set_mask, reset_mask = self.driver.program(old, new, "set")
+        assert int(reset_mask[0]) == 0
+        # Every programmed cell goes 0 -> 1, nothing falls.
+        assert int(result[0]) & old == old
+        assert int(result[0]) == old | (~old & new & _MASK)
+
+    @given(u64, u64)
+    def test_reset_phase_only_lowers_cells(self, old, new):
+        result, set_mask, reset_mask = self.driver.program(old, new, "reset")
+        assert int(set_mask[0]) == 0
+        assert int(result[0]) & ~old & _MASK == 0
+        assert int(result[0]) == old & ~(old & ~new)
+
+    @given(u64, u64)
+    def test_set_then_reset_equals_both(self, old, new):
+        mid, _, _ = self.driver.program(old, new, "set")
+        final, _, _ = self.driver.program(int(mid[0]), new, "reset")
+        assert int(final[0]) == new
+
+    @given(u64)
+    def test_identity_write_programs_nothing(self, word):
+        result, set_mask, reset_mask = self.driver.program(word, word, "both")
+        assert int(set_mask[0]) == 0 and int(reset_mask[0]) == 0
+        assert int(result[0]) == word
+
+    def test_array_inputs(self):
+        old = np.array([0b00, 0b11], dtype=np.uint64)
+        new = np.array([0b01, 0b10], dtype=np.uint64)
+        result, set_mask, reset_mask = self.driver.program(old, new, "both")
+        assert result.tolist() == [1, 2]
+        assert set_mask.tolist() == [1, 0]
+        assert reset_mask.tolist() == [0, 1]
