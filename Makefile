@@ -1,0 +1,20 @@
+# Convenience targets — same commands CI runs (.github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint verify bench all
+
+test:            ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+lint:            ## simulator-aware static analysis (docs/SIMLINT.md)
+	$(PYTHON) -m simlint src/ tests/ benchmarks/ examples/ tools/
+
+verify:          ## test suite with runtime invariant checking armed
+	REPRO_VERIFY=1 $(PYTHON) -m pytest -x -q
+
+bench:           ## paper-figure benches (prints + writes benchmarks/out/)
+	$(PYTHON) -m pytest benchmarks/ -q
+
+all: lint test

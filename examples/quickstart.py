@@ -14,6 +14,8 @@ the resulting service time against the four baselines:
 Run:  python examples/quickstart.py
 """
 
+import math
+
 import numpy as np
 
 from repro import analyze, default_config, execute_schedule, get_scheme, read_stage
@@ -57,7 +59,7 @@ print("Stage 3 — individually write (FSM0 + FSM1):")
 print(f"  completion : {trace.completion_ns:.1f} ns")
 print(f"  peak current: {trace.peak_current():.0f} / {cfg.bank_power_budget:.0f} "
       "SET units\n")
-assert trace.completion_ns == sched.service_time_ns(cfg.timings.t_set_ns)
+assert math.isclose(trace.completion_ns, sched.service_time_ns(cfg.timings.t_set_ns))
 
 # ------------------------------------------------------- scheme comparison
 rows = []

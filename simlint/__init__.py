@@ -1,0 +1,34 @@
+"""Launcher shim: the real package lives in ``tools/simlint/``.
+
+``python -m simlint ...`` resolves modules from the current directory,
+so this one-file package at the repo root redirects the import system to
+``tools/simlint`` — letting the linter run from a fresh checkout with no
+``PYTHONPATH`` setup (the tier-1 test command only adds ``src``).  All
+submodules (``simlint.cli``, ``simlint.rules``, ``simlint.__main__``)
+load from ``tools/simlint`` through the rewritten ``__path__``.
+"""
+
+from pathlib import Path as _Path
+
+__path__ = [str(_Path(__file__).resolve().parent.parent / "tools" / "simlint")]
+
+from simlint.engine import (  # noqa: E402
+    DEFAULT_EXCLUDES,
+    LintFinding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from simlint.rules import RULE_REGISTRY, default_rules  # noqa: E402
+
+__all__ = [
+    "DEFAULT_EXCLUDES",
+    "LintFinding",
+    "RULE_REGISTRY",
+    "default_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+__version__ = "1.0.0"

@@ -267,6 +267,10 @@ class SystemConfig:
     analysis_overhead_ns: float = 41.0 / 0.400  # 41 cycles @ 400 MHz = 102.5 ns
     count_flip_bit: bool = False
     seed: int = 20160816
+    # Runtime invariant verification (repro.verify.invariants): schemes
+    # check every schedule/outcome they produce.  Off by default — the
+    # REPRO_VERIFY=1 environment variable also enables it globally.
+    verify_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_line_bytes % self.organization.write_unit_bytes_per_bank:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.config import SystemConfig, default_config
 from repro.pcm.energy import EnergyModel
 from repro.pcm.state import LineState
+from repro.verify.invariants import runtime_verification_enabled, verify_outcome
 
 __all__ = ["WriteOutcome", "WriteScheme", "SCHEME_REGISTRY", "get_scheme"]
 
@@ -75,6 +76,9 @@ class WriteScheme(ABC):
             t_reset_ns=self.config.timings.t_reset_ns,
             reset_current_ratio=self.config.L,
         )
+        # Resolved once so the disabled case costs one attribute test on
+        # the hot path (config flag OR the REPRO_VERIFY environment).
+        self.verify = runtime_verification_enabled(self.config)
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -119,7 +123,7 @@ class WriteScheme(ABC):
         flipped_units: int = 0,
     ) -> WriteOutcome:
         """Assemble an outcome, deriving time and energy consistently."""
-        return WriteOutcome(
+        outcome = WriteOutcome(
             service_ns=read_ns + analysis_ns + units * self.t_set,
             units=units,
             read_ns=read_ns,
@@ -130,6 +134,9 @@ class WriteScheme(ABC):
             + (self.energy_model.read_energy_per_line if read_ns > 0 else 0.0),
             flipped_units=flipped_units,
         )
+        if self.verify:
+            verify_outcome(outcome, t_set_ns=self.t_set)
+        return outcome
 
 
 def get_scheme(

@@ -32,6 +32,7 @@ from repro.core.read_stage import read_stage
 from repro.core.schedule import TetrisSchedule
 from repro.pcm.state import LineState
 from repro.schemes.base import WriteOutcome, WriteScheme
+from repro.verify.invariants import verify_outcome, verify_schedule
 
 __all__ = ["TetrisWrite"]
 
@@ -111,6 +112,14 @@ class TetrisWrite(WriteScheme):
             units = sched.service_units()
             self.last_schedule = sched
             self.last_chip_schedules = None
+            if self.verify:
+                verify_schedule(
+                    sched,
+                    n_set=rs.n_set,
+                    n_reset=rs.n_reset,
+                    L=self.scheduler.L,
+                    units=units,
+                )
         else:
             units = self._schedule_per_chip(state, rs.physical)
 
@@ -119,8 +128,9 @@ class TetrisWrite(WriteScheme):
             analysis_ns = self.fast_path_ns
             self.fast_path_hits += 1
 
+        before = state.physical.copy() if self.verify else None
         state.store(rs.physical, rs.flip)
-        return self._outcome(
+        outcome = self._outcome(
             units=units,
             read_ns=self.t_read,
             analysis_ns=analysis_ns,
@@ -128,6 +138,18 @@ class TetrisWrite(WriteScheme):
             n_reset=int(rs.n_reset.sum()),
             flipped_units=int(rs.flip.sum()),
         )
+        if self.verify:
+            # count_flip_bit adds flip-tag programs to the counts that the
+            # physical image diff cannot see; allow that many extras.
+            verify_outcome(
+                outcome,
+                t_set_ns=self.t_set,
+                state_before=before,
+                state_after=state.physical,
+                exact_cells=not self.config.count_flip_bit,
+                max_extra_cells=int(rs.flip.size),
+            )
+        return outcome
 
     def _fast_path_applies(self, rs) -> bool:
         """Trivial schedule detector: all write-1s share one write unit
@@ -161,6 +183,11 @@ class TetrisWrite(WriteScheme):
             n1 = np.bitwise_count((set_bits >> shift) & lane).astype(np.int64)
             n0 = np.bitwise_count((reset_bits >> shift) & lane).astype(np.int64)
             sched = self.scheduler.schedule(n1, n0)
+            if self.verify:
+                verify_schedule(
+                    sched, n_set=n1, n_reset=n0, L=self.scheduler.L,
+                    units=sched.service_units(),
+                )
             schedules.append(sched)
             worst = max(worst, sched.service_units())
         self.last_schedule = None

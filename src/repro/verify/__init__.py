@@ -1,0 +1,20 @@
+"""Runtime invariant verification (enable with ``REPRO_VERIFY=1``).
+
+See :mod:`repro.verify.invariants` and ``docs/SIMLINT.md`` (Layer 2).
+"""
+
+from repro.verify.invariants import (
+    InvariantViolation,
+    env_enabled,
+    runtime_verification_enabled,
+    verify_outcome,
+    verify_schedule,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "env_enabled",
+    "runtime_verification_enabled",
+    "verify_outcome",
+    "verify_schedule",
+]

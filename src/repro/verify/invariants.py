@@ -1,0 +1,294 @@
+"""Runtime contract checker for schedules and write outcomes.
+
+Static analysis (``tools/simlint``) guards the source; this module
+guards the *values* the simulator produces.  When enabled it validates
+
+* every :class:`~repro.core.schedule.TetrisSchedule` — occupancy within
+  the power budget in every sub-slot, burst slots inside the declared
+  time axis, each data unit's write-1/write-0 current scheduled exactly
+  once, and the Figure-10 ``units`` agreeing with Equation 5
+  (``result + subresult/K``) within tolerance;
+* every :class:`~repro.schemes.base.WriteOutcome` — non-negative
+  components, ``service_ns >= read_ns + analysis_ns``, the Equation-5
+  service decomposition, and ``n_set``/``n_reset`` consistent with the
+  committed :class:`~repro.pcm.state.LineState` diff.
+
+Violations raise :class:`InvariantViolation`, which carries a machine-
+readable ``kind`` plus the offending slot/unit in ``context`` so a
+failure in a million-write run pinpoints the broken schedule.
+
+Enabling
+--------
+Verification is off by default and must stay zero-cost when off: schemes
+capture one boolean at construction (``runtime_verification_enabled``)
+and the hot path pays a single attribute test.  Turn it on with either
+
+* ``REPRO_VERIFY=1`` in the environment (any of 1/true/yes/on), or
+* ``SystemConfig.verify_invariants = True`` on the config you pass in.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.schedule import TetrisSchedule
+    from repro.schemes.base import WriteOutcome
+
+__all__ = [
+    "InvariantViolation",
+    "env_enabled",
+    "runtime_verification_enabled",
+    "verify_schedule",
+    "verify_outcome",
+]
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class InvariantViolation(AssertionError):
+    """A simulator invariant failed at run time.
+
+    Attributes
+    ----------
+    kind:
+        Stable identifier of the broken invariant (``"power_budget"``,
+        ``"slot_range"``, ``"duplicate_burst"``, ``"cell_accounting"``,
+        ``"units_mismatch"``, ``"negative_component"``,
+        ``"service_decomposition"``, ``"state_diff"``).
+    context:
+        The offending slot/unit/values, for post-mortem without a rerun.
+    """
+
+    def __init__(self, kind: str, message: str, **context: Any) -> None:
+        self.kind = kind
+        self.context: Mapping[str, Any] = dict(context)
+        detail = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+        super().__init__(f"[{kind}] {message}" + (f" ({detail})" if detail else ""))
+
+
+def env_enabled() -> bool:
+    """True when ``REPRO_VERIFY`` requests verification."""
+    return os.environ.get("REPRO_VERIFY", "").strip().lower() in _TRUTHY
+
+
+def runtime_verification_enabled(config: Any = None) -> bool:
+    """Resolve the effective flag: config field OR environment."""
+    return bool(getattr(config, "verify_invariants", False)) or env_enabled()
+
+
+# ----------------------------------------------------------------------
+# Schedule invariants.
+# ----------------------------------------------------------------------
+def verify_schedule(
+    sched: "TetrisSchedule",
+    *,
+    n_set: Iterable[int] | None = None,
+    n_reset: Iterable[int] | None = None,
+    L: float | None = None,
+    units: float | None = None,
+    tol: float = 1e-9,
+) -> None:
+    """Check one schedule against the paper's constraints.
+
+    ``n_set``/``n_reset`` (the read stage's per-unit program counts) and
+    ``L`` enable the exactly-once accounting check; ``units`` enables
+    the Equation-5 consistency check against an externally reported
+    write-stage length.  All raise :class:`InvariantViolation`.
+    """
+    if sched.result < 0 or sched.subresult < 0:
+        raise InvariantViolation(
+            "units_mismatch",
+            "negative result/subresult",
+            result=sched.result,
+            subresult=sched.subresult,
+        )
+
+    # --- power budget in every sub-slot (including out-of-range slots,
+    # which occupancy() exposes before truncation via the slot checks).
+    occ = sched.occupancy()
+    if occ.size:
+        worst = int(np.argmax(occ))
+        if float(occ[worst]) > sched.power_budget + tol:
+            raise InvariantViolation(
+                "power_budget",
+                "sub-slot current exceeds the power budget",
+                slot=worst,
+                current=float(occ[worst]),
+                budget=sched.power_budget,
+            )
+
+    # --- slot ranges on the declared time axis.
+    for op in sched.write1_queue:
+        if not 0 <= op.slot < sched.result:
+            raise InvariantViolation(
+                "slot_range",
+                "write-1 burst outside its write units",
+                unit=op.unit,
+                slot=op.slot,
+                result=sched.result,
+            )
+    total = sched.total_sub_slots
+    for op in sched.write0_queue:
+        if not 0 <= op.slot < total:
+            raise InvariantViolation(
+                "slot_range",
+                "write-0 burst outside the scheduled sub-slots",
+                unit=op.unit,
+                slot=op.slot,
+                total_sub_slots=total,
+            )
+
+    # --- every burst scheduled exactly once.
+    for kind, queue in (("write1", sched.write1_queue), ("write0", sched.write0_queue)):
+        seen: set[tuple[int, int]] = set()
+        for op in queue:
+            key = (op.unit, op.chunk)
+            if key in seen:
+                raise InvariantViolation(
+                    "duplicate_burst",
+                    f"{kind} burst scheduled twice",
+                    unit=op.unit,
+                    chunk=op.chunk,
+                )
+            seen.add(key)
+            if op.kind != kind:
+                raise InvariantViolation(
+                    "duplicate_burst",
+                    "burst queued under the wrong kind",
+                    unit=op.unit,
+                    kind=op.kind,
+                    queue=kind,
+                )
+
+    # --- per-unit current accounting against the read stage's counts.
+    if n_set is not None:
+        _check_accounting(sched.write1_queue,
+                          np.atleast_1d(np.asarray(n_set, dtype=np.float64)),
+                          scale=1.0, kind="write1", tol=tol)
+    if n_reset is not None:
+        scale = float(L) if L is not None else 1.0
+        _check_accounting(sched.write0_queue,
+                          np.atleast_1d(np.asarray(n_reset, dtype=np.float64)),
+                          scale=scale, kind="write0", tol=tol)
+
+    # --- Equation 5 consistency with the reported write-stage length.
+    if units is not None:
+        expect = sched.result + sched.subresult / sched.K
+        if abs(units - expect) > max(tol, 1e-9 * max(abs(expect), 1.0)):
+            raise InvariantViolation(
+                "units_mismatch",
+                "reported units disagree with result + subresult/K",
+                units=units,
+                result=sched.result,
+                subresult=sched.subresult,
+                K=sched.K,
+            )
+
+
+def _check_accounting(queue, counts: np.ndarray, *, scale: float, kind: str, tol: float) -> None:
+    """Scheduled current per unit must equal ``counts * scale`` exactly."""
+    scheduled = np.zeros_like(counts)
+    for op in queue:
+        if not 0 <= op.unit < counts.size:
+            raise InvariantViolation(
+                "cell_accounting",
+                f"{kind} burst references a data unit outside the line",
+                unit=op.unit,
+                units_in_line=int(counts.size),
+            )
+        scheduled[op.unit] += op.current
+    expected = counts * scale
+    bad = np.nonzero(np.abs(scheduled - expected) > tol + 1e-9 * np.abs(expected))[0]
+    if bad.size:
+        i = int(bad[0])
+        raise InvariantViolation(
+            "cell_accounting",
+            f"data unit's {kind} current not scheduled exactly once",
+            unit=i,
+            scheduled=float(scheduled[i]),
+            expected=float(expected[i]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Outcome invariants.
+# ----------------------------------------------------------------------
+def verify_outcome(
+    outcome: "WriteOutcome",
+    *,
+    t_set_ns: float | None = None,
+    state_before: np.ndarray | None = None,
+    state_after: np.ndarray | None = None,
+    exact_cells: bool = True,
+    max_extra_cells: int = 0,
+    tol: float = 1e-6,
+) -> None:
+    """Check one write outcome's internal and external consistency.
+
+    ``state_before``/``state_after`` are the physical images around the
+    committed write; when given, ``n_set``/``n_reset`` must match the
+    cell diff (``exact_cells=False`` allows up to ``max_extra_cells``
+    additional programs for out-of-array cells such as flip tags, which
+    ``count_flip_bit`` adds to the counts but not to the image).
+    """
+    for attr in ("service_ns", "units", "read_ns", "analysis_ns", "energy"):
+        value = float(getattr(outcome, attr))
+        if not np.isfinite(value) or value < -tol:
+            raise InvariantViolation(
+                "negative_component",
+                f"outcome.{attr} must be finite and non-negative",
+                attr=attr,
+                value=value,
+            )
+    for attr in ("n_set", "n_reset", "flipped_units"):
+        if int(getattr(outcome, attr)) < 0:
+            raise InvariantViolation(
+                "negative_component",
+                f"outcome.{attr} must be non-negative",
+                attr=attr,
+                value=int(getattr(outcome, attr)),
+            )
+
+    overhead = outcome.read_ns + outcome.analysis_ns
+    if outcome.service_ns < overhead - tol:
+        raise InvariantViolation(
+            "service_decomposition",
+            "service_ns smaller than its read + analysis components",
+            service_ns=outcome.service_ns,
+            read_ns=outcome.read_ns,
+            analysis_ns=outcome.analysis_ns,
+        )
+    if t_set_ns is not None:
+        expect = overhead + outcome.units * t_set_ns
+        if abs(outcome.service_ns - expect) > tol + 1e-9 * expect:
+            raise InvariantViolation(
+                "service_decomposition",
+                "service_ns disagrees with read + analysis + units * t_set",
+                service_ns=outcome.service_ns,
+                expected=expect,
+                units=outcome.units,
+                t_set_ns=t_set_ns,
+            )
+
+    if state_before is not None and state_after is not None:
+        before = np.asarray(state_before, dtype=np.uint64)
+        after = np.asarray(state_after, dtype=np.uint64)
+        set_cells = int(np.bitwise_count(~before & after).sum())
+        reset_cells = int(np.bitwise_count(before & ~after).sum())
+        for attr, cells in (("n_set", set_cells), ("n_reset", reset_cells)):
+            reported = int(getattr(outcome, attr))
+            extra = reported - cells
+            limit = 0 if exact_cells else max_extra_cells
+            if extra < 0 or extra > limit:
+                raise InvariantViolation(
+                    "state_diff",
+                    f"outcome.{attr} inconsistent with the committed image diff",
+                    attr=attr,
+                    reported=reported,
+                    image_cells=cells,
+                    allowed_extra=limit,
+                )

@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.config import default_config
+# Run the whole suite with the runtime invariant verifier armed (see
+# repro.verify.invariants): every schedule and outcome a scheme produces
+# during tests is contract-checked.  An explicit REPRO_VERIFY=0 in the
+# environment still wins, and individual tests monkeypatch as needed.
+os.environ.setdefault("REPRO_VERIFY", "1")
+
+from repro.config import default_config  # noqa: E402
 
 
 @pytest.fixture

@@ -1,0 +1,18 @@
+"""simlint fixture — SL001 must fire on every RNG call site below.
+
+This file is never imported; tests lint its text as module
+``repro.trace.fixture_bad`` (SL001 scopes to ``repro.*``).
+"""
+
+import random
+
+import numpy as np
+
+
+def jitter_requests():
+    rng = np.random.default_rng()  # BAD: OS entropy
+    np.random.seed(1234)  # BAD: global numpy state
+    burst = np.random.randint(0, 64)  # BAD: legacy global API
+    gap = random.random()  # BAD: stdlib global state
+    source = random.Random()  # BAD: unseeded instance
+    return rng, burst, gap, source

@@ -1,0 +1,14 @@
+"""simlint fixture — seeded RNG constructions SL001 must accept."""
+
+import random
+
+import numpy as np
+
+
+def jitter_requests(seed: int, rng: np.random.Generator):
+    root = np.random.default_rng(seed)
+    child = np.random.default_rng(np.random.SeedSequence([seed, 7]))
+    legacy_but_seeded = np.random.RandomState(seed)
+    stdlib_seeded = random.Random(seed)
+    draws = rng.integers(0, 64, size=8)
+    return root, child, legacy_but_seeded, stdlib_seeded, draws

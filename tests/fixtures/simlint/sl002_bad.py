@@ -1,0 +1,17 @@
+"""simlint fixture — SL002 must fire on every wall-clock read below.
+
+Linted as module ``repro.core.fixture_bad`` (SL002 scopes to the
+simulated-time packages).
+"""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def profile_pack(schedule):
+    started = time.time()  # BAD
+    precise = perf_counter()  # BAD
+    stamp = datetime.now()  # BAD
+    mono = time.monotonic_ns()  # BAD
+    return started, precise, stamp, mono

@@ -1,0 +1,22 @@
+"""simlint fixture — SL003 must fire on these incomplete schemes."""
+
+from repro.schemes.base import WriteScheme
+
+
+class GhostScheme(WriteScheme):
+    """BAD: no ``name``/``requires_read`` -> never reaches SCHEME_REGISTRY,
+    and ``worst_case_units`` is missing."""
+
+    def write(self, state, new_logical):
+        return None
+
+
+class HalfScheme(WriteScheme):
+    """BAD: registered but ``write`` is not overridden, and ``name`` is
+    not a string literal."""
+
+    name = object()
+    requires_read = False
+
+    def worst_case_units(self) -> float:
+        return 8.0

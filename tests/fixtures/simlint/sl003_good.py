@@ -1,0 +1,25 @@
+"""simlint fixture — complete/abstract schemes SL003 must accept."""
+
+from abc import abstractmethod
+
+from repro.schemes.base import WriteScheme
+
+
+class CompleteScheme(WriteScheme):
+    name = "fixture_complete"
+    requires_read = True
+
+    def write(self, state, new_logical):
+        return self._outcome(
+            units=1.0, read_ns=self.t_read, analysis_ns=0.0, n_set=0, n_reset=0
+        )
+
+    def worst_case_units(self) -> float:
+        return 1.0
+
+
+class StagedSchemeBase(WriteScheme):
+    """Abstract intermediates are exempt: they add an abstract stage."""
+
+    @abstractmethod
+    def stage_lengths(self) -> tuple[float, ...]: ...

@@ -1,0 +1,9 @@
+"""simlint fixture — SL004 must fire on each exact float comparison."""
+
+
+def check(outcome, t_set_ns, baseline):
+    exact_service = outcome.service_ns == 3440.0  # BAD
+    nonzero_energy = outcome.energy != 0  # BAD
+    derived = t_set_ns == outcome.read_ns + outcome.analysis_ns  # BAD
+    cross = baseline.total_energy == outcome.energy  # BAD
+    return exact_service, nonzero_energy, derived, cross

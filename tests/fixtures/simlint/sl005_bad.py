@@ -1,0 +1,14 @@
+"""simlint fixture — SL005 must fire on each mutable default below."""
+
+
+def collect_stats(samples=[]):  # BAD
+    samples.append(1)
+    return samples
+
+
+def merge_counters(into={}, tags=set()):  # BAD x2
+    return into, tags
+
+
+def build_queue(*, entries=list()):  # BAD
+    return entries

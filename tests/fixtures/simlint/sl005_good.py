@@ -1,0 +1,11 @@
+"""simlint fixture — immutable defaults SL005 must accept."""
+
+
+def collect_stats(samples=None, window=(), label="", scale=1.0):
+    if samples is None:
+        samples = []
+    return samples, window, label, scale
+
+
+def merge_counters(into=None, *, frozen=frozenset()):
+    return {} if into is None else into, frozen

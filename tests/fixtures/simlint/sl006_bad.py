@@ -1,0 +1,13 @@
+"""simlint fixture — SL006 must fire on each unsuffixed time parameter.
+
+Linted as module ``repro.core.fixture_bad`` (SL006 scopes to
+``repro.core`` / ``repro.schemes``).
+"""
+
+
+def schedule_after(delay, fn):  # BAD: delay in... ns? cycles?
+    return delay, fn
+
+
+def drain_queue(queue, timeout, idle_period):  # BAD x2
+    return queue, timeout, idle_period

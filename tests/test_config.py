@@ -21,9 +21,9 @@ from repro.config import (
 class TestPCMTimings:
     def test_paper_values(self):
         t = PCMTimings()
-        assert t.t_read_ns == 50.0
-        assert t.t_reset_ns == 53.0
-        assert t.t_set_ns == 430.0
+        assert t.t_read_ns == pytest.approx(50.0)
+        assert t.t_reset_ns == pytest.approx(53.0)
+        assert t.t_set_ns == pytest.approx(430.0)
 
     def test_time_asymmetry_is_8(self):
         assert PCMTimings().time_asymmetry == 8

@@ -27,8 +27,8 @@ class TestExecution:
     def test_empty_schedule_completes_instantly(self):
         sched = analyze([0] * 4, [0] * 4)
         trace = execute_schedule(sched)
-        assert trace.completion_ns == 0.0
-        assert trace.peak_current() == 0.0
+        assert trace.completion_ns == pytest.approx(0.0)
+        assert trace.peak_current() == pytest.approx(0.0)
 
     def test_write1_active_all_K_subslots(self):
         sched = analyze([10], [0], power_budget=128.0)

@@ -1,0 +1,258 @@
+"""Runtime invariant verifier: violations fire, clean runs stay clean.
+
+Corruption cases are hand-built :class:`TetrisSchedule` objects that
+bypass the scheduler's own ``validate()`` — exactly the situation the
+verifier exists for: a future refactor producing structurally plausible
+but physically impossible schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.analysis import TetrisScheduler
+from repro.core.schedule import ScheduledOp, TetrisSchedule
+from repro.pcm.state import LineState
+from repro.schemes.base import WriteOutcome, get_scheme
+from repro.verify import (
+    InvariantViolation,
+    env_enabled,
+    runtime_verification_enabled,
+    verify_outcome,
+    verify_schedule,
+)
+
+K, L, BUDGET = 8, 2.0, 128.0
+
+
+def make_valid_schedule(n_set=(30, 20, 10), n_reset=(5, 3, 0)):
+    sched = TetrisScheduler(K, L, BUDGET).schedule(
+        np.array(n_set), np.array(n_reset)
+    )
+    return sched, np.array(n_set), np.array(n_reset)
+
+
+# ----------------------------------------------------------------------
+# Clean schedules and outcomes pass.
+# ----------------------------------------------------------------------
+def test_valid_schedule_passes_all_checks():
+    sched, n_set, n_reset = make_valid_schedule()
+    verify_schedule(
+        sched, n_set=n_set, n_reset=n_reset, L=L, units=sched.service_units()
+    )
+
+
+def test_valid_outcome_passes_with_state_diff():
+    before = np.array([0b1100, 0b0011], dtype=np.uint64)
+    after = np.array([0b1010, 0b0011], dtype=np.uint64)
+    outcome = WriteOutcome(
+        service_ns=50.0 + 102.5 + 2 * 430.0,
+        units=2.0,
+        read_ns=50.0,
+        analysis_ns=102.5,
+        n_set=1,
+        n_reset=1,
+        energy=1.0,
+    )
+    verify_outcome(
+        outcome, t_set_ns=430.0, state_before=before, state_after=after
+    )
+
+
+# ----------------------------------------------------------------------
+# Hand-corrupted schedules raise, with the offending slot/unit attached.
+# ----------------------------------------------------------------------
+def test_budget_overflow_raises():
+    sched = TetrisSchedule(K=K, power_budget=BUDGET, result=1)
+    sched.write1_queue.append(
+        ScheduledOp(unit=0, kind="write1", slot=0, current=BUDGET + 1, n_bits=129)
+    )
+    with pytest.raises(InvariantViolation) as exc:
+        verify_schedule(sched)
+    assert exc.value.kind == "power_budget"
+    assert exc.value.context["slot"] == 0
+    assert exc.value.context["current"] > BUDGET
+
+
+def test_double_scheduled_unit_raises():
+    sched, n_set, n_reset = make_valid_schedule()
+    sched.write0_queue.append(sched.write0_queue[0])
+    with pytest.raises(InvariantViolation) as exc:
+        verify_schedule(sched)
+    assert exc.value.kind == "duplicate_burst"
+    assert exc.value.context["unit"] == sched.write0_queue[0].unit
+
+
+def test_missing_burst_breaks_cell_accounting():
+    sched, n_set, n_reset = make_valid_schedule()
+    dropped = sched.write1_queue.pop()
+    with pytest.raises(InvariantViolation) as exc:
+        verify_schedule(sched, n_set=n_set, n_reset=n_reset, L=L)
+    assert exc.value.kind == "cell_accounting"
+    assert exc.value.context["unit"] == dropped.unit
+
+
+def test_wrong_units_raises():
+    sched, *_ = make_valid_schedule()
+    with pytest.raises(InvariantViolation) as exc:
+        verify_schedule(sched, units=sched.service_units() + 0.5)
+    assert exc.value.kind == "units_mismatch"
+
+
+def test_corrupted_result_breaks_equation5_consistency():
+    sched, *_ = make_valid_schedule()
+    reported = sched.service_units()
+    sched.result += 1  # "one phantom write unit"
+    with pytest.raises(InvariantViolation) as exc:
+        verify_schedule(sched, units=reported)
+    assert exc.value.kind == "units_mismatch"
+
+
+def test_out_of_range_slot_raises():
+    sched = TetrisSchedule(K=K, power_budget=BUDGET, result=1)
+    sched.write1_queue.append(
+        ScheduledOp(unit=0, kind="write1", slot=3, current=1.0, n_bits=1)
+    )
+    with pytest.raises(InvariantViolation) as exc:
+        verify_schedule(sched)
+    assert exc.value.kind == "slot_range"
+    assert exc.value.context["slot"] == 3
+
+
+# ----------------------------------------------------------------------
+# Outcome violations.
+# ----------------------------------------------------------------------
+def outcome(**overrides):
+    base = dict(
+        service_ns=532.5,
+        units=1.0,
+        read_ns=50.0,
+        analysis_ns=52.5,
+        n_set=4,
+        n_reset=4,
+        energy=1.0,
+    )
+    base.update(overrides)
+    return WriteOutcome(**base)
+
+
+def test_negative_component_raises():
+    with pytest.raises(InvariantViolation) as exc:
+        verify_outcome(outcome(energy=-0.5))
+    assert exc.value.kind == "negative_component"
+    assert exc.value.context["attr"] == "energy"
+
+
+def test_service_smaller_than_overheads_raises():
+    with pytest.raises(InvariantViolation) as exc:
+        verify_outcome(outcome(service_ns=10.0))
+    assert exc.value.kind == "service_decomposition"
+
+
+def test_service_decomposition_against_t_set():
+    with pytest.raises(InvariantViolation) as exc:
+        verify_outcome(outcome(), t_set_ns=400.0)  # 50+52.5+400 != 532.5
+    assert exc.value.kind == "service_decomposition"
+    verify_outcome(outcome(service_ns=102.5 + 430.0), t_set_ns=430.0)
+
+
+def test_state_diff_mismatch_raises():
+    before = np.zeros(2, dtype=np.uint64)
+    after = np.array([0b111, 0], dtype=np.uint64)  # 3 SETs, 0 RESETs
+    with pytest.raises(InvariantViolation) as exc:
+        verify_outcome(
+            outcome(n_set=5, n_reset=0, service_ns=1000.0),
+            state_before=before,
+            state_after=after,
+        )
+    assert exc.value.kind == "state_diff"
+    assert exc.value.context == dict(
+        attr="n_set", reported=5, image_cells=3, allowed_extra=0
+    )
+
+
+def test_state_diff_allows_flip_tag_slack():
+    before = np.zeros(1, dtype=np.uint64)
+    after = np.array([0b1], dtype=np.uint64)
+    good = outcome(n_set=2, n_reset=0, service_ns=1000.0)
+    verify_outcome(
+        good, state_before=before, state_after=after,
+        exact_cells=False, max_extra_cells=1,
+    )
+    with pytest.raises(InvariantViolation):
+        verify_outcome(
+            outcome(n_set=3, n_reset=0, service_ns=1000.0),
+            state_before=before, state_after=after,
+            exact_cells=False, max_extra_cells=1,
+        )
+
+
+# ----------------------------------------------------------------------
+# Enablement plumbing.
+# ----------------------------------------------------------------------
+def test_env_flag_parsing(monkeypatch):
+    for value, expect in [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("", False), ("off", False),
+    ]:
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert env_enabled() is expect
+    monkeypatch.delenv("REPRO_VERIFY")
+    assert env_enabled() is False
+
+
+def test_config_flag_enables_without_env(monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    assert runtime_verification_enabled(default_config()) is False
+    cfg = default_config(verify_invariants=True)
+    assert runtime_verification_enabled(cfg) is True
+    assert get_scheme("tetris", cfg).verify is True
+    assert get_scheme("tetris").verify is False
+
+
+# ----------------------------------------------------------------------
+# End to end: a scheme whose scheduler goes rogue is caught mid-write.
+# ----------------------------------------------------------------------
+class _RogueScheduler:
+    """Stub returning a schedule that double-books a power slot."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.K = inner.K
+        self.L = inner.L
+        self.power_budget = inner.power_budget
+
+    def schedule(self, n_set, n_reset):
+        sched = TetrisSchedule(K=self.K, power_budget=self.power_budget, result=1)
+        sched.write1_queue.append(
+            ScheduledOp(
+                unit=0, kind="write1", slot=0,
+                current=self.power_budget * 2, n_bits=int(self.power_budget * 2),
+            )
+        )
+        return sched
+
+
+def test_tetris_write_catches_rogue_schedule():
+    scheme = get_scheme("tetris", default_config(verify_invariants=True))
+    scheme.scheduler = _RogueScheduler(scheme.scheduler)
+    state = LineState.from_logical(np.zeros(8, dtype=np.uint64))
+    new = np.full(8, 0xFFFF, dtype=np.uint64)
+    with pytest.raises(InvariantViolation) as exc:
+        scheme.write(state, new)
+    assert exc.value.kind == "power_budget"
+
+
+def test_tetris_write_verified_run_matches_unverified(monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    rng = np.random.default_rng(42)
+    lines = rng.integers(0, 2**63, size=(20, 8), dtype=np.uint64)
+    results = []
+    for flag in (False, True):
+        scheme = get_scheme("tetris", default_config(verify_invariants=flag))
+        state = LineState.from_logical(lines[0])
+        outs = [scheme.write(state, row) for row in lines[1:]]
+        results.append([(o.units, o.n_set, o.n_reset) for o in outs])
+    assert results[0] == results[1]

@@ -44,5 +44,6 @@ class TestScale:
     def test_determinism_at_scale(self, big_trace):
         a = run_fullsystem(big_trace, "three_stage")
         b = run_fullsystem(big_trace, "three_stage")
-        assert a.runtime_ns == b.runtime_ns
+        # Exact equality is intentional: determinism means bitwise-equal.
+        assert a.runtime_ns == b.runtime_ns  # simlint: disable=SL004
         assert a.events == b.events

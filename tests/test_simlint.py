@@ -1,0 +1,213 @@
+"""simlint: rule behavior on fixtures, CLI contract, and a clean tree.
+
+The clean-tree test is the tier-1 guardrail the linter exists for: the
+whole repository must lint clean, so any PR that introduces an unseeded
+RNG, a wall-clock read in the simulator, or an unregistered scheme
+fails here before it can corrupt experiment results.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "fixtures" / "simlint"
+
+if str(REPO) not in sys.path:  # the root shim makes `import simlint` work
+    sys.path.insert(0, str(REPO))
+
+import simlint  # noqa: E402
+from simlint import DEFAULT_EXCLUDES, lint_paths, lint_source  # noqa: E402
+
+
+def lint_fixture(name: str, module: str) -> list:
+    """Lint a fixture file's text under an explicit module scope."""
+    path = FIXTURES / name
+    return lint_source(path.read_text(), path=str(path), module=module)
+
+
+def rules_fired(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Every rule fires on its bad fixture and stays quiet on its good one.
+# ----------------------------------------------------------------------
+FIXTURE_MATRIX = [
+    # (rule, module scope to lint under, expected finding count in bad)
+    ("SL001", "repro.trace.fixture", 5),
+    ("SL002", "repro.core.fixture", 4),
+    ("SL003", "repro.schemes.fixture", 5),
+    ("SL004", "tests.fixture", 4),
+    ("SL005", "tests.fixture", 4),
+    ("SL006", "repro.core.fixture", 3),
+]
+
+
+@pytest.mark.parametrize("rule,module,expected", FIXTURE_MATRIX)
+def test_rule_fires_on_bad_fixture(rule, module, expected):
+    findings = lint_fixture(f"{rule.lower()}_bad.py", module)
+    hits = [f for f in findings if f.rule == rule]
+    assert len(hits) == expected, [f.format() for f in findings]
+    assert all(f.line > 0 for f in hits)
+
+
+@pytest.mark.parametrize("rule,module,_", FIXTURE_MATRIX)
+def test_rule_quiet_on_good_fixture(rule, module, _):
+    findings = lint_fixture(f"{rule.lower()}_good.py", module)
+    assert [f.format() for f in findings] == []
+
+
+# ----------------------------------------------------------------------
+# Scoping: path decides which rules even run.
+# ----------------------------------------------------------------------
+def test_sl001_does_not_apply_outside_repro():
+    src = (FIXTURES / "sl001_bad.py").read_text()
+    findings = lint_source(src, path="tests/helpers.py", module="tests.helpers")
+    assert "SL001" not in rules_fired(findings)
+
+
+def test_sl002_applies_only_to_simulated_time_packages():
+    src = (FIXTURES / "sl002_bad.py").read_text()
+    for module, applies in [
+        ("repro.sim.engine", True),
+        ("repro.pcm.chip", True),
+        ("repro.experiments.runner", False),
+        ("benchmarks.bench_overhead", False),
+    ]:
+        fired = rules_fired(lint_source(src, module=module))
+        assert ("SL002" in fired) is applies, module
+
+
+def test_sl006_scoped_to_core_and_schemes():
+    src = (FIXTURES / "sl006_bad.py").read_text()
+    assert "SL006" in rules_fired(lint_source(src, module="repro.schemes.x"))
+    assert "SL006" not in rules_fired(lint_source(src, module="repro.trace.x"))
+
+
+# ----------------------------------------------------------------------
+# Suppression comments.
+# ----------------------------------------------------------------------
+def test_line_suppression_silences_only_that_rule_and_line():
+    src = (
+        "def f(xs=[]):  # simlint: disable=SL005\n"
+        "    return xs\n"
+        "def g(ys=[]):\n"
+        "    return ys\n"
+    )
+    findings = lint_source(src, module="tests.x")
+    assert [f.line for f in findings if f.rule == "SL005"] == [3]
+
+
+def test_file_suppression_silences_whole_module():
+    src = (
+        "# simlint: disable-file=SL005\n"
+        "def f(xs=[]):\n"
+        "    return xs\n"
+    )
+    assert lint_source(src, module="tests.x") == []
+
+
+def test_directive_inside_string_is_inert():
+    src = (
+        'NOTE = "# simlint: disable-file=SL005"\n'
+        "def f(xs=[]):\n"
+        "    return xs\n"
+    )
+    assert "SL005" in rules_fired(lint_source(src, module="tests.x"))
+
+
+def test_syntax_error_reported_as_sl000():
+    findings = lint_source("def broken(:\n", module="tests.x")
+    assert rules_fired(findings) == {"SL000"}
+
+
+# ----------------------------------------------------------------------
+# The tree itself must be clean (tier-1 guardrail).
+# ----------------------------------------------------------------------
+def test_tree_is_simlint_clean():
+    paths = [REPO / "src", REPO / "tests", REPO / "benchmarks"]
+    findings = lint_paths(paths)
+    assert [f.format() for f in findings] == []
+
+
+def test_examples_and_tools_are_simlint_clean():
+    findings = lint_paths([REPO / "examples", REPO / "tools"])
+    assert [f.format() for f in findings] == []
+
+
+def test_default_excludes_skip_the_bad_fixtures():
+    findings = lint_paths([FIXTURES])
+    assert findings == []
+    assert "fixtures/simlint" in DEFAULT_EXCLUDES
+
+
+# ----------------------------------------------------------------------
+# CLI contract: python -m simlint from the repo root, text and JSON.
+# ----------------------------------------------------------------------
+def run_cli(*args, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, "-m", "simlint", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_cli_clean_run_exits_zero():
+    proc = run_cli("src/repro/util", "src/repro/verify")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.stdout.strip() == ""
+
+
+def test_cli_json_reports_findings_and_exits_one(tmp_path):
+    bad = tmp_path / "bad_module.py"
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    proc = run_cli(str(bad), "--json")
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    assert doc["count"] == 1
+    (finding,) = doc["findings"]
+    assert finding["rule"] == "SL005"
+    assert finding["line"] == 1
+    assert finding["path"] == str(bad)
+
+
+def test_cli_select_restricts_rules(tmp_path):
+    bad = tmp_path / "bad_module.py"
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    proc = run_cli(str(bad), "--select", "SL004", "--json")
+    assert proc.returncode == 0
+    assert json.loads(proc.stdout)["count"] == 0
+
+
+def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
+    assert run_cli("--select", "SL999", str(tmp_path)).returncode == 2
+    assert run_cli(str(tmp_path / "nope")).returncode == 2
+
+
+def test_cli_list_rules_names_all_six():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
+    assert listed == {"SL001", "SL002", "SL003", "SL004", "SL005", "SL006"}
+
+
+# ----------------------------------------------------------------------
+# Registry coherence: SL003's premise matches the live registry.
+# ----------------------------------------------------------------------
+def test_live_scheme_registry_matches_sl003_expectations():
+    import repro.schemes  # noqa: F401 — triggers registration imports
+    from repro.schemes.base import SCHEME_REGISTRY
+
+    assert {"tetris", "conventional", "dcw", "flip_n_write"} <= set(SCHEME_REGISTRY)
+    for name, cls in SCHEME_REGISTRY.items():
+        assert isinstance(name, str) and name
+        assert callable(getattr(cls, "write"))
+        assert callable(getattr(cls, "worst_case_units"))

@@ -1,0 +1,33 @@
+"""simlint — simulator-aware static analysis for the Tetris Write repo.
+
+Usage (from the repo root; the top-level ``simlint/`` shim makes the
+module importable without touching ``PYTHONPATH``)::
+
+    python -m simlint                      # lint src/ tests/ benchmarks/
+    python -m simlint src/repro --json     # machine-readable output
+    python -m simlint --list-rules
+
+See ``docs/SIMLINT.md`` for the rule catalogue (SL001-SL006) and the
+``# simlint: disable=SLxxx`` suppression syntax.
+"""
+
+from simlint.engine import (
+    DEFAULT_EXCLUDES,
+    LintFinding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from simlint.rules import RULE_REGISTRY, default_rules
+
+__all__ = [
+    "DEFAULT_EXCLUDES",
+    "LintFinding",
+    "RULE_REGISTRY",
+    "default_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+__version__ = "1.0.0"

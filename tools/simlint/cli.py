@@ -1,0 +1,118 @@
+"""simlint command line: ``python -m simlint [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 bad invocation.  ``--json`` swaps
+the human ``path:line:col: SLxxx message`` lines for a machine-readable
+document (used by CI annotations and the rule tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from simlint.engine import DEFAULT_EXCLUDES, lint_paths
+from simlint.rules import RULE_REGISTRY, default_rules
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description=(
+            "Simulator-aware static analysis for the Tetris Write repo "
+            "(rules SL001-SL006; see docs/SIMLINT.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON document instead of text lines",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="SEGMENT",
+        help="extra path segment to exclude (repeatable); "
+        f"defaults always excluded: {', '.join(DEFAULT_EXCLUDES)}",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _parse_rule_ids(text: str, parser: argparse.ArgumentParser) -> set[str]:
+    ids = {t.strip().upper() for t in text.split(",") if t.strip()}
+    unknown = ids - set(RULE_REGISTRY)
+    if unknown:
+        parser.error(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULE_REGISTRY))}"
+        )
+    return ids
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    rules = default_rules()
+    if args.select:
+        keep = _parse_rule_ids(args.select, parser)
+        rules = [r for r in rules if r.id in keep]
+    if args.ignore:
+        drop = _parse_rule_ids(args.ignore, parser)
+        rules = [r for r in rules if r.id not in drop]
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+
+    excludes = DEFAULT_EXCLUDES + tuple(args.exclude)
+    findings = lint_paths(args.paths, rules=rules, excludes=excludes)
+
+    if args.json:
+        doc = {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "rules": sorted(r.id for r in rules),
+            "paths": list(args.paths),
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        if findings:
+            print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,307 @@
+"""simlint engine: file walking, parsing, suppression, rule dispatch.
+
+The engine owns everything that is not rule-specific:
+
+* locating ``*.py`` files under the requested paths (minus default
+  excludes such as the linter's own bad-on-purpose fixtures);
+* deriving a dotted module name for each file so rules can scope
+  themselves to simulator packages (``repro.core``, ``repro.pcm``, ...);
+* building the per-module :class:`ModuleContext` — source lines, the
+  import alias table used to resolve ``np.random.default_rng`` to its
+  canonical ``numpy.random.default_rng`` form, and the suppression map
+  parsed from ``# simlint: disable=SLxxx`` comments;
+* a single AST walk that dispatches each node to every rule interested
+  in that node type.
+
+Rules themselves live in :mod:`simlint.rules` and only look at nodes.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LintFinding",
+    "ModuleContext",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "DEFAULT_EXCLUDES",
+]
+
+# Path *segments* (matched against every component of a file's path) that
+# are skipped by default.  ``fixtures/simlint`` holds the deliberately
+# bad snippets the rule tests assert against; linting them would make the
+# clean-tree check meaningless.
+DEFAULT_EXCLUDES: tuple[str, ...] = (
+    ".git",
+    "__pycache__",
+    ".venv",
+    "build",
+    "dist",
+    "out",
+    "fixtures/simlint",
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need to know about the module being linted."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.AST
+    aliases: dict[str, str] = field(default_factory=dict)
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module lives under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, or ``None``.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` given ``import numpy as np``;
+        ``perf_counter`` resolves to ``time.perf_counter`` given
+        ``from time import perf_counter``.  Non-name expressions (calls,
+        subscripts) terminate resolution.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = parts[0]
+        if head in self.aliases:
+            parts[0:1] = self.aliases[head].split(".")
+        return ".".join(parts)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_suppressions:
+            return True
+        return rule in self.line_suppressions.get(line, set())
+
+
+# ----------------------------------------------------------------------
+# Context construction helpers.
+# ----------------------------------------------------------------------
+def _collect_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted path they were imported as."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+                if a.asname:
+                    aliases[a.asname] = a.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Parse ``# simlint: disable=...`` / ``disable-file=...`` comments.
+
+    Line suppressions apply to findings reported on the comment's line;
+    file suppressions apply to the whole module.  Tokenizing (rather than
+    regex over raw lines) keeps directives inside string literals inert.
+    """
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            kind, codes_text = m.group(1), m.group(2)
+            codes = {c.strip().upper() for c in codes_text.split(",") if c.strip()}
+            if kind == "disable-file":
+                per_file |= codes
+            else:
+                per_line.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return per_line, per_file
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name heuristic: strip any leading ``src`` component."""
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("src",):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1 :]
+            break
+    # Drop leading path noise (absolute prefixes) down to a recognizable
+    # top-level package when one is present.
+    for top in ("repro", "tests", "benchmarks", "examples", "tools", "simlint"):
+        if top in parts:
+            parts = parts[parts.index(top) :]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Linting entry points.
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Iterable | None = None,
+) -> list[LintFinding]:
+    """Lint one module's source text and return its findings."""
+    from simlint.rules import default_rules
+
+    active = list(rules) if rules is not None else default_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                rule="SL000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    per_line, per_file = _collect_suppressions(source)
+    ctx = ModuleContext(
+        path=path,
+        module=module if module is not None else _module_name(Path(path)),
+        source=source,
+        tree=tree,
+        aliases=_collect_aliases(tree),
+        line_suppressions=per_line,
+        file_suppressions=per_file,
+    )
+
+    scoped = [r for r in active if r.applies_to(ctx)]
+    if not scoped:
+        return []
+    # One walk, dispatch by node type: each rule registers the node
+    # classes it cares about so the hot loop stays a dict lookup.
+    dispatch: dict[type, list] = {}
+    for rule in scoped:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    findings: list[LintFinding] = []
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            for f in rule.check(node, ctx):
+                if not ctx.suppressed(f.rule, f.line):
+                    findings.append(f)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: Path | str, *, rules: Iterable | None = None) -> list[LintFinding]:
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            LintFinding(
+                rule="SL000", path=str(p), line=1, col=0, message=f"unreadable: {exc}"
+            )
+        ]
+    return lint_source(source, path=str(p), rules=rules)
+
+
+def _excluded(path: Path, excludes: tuple[str, ...]) -> bool:
+    text = path.as_posix()
+    for pattern in excludes:
+        if "/" in pattern:
+            if pattern in text:
+                return True
+        elif pattern in path.parts:
+            return True
+    return False
+
+
+def iter_python_files(
+    paths: Iterable[Path | str], *, excludes: tuple[str, ...] = DEFAULT_EXCLUDES
+) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths``, applying segment excludes."""
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        # Explicitly named files are always linted; excludes only prune
+        # directory recursion (same contract as ruff/flake8).
+        explicit = root.is_file()
+        if explicit:
+            candidates = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for p in candidates:
+            if p in seen or (not explicit and _excluded(p, excludes)):
+                continue
+            seen.add(p)
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    rules: Iterable | None = None,
+    excludes: tuple[str, ...] = DEFAULT_EXCLUDES,
+) -> list[LintFinding]:
+    """Lint every Python file under ``paths`` (the CLI's workhorse)."""
+    findings: list[LintFinding] = []
+    for p in iter_python_files(paths, excludes=excludes):
+        findings.extend(lint_file(p, rules=rules))
+    return findings

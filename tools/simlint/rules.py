@@ -1,0 +1,462 @@
+"""simlint rules SL001–SL006, tuned to the Tetris Write reproduction.
+
+Each rule is a declarative class: ``id``/``title`` metadata, the AST
+node types it wants dispatched, a path scope (``applies_to``), and a
+``check`` generator yielding :class:`~simlint.engine.LintFinding`.
+
+The rule set encodes the repo's simulator invariants (DESIGN.md §6,
+``schemes/base.py`` conventions):
+
+====== ==============================================================
+SL001  determinism — no unseeded RNG inside ``repro.*``
+SL002  simulated time only — no wall clock in sim/core/schemes/pcm
+SL003  ``WriteScheme`` subclasses must register + override abstracts
+SL004  no ``==``/``!=`` on float time/energy expressions
+SL005  no mutable default arguments
+SL006  time-carrying parameters must use the ``_ns`` suffix convention
+====== ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from simlint.engine import LintFinding, ModuleContext
+
+__all__ = [
+    "LintRule",
+    "RULE_REGISTRY",
+    "default_rules",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "SchemeRegistrationRule",
+    "FloatTimeEqualityRule",
+    "MutableDefaultRule",
+    "TimeUnitSuffixRule",
+]
+
+RULE_REGISTRY: dict[str, type["LintRule"]] = {}
+
+
+class LintRule:
+    """Base class; subclasses self-register by ``id``."""
+
+    id: str = ""
+    title: str = ""
+    node_types: tuple[type, ...] = ()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.id:
+            RULE_REGISTRY[cls.id] = cls
+
+    # ------------------------------------------------------------------
+    def applies_to(self, ctx: ModuleContext) -> bool:  # pragma: no cover
+        return True
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, ctx: ModuleContext, message: str) -> LintFinding:
+        return LintFinding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def default_rules() -> list[LintRule]:
+    """One instance of every registered rule, in id order."""
+    return [RULE_REGISTRY[k]() for k in sorted(RULE_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# SL001 — determinism: every RNG must flow from a seeded Generator.
+# ----------------------------------------------------------------------
+class UnseededRandomRule(LintRule):
+    """Unseeded / global-state RNG calls break trace reproducibility.
+
+    Simulation results must be a pure function of ``SystemConfig.seed``
+    (DESIGN.md; ``tests/test_reproducibility.py``).  Three families of
+    call sites violate that:
+
+    * ``numpy.random.default_rng()`` / ``RandomState()`` with no seed —
+      entropy from the OS;
+    * the legacy numpy global API (``np.random.randint`` etc.) — hidden
+      process-wide state, including ``np.random.seed`` which mutates it;
+    * the stdlib ``random`` module-level functions and ``SystemRandom``.
+
+    Seeded constructions (``default_rng(seed)``, ``SeedSequence([...])``,
+    ``random.Random(seed)``) and passing a ``Generator`` around are fine.
+    """
+
+    id = "SL001"
+    title = "unseeded or global-state RNG in simulator code"
+    node_types = (ast.Call,)
+
+    _NUMPY_GLOBAL = re.compile(
+        r"^numpy\.random\.("
+        r"seed|rand|randn|randint|random|random_sample|ranf|sample|bytes|"
+        r"choice|shuffle|permutation|uniform|normal|standard_normal|poisson|"
+        r"binomial|geometric|exponential|beta|gamma|integers"
+        r")$"
+    )
+    _STDLIB_GLOBAL = re.compile(
+        r"^random\.("
+        r"seed|random|randint|randrange|getrandbits|randbytes|choice|choices|"
+        r"shuffle|sample|uniform|triangular|betavariate|expovariate|"
+        r"gammavariate|gauss|lognormvariate|normalvariate|vonmisesvariate|"
+        r"paretovariate|weibullvariate"
+        r")$"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[LintFinding]:
+        name = ctx.resolve(node.func)
+        if name is None:
+            return
+        seeded = bool(node.args or node.keywords)
+        if name in ("numpy.random.default_rng", "numpy.random.RandomState"):
+            if not seeded:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"{name}() without a seed draws OS entropy; "
+                    "thread the seed from SystemConfig.seed",
+                )
+        elif self._NUMPY_GLOBAL.match(name):
+            yield self.finding(
+                node,
+                ctx,
+                f"legacy global-state RNG call {name}(); "
+                "use a seeded numpy.random.Generator instead",
+            )
+        elif name == "random.SystemRandom":
+            yield self.finding(
+                node, ctx, "random.SystemRandom is nondeterministic by design"
+            )
+        elif name == "random.Random" and not seeded:
+            yield self.finding(
+                node, ctx, "random.Random() without a seed draws OS entropy"
+            )
+        elif self._STDLIB_GLOBAL.match(name):
+            yield self.finding(
+                node,
+                ctx,
+                f"stdlib global-state RNG call {name}(); "
+                "use a seeded numpy.random.Generator instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# SL002 — simulated time only in the simulator core.
+# ----------------------------------------------------------------------
+class WallClockRule(LintRule):
+    """Wall-clock reads inside the simulator leak host time into results.
+
+    The DES engine (``repro.sim.engine``) owns the only clock the model
+    may observe; schemes, the scheduler, and the device model express
+    time exclusively in simulated nanoseconds.  A ``perf_counter`` or
+    ``datetime.now`` in those packages either silently perturbs results
+    or sneaks profiling into a hot path — both belong in benchmarks.
+    """
+
+    id = "SL002"
+    title = "wall-clock call inside simulated-time code"
+    node_types = (ast.Call,)
+
+    _FORBIDDEN = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "time.clock_gettime",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package(
+            "repro.sim", "repro.core", "repro.schemes", "repro.pcm"
+        )
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[LintFinding]:
+        name = ctx.resolve(node.func)
+        if name in self._FORBIDDEN:
+            yield self.finding(
+                node,
+                ctx,
+                f"wall-clock call {name}() in simulated-time code; "
+                "use the Simulator clock (sim.now) or move timing to benchmarks/",
+            )
+
+
+# ----------------------------------------------------------------------
+# SL003 — WriteScheme subclasses must register and be complete.
+# ----------------------------------------------------------------------
+class SchemeRegistrationRule(LintRule):
+    """Concrete ``WriteScheme`` subclasses must be registry-complete.
+
+    Registration happens in ``WriteScheme.__init_subclass__`` keyed on a
+    string ``name`` class attribute, and the simulator dispatches on the
+    registry — so a subclass without ``name`` silently vanishes from
+    ``get_scheme``/``ALL_SCHEMES``, and one missing an abstract override
+    explodes only when first instantiated.  The rule requires every
+    non-abstract direct subclass to define ``name`` (a string literal),
+    ``requires_read``, and both abstract methods (``write``,
+    ``worst_case_units``) in its own body or via an explicit assignment.
+    """
+
+    id = "SL003"
+    title = "incomplete WriteScheme subclass"
+    node_types = (ast.ClassDef,)
+
+    _ABSTRACTS = ("write", "worst_case_units")
+    _CLASSVARS = ("name", "requires_read")
+
+    def _is_writescheme_base(self, base: ast.expr, ctx: ModuleContext) -> bool:
+        name = ctx.resolve(base)
+        return name is not None and (
+            name == "WriteScheme" or name.endswith(".WriteScheme")
+        )
+
+    @staticmethod
+    def _is_abstract(node: ast.ClassDef, ctx: ModuleContext) -> bool:
+        for base in node.bases:
+            resolved = ctx.resolve(base) or ""
+            if resolved in ("ABC", "abc.ABC") or resolved.endswith(".ABC"):
+                return True
+        for kw in node.keywords:
+            if kw.arg == "metaclass":
+                return True
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for deco in stmt.decorator_list:
+                    resolved = ctx.resolve(deco) or ""
+                    if resolved.split(".")[-1] == "abstractmethod":
+                        return True
+        return False
+
+    def check(self, node: ast.ClassDef, ctx: ModuleContext) -> Iterator[LintFinding]:
+        if not any(self._is_writescheme_base(b, ctx) for b in node.bases):
+            return
+        if self._is_abstract(node, ctx):
+            return
+
+        defined: set[str] = set()
+        name_value: ast.expr | None = None
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defined.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        defined.add(tgt.id)
+                        if tgt.id == "name":
+                            name_value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                # Annotation-only (`name: ClassVar[str]`) declares, but does
+                # not define — only a value registers the scheme.
+                if stmt.value is not None:
+                    defined.add(stmt.target.id)
+                    if stmt.target.id == "name":
+                        name_value = stmt.value
+
+        for attr in self._CLASSVARS:
+            if attr not in defined:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"WriteScheme subclass {node.name} does not set {attr!r}; "
+                    "without a string `name` it is never entered in SCHEME_REGISTRY",
+                )
+        if name_value is not None and not (
+            isinstance(name_value, ast.Constant) and isinstance(name_value.value, str)
+        ):
+            yield self.finding(
+                node,
+                ctx,
+                f"{node.name}.name must be a string literal for registration",
+            )
+        for meth in self._ABSTRACTS:
+            if meth not in defined:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"WriteScheme subclass {node.name} does not override "
+                    f"abstract method {meth!r}",
+                )
+
+
+# ----------------------------------------------------------------------
+# SL004 — float time/energy expressions must not use == / !=.
+# ----------------------------------------------------------------------
+class FloatTimeEqualityRule(LintRule):
+    """Exact equality on derived float times/energies is a latent bug.
+
+    ``service_ns``, energies, and anything built from ``t_set``/``t_reset``
+    go through float arithmetic (``units * t_set_ns``, Eq. 5's
+    ``subresult / K``), so ``==`` comparisons hold only by accident of
+    rounding.  Compare with a tolerance (``math.isclose``,
+    ``pytest.approx``, ``numpy.isclose``) or restructure as an ordering
+    test.  Comparisons whose other side is wrapped in one of those
+    tolerance helpers are accepted.
+    """
+
+    id = "SL004"
+    title = "exact float equality on time/energy expression"
+    node_types = (ast.Compare,)
+
+    _UNIT_NAME = re.compile(r"(_ns$|^t_set(_ns)?$|^t_reset(_ns)?$|energy)", re.I)
+    _TOLERANT = frozenset({"approx", "isclose", "allclose", "assert_allclose"})
+
+    def _terminal_name(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _unit_bearing(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.BinOp):
+            return self._unit_bearing(node.left) or self._unit_bearing(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._unit_bearing(node.operand)
+        if isinstance(node, ast.Call):
+            # sum(x.service_ns ...), float(x.energy) keep their units, but a
+            # tolerance helper (pytest.approx(...)) deliberately does not.
+            if (self._terminal_name(node.func) or "") in self._TOLERANT:
+                return False
+            return any(self._unit_bearing(a) for a in node.args)
+        name = self._terminal_name(node)
+        return bool(name and self._UNIT_NAME.search(name))
+
+    def _tolerant(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and (self._terminal_name(node.func) or "") in self._TOLERANT
+        )
+
+    def check(self, node: ast.Compare, ctx: ModuleContext) -> Iterator[LintFinding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._tolerant(left) or self._tolerant(right):
+                continue
+            for side, other in ((left, right), (right, left)):
+                if self._unit_bearing(side):
+                    if isinstance(other, ast.Constant) and isinstance(
+                        other.value, str
+                    ):
+                        break  # comparing a label, not a quantity
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        left,
+                        ctx,
+                        f"exact float {sym} on time/energy expression; use "
+                        "math.isclose/pytest.approx or an ordering comparison",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# SL005 — mutable default arguments.
+# ----------------------------------------------------------------------
+class MutableDefaultRule(LintRule):
+    """A mutable default is shared across calls — state leaks between
+    writes/experiments, the exact class of bug the determinism tests
+    cannot catch because the first run is self-consistent."""
+
+    id = "SL005"
+    title = "mutable default argument"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def check(self, node, ctx: ModuleContext) -> Iterator[LintFinding]:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and self._is_mutable(default):
+                fn = getattr(node, "name", "<lambda>")
+                yield self.finding(
+                    default,
+                    ctx,
+                    f"mutable default argument in {fn}(); "
+                    "use None and construct inside the function",
+                )
+
+
+# ----------------------------------------------------------------------
+# SL006 — time-carrying parameters use the _ns suffix convention.
+# ----------------------------------------------------------------------
+class TimeUnitSuffixRule(LintRule):
+    """Public time-valued parameters must say their unit.
+
+    ``schemes/base.py`` documents the convention: everything that is a
+    time is named ``*_ns`` (the scheduler's unitless quantities are
+    ``*_units``/``result``/``subresult``).  An unsuffixed ``delay`` or
+    ``latency`` parameter on a public function in ``repro.core`` /
+    ``repro.schemes`` invites ns-vs-cycles mix-ups at call sites —
+    exactly the interface drift the scaling PRs would multiply.
+    """
+
+    id = "SL006"
+    title = "time-valued parameter missing unit suffix"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _TIME_WORDS = re.compile(
+        r"(^|_)(time|latency|delay|duration|deadline|timeout|interval|elapsed|overhead|period)(_|$)",
+        re.I,
+    )
+    _UNIT_SUFFIX = re.compile(
+        r"(_ns|_us|_ms|_s|_sec|_seconds|_cycles|_ticks|_units|_insts|_hz|_ghz|_mhz)$"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro.core", "repro.schemes")
+
+    def check(self, node, ctx: ModuleContext) -> Iterator[LintFinding]:
+        if node.name.startswith("_"):
+            return
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            name = arg.arg
+            if name in ("self", "cls"):
+                continue
+            if self._TIME_WORDS.search(name) and not self._UNIT_SUFFIX.search(name):
+                yield self.finding(
+                    arg,
+                    ctx,
+                    f"parameter {name!r} of public {node.name}() looks "
+                    "time-valued but has no unit suffix; use the _ns "
+                    "convention from schemes/base.py",
+                )
