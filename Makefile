@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint verify bench all
+.PHONY: test lint verify bench faults all
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -16,5 +16,9 @@ verify:          ## test suite with runtime invariant checking armed
 
 bench:           ## paper-figure benches (prints + writes benchmarks/out/)
 	$(PYTHON) -m pytest benchmarks/ -q
+
+faults:          ## fault-injection smoke: tests at 1e-3 + overhead bench
+	REPRO_VERIFY=1 REPRO_FAULT_RATE=1e-3 $(PYTHON) -m pytest -x -q tests/test_faults.py
+	$(PYTHON) -m pytest -q benchmarks/bench_faults.py
 
 all: lint test

@@ -32,9 +32,12 @@ class EagerHalfWrite(WriteScheme):
     The point is the shape of a scheme implementation:
 
     * ``worst_case_units`` — the closed-form bound the controller uses;
-    * ``write`` — decide timing, count programmed cells, COMMIT the new
-      image via ``state.store``, and return an outcome via
-      ``self._outcome`` so time/energy stay consistent.
+    * ``_write_once`` — decide timing, count programmed cells, COMMIT
+      the new image via ``state.store``, and return an outcome via
+      ``self._outcome`` so time/energy stay consistent.  The base class
+      ``write`` wraps it with wear accounting and (when enabled) the
+      program-and-verify fault loop — implement one pristine pass and
+      retries come for free.
     """
 
     name = "eager_half"          # <- registers under this name
@@ -44,7 +47,7 @@ class EagerHalfWrite(WriteScheme):
         nm = self.config.units_per_line
         return nm / (2 * self.config.K) + nm / (2 * self.config.L)
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=np.uint64)
         rs = read_stage(state.physical, state.flip, new_logical)
         skip_read = bool((rs.flip == state.flip).all())  # toy heuristic

@@ -197,6 +197,61 @@ class CPUConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Program-failure model (``repro.faults``; docs/FAULTS.md).
+
+    Real PCM programs fail: transiently (cell variation, drift — the
+    pulse lands but the resistance misses its band) and permanently
+    (endurance-induced stuck-at cells).  When ``enabled``, every scheme's
+    write path runs a bounded program-and-verify loop against a
+    deterministic, seeded :class:`repro.faults.FaultModel`; writes that
+    exhaust retries degrade gracefully through an ECP-style pointer
+    table and, beyond that, line retirement to a spare pool.
+
+    Off by default: the disabled path must stay bit-identical to a
+    simulator without the fault subsystem.
+    """
+
+    enabled: bool = False
+    # Per-bit probability that one program pulse fails transiently (per
+    # attempt).  0 disables transient faults even when ``enabled``.
+    transient_bit_error_rate: float = 0.0
+    # Lognormal sigma of the per-region ProcessVariation factor scaling
+    # the transient rate (slow regions fail more).  0 = uniform rate.
+    variation_sigma: float = 0.0
+    variation_region_lines: int = 1024
+    # Per-cell program endurance: lognormal(mean, sigma); a cell whose
+    # program count crosses its drawn endurance sticks at the last value
+    # it successfully held.
+    endurance_mean: float = 1e8
+    endurance_sigma: float = 0.2
+    # Program-and-verify bound: total program passes per write per line
+    # (the first pass included) before degradation kicks in.
+    max_write_attempts: int = 3
+    # Error-Correcting Pointers per line (Schechter et al., ISCA 2010):
+    # up to this many stuck-mismatched cells are absorbed per write.
+    ecp_entries: int = 6
+    # Retirement spare pool (per fault domain); 0 means the first
+    # over-ECP line raises UncorrectableWriteError immediately.
+    spare_lines: int = 64
+    seed: int = 20160816
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transient_bit_error_rate < 1.0:
+            raise ConfigError("transient_bit_error_rate must be in [0, 1)")
+        if self.variation_sigma < 0 or self.endurance_sigma < 0:
+            raise ConfigError("sigmas must be non-negative")
+        if self.variation_region_lines < 1:
+            raise ConfigError("variation_region_lines must be >= 1")
+        if self.endurance_mean <= 0:
+            raise ConfigError("endurance_mean must be positive")
+        if self.max_write_attempts < 1:
+            raise ConfigError("max_write_attempts must be >= 1")
+        if self.ecp_entries < 0 or self.spare_lines < 0:
+            raise ConfigError("ecp_entries/spare_lines must be non-negative")
+
+
+@dataclass(frozen=True)
 class MemCtrlConfig:
     """Memory controller (paper Table II: FR-FCFS, 32-entry R/W queues).
 
@@ -271,6 +326,13 @@ class SystemConfig:
     # check every schedule/outcome they produce.  Off by default — the
     # REPRO_VERIFY=1 environment variable also enables it globally.
     verify_invariants: bool = False
+    # Endurance accounting on the scheme write path (repro.pcm.wear):
+    # on by default so the fault model always has program counts to
+    # consume; turn off to shave the last few ns per write in sweeps
+    # that do not read wear.  Forced on while ``faults.enabled``.
+    track_wear: bool = True
+    # Program-failure model (repro.faults; docs/FAULTS.md).
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.cache_line_bytes % self.organization.write_unit_bytes_per_bank:
@@ -334,6 +396,7 @@ class SystemConfig:
     def from_dict(data: dict) -> "SystemConfig":
         """Rebuild a config saved with :meth:`to_dict`."""
         data = dict(data)
+        faults = data.pop("faults", None)
         return SystemConfig(
             timings=PCMTimings(**data.pop("timings")),
             power=PCMPower(**data.pop("power")),
@@ -341,6 +404,9 @@ class SystemConfig:
             cpu=CPUConfig(**data.pop("cpu")),
             memctrl=MemCtrlConfig(**data.pop("memctrl")),
             caches=tuple(CacheConfig(**c) for c in data.pop("caches")),
+            # Configs saved before the fault subsystem round-trip as
+            # fault-free (the behavior they were recorded under).
+            faults=FaultConfig(**faults) if faults is not None else FaultConfig(),
             **data,
         )
 

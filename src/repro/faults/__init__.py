@@ -1,0 +1,26 @@
+"""Fault injection, program-and-verify, and graceful degradation.
+
+The subsystem the write path delegates to when ``FaultConfig.enabled``:
+
+* :class:`~repro.faults.model.FaultModel` — deterministic seeded
+  transient + endurance-driven stuck-at faults and the bounded
+  program-and-verify retry cycle;
+* :class:`~repro.faults.ecp.ECPTable` /
+  :class:`~repro.faults.ecp.SparePool` — ECP pointer absorption and
+  line retirement;
+* :class:`~repro.faults.ecp.UncorrectableWriteError` — the structured
+  failure surfaced when no mechanism can make a write durable.
+
+See docs/FAULTS.md for the full semantics.
+"""
+
+from repro.faults.ecp import ECPTable, SparePool, UncorrectableWriteError
+from repro.faults.model import FaultModel, RetryReport
+
+__all__ = [
+    "ECPTable",
+    "FaultModel",
+    "RetryReport",
+    "SparePool",
+    "UncorrectableWriteError",
+]

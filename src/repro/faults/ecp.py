@@ -1,0 +1,160 @@
+"""Graceful degradation: ECP pointer tables and line retirement.
+
+When the program-and-verify loop (:mod:`repro.faults.model`) exhausts its
+retry budget and a line still holds mismatched cells, two hardware
+mechanisms absorb the damage before the write is declared lost:
+
+* :class:`ECPTable` — Error-Correcting Pointers (Schechter et al.,
+  ISCA 2010): each line carries ``entries_per_line`` pointer+replacement-
+  cell pairs.  A pointer permanently substitutes one dead array cell with
+  a spare cell, so writes and reads to that position succeed regardless
+  of the array cell's stuck value.  Entries are allocated on first
+  mismatch and never freed.
+* :class:`SparePool` — when a line needs more pointers than it has, the
+  whole line is *retired*: its logical address is remapped to a fresh
+  physical line from a per-domain spare pool.  Remapping composes with
+  Start-Gap (``repro.pcm.wear``): Start-Gap permutes logical→physical
+  inside a region, and the spare pool remaps the *resulting* physical
+  line, so the two never fight over an address.
+
+When the spare pool is empty the write cannot be made durable and the
+memory controller surfaces :class:`UncorrectableWriteError` — a
+structured, machine-readable failure instead of silent corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["ECPTable", "SparePool", "UncorrectableWriteError"]
+
+_U64 = np.uint64
+
+# Spare physical lines live in their own address space far above any
+# demand line so a remap target can never collide with a trace address.
+SPARE_BASE = 1 << 62
+
+
+class UncorrectableWriteError(RuntimeError):
+    """A write could not be made durable by retries, ECP, or retirement.
+
+    Attributes
+    ----------
+    line:
+        The logical line address the demand write targeted.
+    physical_line:
+        The physical line the final attempt ran on.
+    stuck_bits:
+        Number of mismatched (stuck) cells that exceeded correction.
+    context:
+        Extra machine-readable detail (attempts, spares_used, ...).
+    """
+
+    def __init__(
+        self, message: str, *, line: int, physical_line: int, stuck_bits: int,
+        **context: Any,
+    ) -> None:
+        self.line = line
+        self.physical_line = physical_line
+        self.stuck_bits = stuck_bits
+        self.context: Mapping[str, Any] = dict(context)
+        detail = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+        super().__init__(
+            f"{message} (line={line}, physical_line={physical_line}, "
+            f"stuck_bits={stuck_bits}" + (f", {detail}" if detail else "") + ")"
+        )
+
+
+class ECPTable:
+    """Per-line error-correcting pointers (fixed capacity per line).
+
+    The table stores, per physical line, the bit positions whose array
+    cell has been substituted by a replacement cell.  Replacement cells
+    are modeled as fault-free (their count per line is tiny, and ECP's
+    own replacement-cell wear is second-order — see docs/FAULTS.md).
+    """
+
+    def __init__(self, entries_per_line: int) -> None:
+        if entries_per_line < 0:
+            raise ValueError("entries_per_line must be non-negative")
+        self.entries_per_line = entries_per_line
+        # physical line -> (units,) uint64 mask of substituted positions.
+        self._covered: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def covered_mask(self, pline: int, units: int) -> np.ndarray:
+        """Mask of positions substituted by replacement cells."""
+        mask = self._covered.get(pline)
+        if mask is None:
+            return np.zeros(units, dtype=_U64)
+        return mask
+
+    def entries_used(self, pline: int) -> int:
+        mask = self._covered.get(pline)
+        if mask is None:
+            return 0
+        return int(np.bitwise_count(mask).sum())
+
+    def try_assign(self, pline: int, mismatch_mask: np.ndarray) -> bool:
+        """Allocate pointers for every newly mismatched position.
+
+        Returns ``False`` (and assigns nothing) when the union of
+        existing and new entries would exceed the per-line capacity —
+        the caller must then retire the line.
+        """
+        mismatch_mask = np.asarray(mismatch_mask, dtype=_U64)
+        existing = self.covered_mask(pline, mismatch_mask.size)
+        union = existing | mismatch_mask
+        if int(np.bitwise_count(union).sum()) > self.entries_per_line:
+            return False
+        if not np.array_equal(union, existing):
+            self._covered[pline] = union
+        return True
+
+    def lines_with_entries(self) -> list[int]:
+        return sorted(p for p, m in self._covered.items()
+                      if int(np.bitwise_count(m).sum()))
+
+
+class SparePool:
+    """Retirement pool: remaps worn-out physical lines to fresh spares."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.spares_used = 0
+        # old physical line -> replacement physical line (one hop each;
+        # resolve() follows chains so a retired spare can itself retire).
+        self._remap: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def spares_left(self) -> int:
+        return self.capacity - self.spares_used
+
+    def resolve(self, pline: int) -> int:
+        """Follow the remap chain to the line's current physical home."""
+        while pline in self._remap:
+            pline = self._remap[pline]
+        return pline
+
+    def can_retire(self) -> bool:
+        return self.spares_used < self.capacity
+
+    def retire(self, pline: int) -> int:
+        """Retire ``pline``; returns the fresh spare now backing it."""
+        if not self.can_retire():
+            raise RuntimeError("spare pool exhausted")
+        if pline in self._remap:
+            raise ValueError(f"physical line {pline} already retired")
+        spare = SPARE_BASE + self.spares_used
+        self.spares_used += 1
+        self._remap[pline] = spare
+        return spare
+
+    @property
+    def retired_lines(self) -> list[int]:
+        return sorted(self._remap)

@@ -1,0 +1,342 @@
+"""Deterministic program-failure model and the verify-and-retry loop.
+
+Real PCM programs fail two ways:
+
+* **transiently** — a pulse lands but the cell's resistance misses its
+  band (variation, drift).  Modeled as a per-bit Bernoulli failure per
+  program pulse, with the rate scaled by the line's
+  :class:`~repro.pcm.variation.ProcessVariation` factor (slow regions
+  fail more often);
+* **permanently** — endurance exhaustion.  Each cell draws a lognormal
+  endurance at first touch (seeded per physical line); once its program
+  count (:class:`~repro.pcm.wear.WearTracker` in cell-tracking mode)
+  crosses that threshold, the cell *sticks* at the value it held and no
+  pulse changes it again.
+
+:meth:`FaultModel.program_line` runs the bounded program-and-verify
+cycle the schemes' write path delegates to: apply a pass, read back,
+re-schedule only the still-wrong cells as a tiny residual Tetris
+schedule, repeat up to ``max_write_attempts`` passes per physical home.
+On exhaustion the mismatched cells go to the ECP table; over-ECP lines
+retire to the spare pool (the rewrite on the fresh spare gets its own
+retry budget); an empty pool raises
+:class:`~repro.faults.ecp.UncorrectableWriteError`.
+
+Everything is counter-based deterministic: transient masks derive from
+``SeedSequence([seed, 2, pline, draw_index])`` and endurance thresholds
+from ``SeedSequence([seed, 1, pline])``, so a fixed seed and a fixed
+access sequence reproduce bit-identical failures run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.analysis import TetrisScheduler
+from repro.faults.ecp import ECPTable, SparePool, UncorrectableWriteError
+from repro.pcm.variation import ProcessVariation
+from repro.pcm.wear import WearTracker
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.config import SystemConfig
+
+__all__ = ["FaultModel", "RetryReport"]
+
+_U64 = np.uint64
+_MASK63 = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class RetryReport:
+    """What one write's fault handling did (consumed by the scheme layer).
+
+    ``attempts`` counts *all* program passes including the scheme's own
+    first pass; ``retry_*`` cover only the extra passes (and the full
+    rewrite after a retirement), which is exactly what the scheme must
+    add on top of its already-priced pristine outcome.
+    """
+
+    attempts: int
+    retried_bits: int
+    retry_set: int
+    retry_reset: int
+    retry_units: float
+    degraded: bool
+    retired: bool
+    physical_line: int
+    ecp_used: int
+
+
+class FaultModel:
+    """Seeded fault injection + program-and-verify for one fault domain."""
+
+    def __init__(
+        self, config: "SystemConfig", *, wear: WearTracker | None = None
+    ) -> None:
+        fc = config.faults
+        self.config = config
+        self.fc = fc
+        self.unit_bits = config.data_unit_bits
+        self._shifts = np.arange(self.unit_bits, dtype=_U64)
+        self._lane = (
+            _U64(0xFFFF_FFFF_FFFF_FFFF)
+            if self.unit_bits == 64
+            else _U64((1 << self.unit_bits) - 1)
+        )
+        self.variation = (
+            ProcessVariation(
+                sigma=fc.variation_sigma,
+                region_lines=fc.variation_region_lines,
+                seed=fc.seed,
+            )
+            if fc.variation_sigma > 0
+            else None
+        )
+        # Residual schedules re-enter the Tetris packer against the same
+        # bank operating point as demand writes (oversized bursts split).
+        self.scheduler = TetrisScheduler(
+            config.K, config.L, config.bank_power_budget, allow_split=True
+        )
+        self.ecp = ECPTable(fc.ecp_entries)
+        self.spares = SparePool(fc.spare_lines)
+        self.wear = (
+            wear
+            if wear is not None and wear.cell_tracking
+            else WearTracker(cell_tracking=True, unit_bits=self.unit_bits)
+        )
+        # Permanent per-physical-line fault state.
+        self._stuck: dict[int, np.ndarray] = {}       # mask of dead cells
+        self._stuck_vals: dict[int, np.ndarray] = {}  # values they hold
+        self._endurance: dict[int, np.ndarray] = {}   # (units, bits) f64
+        self._draws: dict[int, int] = {}              # transient draw ctr
+        # Aggregate counters (mirrored into sim.stats.FaultStats).
+        self.writes = 0
+        self.retried_writes = 0
+        self.degraded_writes = 0
+        self.retirements = 0
+        self.uncorrectable = 0
+        self.total_attempts = 0
+        self.transient_failures = 0
+
+    # ------------------------------------------------------------------
+    # Address resolution.
+    # ------------------------------------------------------------------
+    def physical_of(self, line: int) -> int:
+        """Current physical home of a logical line (after retirements)."""
+        return self.spares.resolve(int(line))
+
+    # ------------------------------------------------------------------
+    # Seeded draws.
+    # ------------------------------------------------------------------
+    def _endurance_of(self, pline: int, units: int) -> np.ndarray:
+        thresh = self._endurance.get(pline)
+        if thresh is None:
+            fc = self.fc
+            rng = np.random.default_rng(
+                np.random.SeedSequence([fc.seed, 1, pline & _MASK63])
+            )
+            # lognormal(mu, sigma) has mean exp(mu + sigma^2/2); pick mu
+            # so the per-cell endurance mean is exactly endurance_mean.
+            mu = float(np.log(fc.endurance_mean)) - fc.endurance_sigma**2 / 2.0
+            thresh = rng.lognormal(mu, fc.endurance_sigma, size=(units, self.unit_bits))
+            self._endurance[pline] = thresh
+        return thresh
+
+    def _transient_rate(self, line: int) -> float:
+        rate = self.fc.transient_bit_error_rate
+        if rate <= 0.0:
+            return 0.0
+        if self.variation is not None:
+            rate *= self.variation.factor_of(int(line))
+        return min(rate, 0.999999)
+
+    def _transient_fail_mask(self, rate: float, pline: int, units: int) -> np.ndarray:
+        if rate <= 0.0:
+            return np.zeros(units, dtype=_U64)
+        idx = self._draws.get(pline, 0)
+        self._draws[pline] = idx + 1
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.fc.seed, 2, pline & _MASK63, idx])
+        )
+        bits = rng.random((units, self.unit_bits)) < rate
+        return self._pack(bits)
+
+    def _pack(self, bits: np.ndarray) -> np.ndarray:
+        """(units, unit_bits) bool -> (units,) uint64 bit mask."""
+        return np.bitwise_or.reduce(bits.astype(_U64) << self._shifts, axis=1)
+
+    # ------------------------------------------------------------------
+    # The verify-and-retry cycle.
+    # ------------------------------------------------------------------
+    def program_line(
+        self, line: int, before: np.ndarray, intended: np.ndarray
+    ) -> RetryReport:
+        """Run one write's fault handling against the physical array.
+
+        ``before``/``intended`` are the effective (post-correction)
+        images around the scheme's committed write.  The scheme has
+        already priced and counted the *first* pass; this method models
+        its cell-level success, runs the retry passes, and returns the
+        extra latency/energy quantities the scheme must fold into its
+        outcome.  Raises :class:`UncorrectableWriteError` (with the
+        stored image restored by the caller) when no mechanism can make
+        the write durable.
+        """
+        before = np.asarray(before, dtype=_U64)
+        intended = np.asarray(intended, dtype=_U64)
+        units = intended.size
+        line = int(line)
+        pline = self.physical_of(line)
+        rate = self._transient_rate(line)
+
+        self.writes += 1
+        attempts = 0            # total passes, across homes
+        home_attempts = 0       # passes on the current physical home
+        retry_set = 0
+        retry_reset = 0
+        retry_units = 0.0
+        degraded = False
+        retired = False
+
+        stuck = self._stuck.get(pline)
+        vals = self._stuck_vals.get(pline)
+        cov = self.ecp.covered_mask(pline, units)
+        hard = (stuck & ~cov) if stuck is not None else np.zeros(units, dtype=_U64)
+        # What a read of the array + ECP currently returns.
+        actual = (before & ~hard)
+        if vals is not None:
+            actual |= vals & hard
+
+        while True:
+            want = (actual ^ intended) & self._lane
+            if not want.any():
+                break
+
+            if home_attempts >= self.fc.max_write_attempts:
+                # Retries exhausted on this home: absorb into ECP or retire.
+                if self.ecp.try_assign(pline, want):
+                    degraded = True
+                    self.degraded_writes += 1
+                    break
+                if not self.spares.can_retire():
+                    self.uncorrectable += 1
+                    self.total_attempts += attempts
+                    raise UncorrectableWriteError(
+                        "retries, ECP and spares exhausted",
+                        line=line,
+                        physical_line=pline,
+                        stuck_bits=int(np.bitwise_count(want).sum()),
+                        attempts=attempts,
+                        spares_used=self.spares.spares_used,
+                    )
+                pline = self.spares.retire(pline)
+                retired = True
+                self.retirements += 1
+                home_attempts = 0
+                # A fresh spare starts fully RESET; the full rewrite runs
+                # through the same priced retry machinery below.
+                actual = np.zeros(units, dtype=_U64)
+                continue
+
+            attempts += 1
+            home_attempts += 1
+            set_mask = want & intended
+            reset_mask = want & ~intended & self._lane
+            n1 = np.bitwise_count(set_mask).astype(np.int64)
+            n0 = np.bitwise_count(reset_mask).astype(np.int64)
+            if attempts > 1:
+                # Passes beyond the scheme's own are priced as residual
+                # Tetris schedules and extra cell programs.
+                sched = self.scheduler.schedule(n1, n0)
+                retry_units += sched.service_units()
+                retry_set += int(n1.sum())
+                retry_reset += int(n0.sum())
+
+            # Apply the pass: ECP-substituted cells always take the new
+            # value (replacement cells are fault-free); hard-stuck cells
+            # never change; the rest fail per-bit at the transient rate.
+            cov = self.ecp.covered_mask(pline, units)
+            stuck = self._stuck.get(pline)
+            hard = (stuck & ~cov) if stuck is not None else np.zeros(units, dtype=_U64)
+            fail = self._transient_fail_mask(rate, pline, units) & want & ~cov & ~hard
+            if fail.any():
+                self.transient_failures += int(np.bitwise_count(fail).sum())
+            success = want & ~hard & ~fail
+            actual = (actual & ~success) | (intended & success)
+
+            # Wear: pulses fired at array cells (substituted positions
+            # pulse their replacement cell, which is not tracked).
+            self.wear.record_masks(pline, set_mask & ~cov, reset_mask & ~cov)
+            self._update_stuck(pline, units, actual)
+            stuck = self._stuck.get(pline)
+            if stuck is not None:
+                vals = self._stuck_vals[pline]
+                hard = stuck & ~cov
+                # A cell that died holding the wrong value re-reads wrong.
+                actual = (actual & ~hard) | (vals & hard)
+
+        self.total_attempts += attempts
+        if attempts > 1 or retired:
+            self.retried_writes += 1
+        return RetryReport(
+            attempts=attempts,
+            retried_bits=retry_set + retry_reset,
+            retry_set=retry_set,
+            retry_reset=retry_reset,
+            retry_units=retry_units,
+            degraded=degraded,
+            retired=retired,
+            physical_line=pline,
+            ecp_used=self.ecp.entries_used(pline),
+        )
+
+    def _update_stuck(self, pline: int, units: int, actual: np.ndarray) -> None:
+        """Kill cells whose program count crossed their endurance."""
+        counts = self.wear.cell_programs(pline, units)
+        if not counts.any():
+            return
+        thresh = self._endurance_of(pline, units)
+        dead = self._pack(counts >= thresh) & self._lane
+        if not dead.any():
+            return
+        stuck = self._stuck.get(pline)
+        if stuck is None:
+            stuck = np.zeros(units, dtype=_U64)
+            self._stuck_vals[pline] = np.zeros(units, dtype=_U64)
+        new_dead = dead & ~stuck
+        if not new_dead.any():
+            return
+        # A dying cell sticks at the value its last pulse left behind.
+        self._stuck[pline] = stuck | new_dead
+        vals = self._stuck_vals[pline]
+        self._stuck_vals[pline] = (vals & ~new_dead) | (actual & new_dead)
+
+    # ------------------------------------------------------------------
+    # Read-back audit.
+    # ------------------------------------------------------------------
+    def readback(self, line: int, stored: np.ndarray) -> np.ndarray:
+        """What a read of ``line`` returns, given the committed image.
+
+        Overlays the line's current home with its hard-stuck values; ECP
+        substitution hides covered cells.  After every successful
+        :meth:`program_line` this equals the committed image — the
+        no-silent-corruption audit the acceptance criteria demand.
+        """
+        stored = np.asarray(stored, dtype=_U64)
+        pline = self.physical_of(line)
+        stuck = self._stuck.get(pline)
+        if stuck is None:
+            return stored.copy()
+        cov = self.ecp.covered_mask(pline, stored.size)
+        hard = stuck & ~cov
+        return (stored & ~hard) | (self._stuck_vals[pline] & hard)
+
+    def stuck_cells(self, line: int, units: int) -> int:
+        """Dead array cells at the line's current home (incl. covered)."""
+        stuck = self._stuck.get(self.physical_of(int(line)))
+        if stuck is None:
+            return 0
+        return int(np.bitwise_count(stuck).sum())

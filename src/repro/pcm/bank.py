@@ -23,6 +23,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from repro.config import SystemConfig
+from repro.faults.ecp import UncorrectableWriteError
 from repro.pcm.chip import PCMChip
 from repro.pcm.state import MemoryImage
 
@@ -45,9 +46,18 @@ class BankStats:
     reset_bits: int = 0
     energy: float = 0.0
     write_units: float = 0.0
+    # Fault-path counters (all zero while the fault model is disabled).
+    attempts: int = 0
+    retried_bits: int = 0
+    degraded_writes: int = 0
+    retired_writes: int = 0
+    uncorrectable: int = 0
 
     def mean_write_units(self) -> float:
         return self.write_units / self.writes if self.writes else 0.0
+
+    def mean_attempts(self) -> float:
+        return self.attempts / self.writes if self.writes else 0.0
 
 
 class PCMBank:
@@ -95,7 +105,12 @@ class PCMBank:
         return data, t
 
     def write(self, line_addr: int, new_logical: np.ndarray) -> "WriteOutcome":
-        """Cache-line write through the bank's scheme."""
+        """Cache-line write through the bank's scheme.
+
+        With the fault model enabled an unrecoverable write propagates
+        as :class:`repro.faults.UncorrectableWriteError` (the stored
+        image is already restored by the scheme) after being counted.
+        """
         state = self.image.line(line_addr)
         if self.verify_cells and not any(
             (line_addr, 0) in chip._cells for chip in self.chips
@@ -103,7 +118,13 @@ class PCMBank:
             for chip in self.chips:
                 chip.load(line_addr, state.physical)
 
-        outcome = self.scheme.write(state, np.asarray(new_logical, dtype=_U64))
+        try:
+            outcome = self.scheme.write(
+                state, np.asarray(new_logical, dtype=_U64), line=line_addr
+            )
+        except UncorrectableWriteError:
+            self.stats.uncorrectable += 1
+            raise
 
         if self.verify_cells:
             self._verify_cell_level(line_addr, state)
@@ -115,6 +136,10 @@ class PCMBank:
         s.reset_bits += outcome.n_reset
         s.energy += outcome.energy
         s.write_units += outcome.units
+        s.attempts += outcome.attempts
+        s.retried_bits += outcome.retried_bits
+        s.degraded_writes += int(outcome.degraded)
+        s.retired_writes += int(outcome.retired)
         if self.wear is not None:
             self.wear.record(line_addr, outcome.n_set, outcome.n_reset)
         return outcome

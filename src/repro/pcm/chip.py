@@ -17,6 +17,7 @@ are charged by the timing model in :mod:`repro.config`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -41,16 +42,28 @@ class PCMChip:
     power_budget:
         Private charge-pump budget in SET units (ignored when the bank
         validates a pooled GCP budget instead).
+    fault_injector:
+        Optional ``(attempt, attempted_mask) -> fail_mask`` callable fed
+        to :meth:`WriteDriver.program_verified`; ``None`` keeps the chip
+        on the single-pass fast path with zero retry overhead.
+    max_attempts:
+        Bound on program-and-verify passes per burst when a fault
+        injector is installed.
     """
 
     chip_id: int
     slice_bits: int = 16
     power_budget: float = 32.0
     driver: WriteDriver = field(default_factory=WriteDriver)
+    fault_injector: Callable[[int, np.ndarray], np.ndarray] | None = None
+    max_attempts: int = 3
     # (line, unit) -> stored slice value (int); lazily populated.
     _cells: dict[tuple[int, int], int] = field(default_factory=dict)
     set_programs: int = 0
     reset_programs: int = 0
+    retried_bursts: int = 0
+    retry_programs: int = 0
+    unverified_bursts: int = 0
 
     @property
     def lane_mask(self) -> int:
@@ -77,16 +90,43 @@ class PCMChip:
         Returns ``(cells_programmed, current_drawn)`` where current is in
         SET units (RESETs weighted by the caller's L are *not* applied
         here — the chip reports raw counts; the bank applies weights).
+
+        With a :attr:`fault_injector` installed the burst becomes a
+        bounded program-and-verify cycle: failed bits are retried up to
+        :attr:`max_attempts` passes, retry passes are tallied in
+        :attr:`retried_bursts` / :attr:`retry_programs`, and a burst that
+        still disagrees after the last pass bumps
+        :attr:`unverified_bursts` (the bank-level fault model escalates
+        from there; the chip never silently drops the residual).
         """
         old = self.read(line, unit)
-        result, set_mask, reset_mask = self.driver.program(
-            old, target_slice, direction
+        if self.fault_injector is None:
+            result, set_mask, reset_mask = self.driver.program(
+                old, target_slice, direction
+            )
+            self._cells[(line, unit)] = int(result[0])
+            n_set = int(np.bitwise_count(set_mask).sum())
+            n_reset = int(np.bitwise_count(reset_mask).sum())
+            self.set_programs += n_set
+            self.reset_programs += n_reset
+            return n_set + n_reset, float(n_set + n_reset)
+        outcome = self.driver.program_verified(
+            old,
+            target_slice,
+            direction,
+            injector=self.fault_injector,
+            max_attempts=self.max_attempts,
         )
-        self._cells[(line, unit)] = int(result[0])
-        n_set = int(np.bitwise_count(set_mask).sum())
-        n_reset = int(np.bitwise_count(reset_mask).sum())
+        self._cells[(line, unit)] = int(outcome.result[0])
+        n_set = int(np.bitwise_count(outcome.set_mask).sum())
+        n_reset = int(np.bitwise_count(outcome.reset_mask).sum())
         self.set_programs += n_set
         self.reset_programs += n_reset
+        if outcome.attempts > 1:
+            self.retried_bursts += 1
+            self.retry_programs += outcome.attempts - 1
+        if not outcome.verified:
+            self.unverified_bursts += 1
         return n_set + n_reset, float(n_set + n_reset)
 
     # ------------------------------------------------------------------

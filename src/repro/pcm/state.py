@@ -18,7 +18,7 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["LineState", "MemoryImage", "initial_line_content"]
+__all__ = ["LineState", "MemoryImage", "cell_diff", "initial_line_content"]
 
 _U64 = np.uint64
 _ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
@@ -48,6 +48,22 @@ class LineState:
         """Commit a write's outcome (the write stage's end state)."""
         self.physical[:] = physical
         self.flip[:] = flip
+
+
+def cell_diff(before: np.ndarray, after: np.ndarray) -> tuple[int, int]:
+    """Count cell programs between two physical images.
+
+    Returns ``(n_set, n_reset)``: the 0->1 and 1->0 transitions a write
+    driver must apply to turn ``before`` into ``after``.  Used by the
+    fault path to price verify-retry passes and by tests to cross-check
+    a scheme's reported program counts against the state it committed.
+    """
+    b = np.atleast_1d(np.asarray(before, dtype=_U64))
+    a = np.atleast_1d(np.asarray(after, dtype=_U64))
+    diff = b ^ a
+    n_set = int(np.bitwise_count(diff & a).sum())
+    n_reset = int(np.bitwise_count(diff & b).sum())
+    return n_set, n_reset
 
 
 def initial_line_content(seed: int, line_addr: int, units: int = 8) -> np.ndarray:

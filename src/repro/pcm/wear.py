@@ -42,11 +42,26 @@ class WearStats:
 
 
 class WearTracker:
-    """Per-line program counters (SET + RESET cells programmed)."""
+    """Per-line program counters (SET + RESET cells programmed).
 
-    def __init__(self) -> None:
+    With ``cell_tracking=True`` the tracker additionally keeps *per-cell*
+    program counts (a ``(units, unit_bits)`` uint32 matrix per touched
+    line), fed by :meth:`record_masks` with the actual programmed bit
+    masks.  The fault model (:mod:`repro.faults`) consumes these counts
+    to decide when a cell's endurance is exhausted; line-level sweeps
+    leave it off and pay one dict update per write.
+    """
+
+    def __init__(self, *, cell_tracking: bool = False, unit_bits: int = 64) -> None:
+        if not 1 <= unit_bits <= 64:
+            raise ValueError("unit_bits must be in [1, 64]")
         self._programs: dict[int, int] = {}
         self.total_programs = 0
+        self.cell_tracking = cell_tracking
+        self.unit_bits = unit_bits
+        self._shifts = np.arange(unit_bits, dtype=np.uint64)
+        # line -> (units, unit_bits) uint32 per-cell program counts.
+        self._cell_counts: dict[int, np.ndarray] = {}
 
     def record(self, line: int, n_set: int, n_reset: int) -> None:
         if n_set < 0 or n_reset < 0:
@@ -56,6 +71,44 @@ class WearTracker:
             return
         self._programs[line] = self._programs.get(line, 0) + amount
         self.total_programs += amount
+
+    def record_masks(
+        self, line: int, set_masks: np.ndarray, reset_masks: np.ndarray
+    ) -> None:
+        """Record one program pass from its actual per-unit bit masks.
+
+        ``set_masks``/``reset_masks`` are uint64 words (one per data
+        unit) of the cells programmed in each direction.  Always updates
+        the line totals; updates the per-cell matrix when cell tracking
+        is on.
+        """
+        set_masks = np.atleast_1d(np.asarray(set_masks, dtype=np.uint64))
+        reset_masks = np.atleast_1d(np.asarray(reset_masks, dtype=np.uint64))
+        programmed = set_masks | reset_masks
+        n_set = int(np.bitwise_count(set_masks).sum())
+        n_reset = int(np.bitwise_count(reset_masks).sum())
+        self.record(line, n_set, n_reset)
+        if not self.cell_tracking or n_set + n_reset == 0:
+            return
+        counts = self._cell_counts.get(line)
+        if counts is None:
+            counts = np.zeros((programmed.size, self.unit_bits), dtype=np.uint32)
+            self._cell_counts[line] = counts
+        counts += ((programmed[:, None] >> self._shifts) & np.uint64(1)).astype(
+            np.uint32
+        )
+
+    def cell_programs(self, line: int, units: int) -> np.ndarray:
+        """Per-cell program counts of a line, ``(units, unit_bits)``.
+
+        Requires ``cell_tracking``; untouched lines return zeros.
+        """
+        if not self.cell_tracking:
+            raise RuntimeError("tracker was built without cell_tracking")
+        counts = self._cell_counts.get(line)
+        if counts is None:
+            return np.zeros((units, self.unit_bits), dtype=np.uint32)
+        return counts
 
     def programs_of(self, line: int) -> int:
         return self._programs.get(line, 0)

@@ -17,10 +17,11 @@ verify cell counts and charge energy/endurance.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-__all__ = ["DriverCommand", "WriteDriver"]
+__all__ = ["DriverCommand", "ProgramResult", "WriteDriver"]
 
 _U64 = np.uint64
 
@@ -40,6 +41,26 @@ class DriverCommand:
     def __post_init__(self) -> None:
         if self.direction not in ("set", "reset", "both"):
             raise ValueError(f"bad direction: {self.direction}")
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """Outcome of a bounded program-and-verify cycle.
+
+    ``residual`` is the mask of cells that still disagree with the target
+    after the final pass (all-zero on success); callers must escalate a
+    nonzero residual instead of treating the write as committed.
+    """
+
+    result: np.ndarray
+    set_mask: np.ndarray
+    reset_mask: np.ndarray
+    attempts: int
+    residual: np.ndarray
+
+    @property
+    def verified(self) -> bool:
+        return not bool(self.residual.any())
 
 
 class WriteDriver:
@@ -78,3 +99,57 @@ class WriteDriver:
         else:
             result = new_arr.copy()
         return result, set_mask, reset_mask
+
+    def program_verified(
+        self,
+        old: np.ndarray | int,
+        new: np.ndarray | int,
+        direction: str = "both",
+        *,
+        injector: Callable[[int, np.ndarray], np.ndarray] | None = None,
+        max_attempts: int = 3,
+    ) -> ProgramResult:
+        """Bounded program-and-verify cycle over :meth:`program`.
+
+        Each pass programs the residual differences, then reads the cells
+        back and compares against the target; bits that failed to latch
+        (per ``injector``) are retried on the next pass.  ``injector``
+        maps ``(attempt_index, attempted_mask) -> fail_mask`` (a subset of
+        the attempted cells that did *not* latch this pass); ``None``
+        models a perfect array, which verifies on the first pass.
+
+        The cycle is bounded by ``max_attempts``; cells still wrong after
+        the last pass are reported in :attr:`ProgramResult.residual`
+        rather than silently absorbed.  Masks in the result accumulate
+        cells that actually latched across all passes.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        cur = np.atleast_1d(np.asarray(old, dtype=_U64)).copy()
+        set_total = np.zeros_like(cur)
+        reset_total = np.zeros_like(cur)
+        attempts = 0
+        residual = np.zeros_like(cur)
+        for attempt in range(max_attempts):
+            result, set_mask, reset_mask = self.program(cur, new, direction)
+            attempted = set_mask | reset_mask
+            attempts += 1
+            if injector is not None:
+                fail = np.asarray(injector(attempt, attempted), dtype=_U64)
+                fail &= attempted
+            else:
+                fail = np.zeros_like(cur)
+            # Read-back: failed cells keep their pre-pass value.
+            cur = (result & ~fail) | (cur & fail)
+            set_total |= set_mask & ~fail
+            reset_total |= reset_mask & ~fail
+            residual = fail
+            if not fail.any():
+                break
+        return ProgramResult(
+            result=cur,
+            set_mask=set_total,
+            reset_mask=reset_total,
+            attempts=attempts,
+            residual=residual,
+        )

@@ -16,6 +16,7 @@ the read-before-write and analysis components where the scheme has them.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, ClassVar
@@ -25,6 +26,7 @@ import numpy as np
 from repro.config import SystemConfig, default_config
 from repro.pcm.energy import EnergyModel
 from repro.pcm.state import LineState
+from repro.pcm.wear import WearTracker
 from repro.verify.invariants import runtime_verification_enabled, verify_outcome
 
 __all__ = ["WriteOutcome", "WriteScheme", "SCHEME_REGISTRY", "get_scheme"]
@@ -48,6 +50,21 @@ class WriteOutcome:
         Normalized energy (see :class:`~repro.pcm.energy.EnergyModel`).
     flipped_units:
         How many data units were stored inverted by this write.
+    attempts:
+        Program passes the write needed (1 = clean first shot; only the
+        fault-enabled path ever reports more).
+    retried_bits:
+        Cell programs issued by passes beyond the first (0 when clean).
+    retry_units:
+        Extra write-stage length, in ``t_set`` units, consumed by the
+        residual retry schedules (``units`` keeps its pristine meaning,
+        so Figure-10 comparisons stay untouched).
+    verify_ns:
+        Read-back verification time (one array read per attempt).
+    degraded:
+        The write needed ECP pointers to become durable.
+    retired:
+        The line was retired to a spare during this write.
     """
 
     service_ns: float
@@ -58,6 +75,12 @@ class WriteOutcome:
     n_reset: int
     energy: float
     flipped_units: int = 0
+    attempts: int = 1
+    retried_bits: int = 0
+    retry_units: float = 0.0
+    verify_ns: float = 0.0
+    degraded: bool = False
+    retired: bool = False
 
 
 SCHEME_REGISTRY: dict[str, type["WriteScheme"]] = {}
@@ -79,6 +102,26 @@ class WriteScheme(ABC):
         # Resolved once so the disabled case costs one attribute test on
         # the hot path (config flag OR the REPRO_VERIFY environment).
         self.verify = runtime_verification_enabled(self.config)
+        # Endurance accounting rides the write path by default; the fault
+        # model needs it always-on (and in per-cell mode) when enabled.
+        faults_cfg = getattr(self.config, "faults", None)
+        faults_on = bool(faults_cfg is not None and faults_cfg.enabled)
+        track_wear = bool(getattr(self.config, "track_wear", False)) or faults_on
+        self.wear: WearTracker | None = (
+            WearTracker(
+                cell_tracking=faults_on, unit_bits=self.config.data_unit_bits
+            )
+            if track_wear
+            else None
+        )
+        if faults_on:
+            from repro.faults.model import FaultModel
+
+            self.faults: "FaultModel | None" = FaultModel(
+                self.config, wear=self.wear
+            )
+        else:
+            self.faults = None
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -86,13 +129,86 @@ class WriteScheme(ABC):
             SCHEME_REGISTRY[cls.name] = cls
 
     # ------------------------------------------------------------------
+    def write(
+        self, state: LineState, new_logical: np.ndarray, *, line: int = 0
+    ) -> WriteOutcome:
+        """Service one cache-line write and commit the new image.
+
+        Template method: subclasses implement :meth:`_write_once` (one
+        pristine, fault-free pass); this wrapper adds the always-on wear
+        accounting and, when ``config.faults.enabled``, the bounded
+        program-and-verify retry loop with ECP/retirement degradation.
+        ``line`` keys the wear and fault state; callers that do not
+        model addresses may omit it.
+        """
+        if self.faults is None:
+            outcome = self._write_once(state, new_logical)
+            if self.wear is not None:
+                self.wear.record(int(line), outcome.n_set, outcome.n_reset)
+            return outcome
+        return self._write_with_faults(state, new_logical, int(line))
+
     @abstractmethod
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
-        """Service one cache-line write and commit the new image."""
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+        """One pristine program pass: price the write, commit the image."""
 
     @abstractmethod
     def worst_case_units(self) -> float:
         """The closed-form write-unit count (Equations 1-4, Fig 10 bars)."""
+
+    # ------------------------------------------------------------------
+    def _write_with_faults(
+        self, state: LineState, new_logical: np.ndarray, line: int
+    ) -> WriteOutcome:
+        """Run one write through the fault model's verify-and-retry loop.
+
+        The pristine pass is priced by :meth:`_write_once` exactly as in
+        the fault-free path; the fault model then decides which cells it
+        actually landed on, runs the residual retries, and this wrapper
+        folds the extra latency/energy into the outcome.  On an
+        uncorrectable failure the stored image is restored before the
+        structured error propagates — never silent corruption.
+        """
+        from repro.faults.ecp import UncorrectableWriteError
+
+        before_physical = state.physical.copy()
+        before_flip = state.flip.copy()
+        outcome = self._write_once(state, new_logical)
+        try:
+            report = self.faults.program_line(
+                line, before_physical, state.physical
+            )
+        except UncorrectableWriteError:
+            state.store(before_physical, before_flip)
+            raise
+        # The scheme's own pass counts as attempt 1 even when nothing
+        # changed; hardware verifies every program command it issued.
+        attempts = max(report.attempts, 1)
+        verify_ns = attempts * self.t_read
+        extended = dataclasses.replace(
+            outcome,
+            service_ns=outcome.service_ns
+            + report.retry_units * self.t_set
+            + verify_ns,
+            n_set=outcome.n_set + report.retry_set,
+            n_reset=outcome.n_reset + report.retry_reset,
+            energy=outcome.energy
+            + float(
+                self.energy_model.write_energy(
+                    report.retry_set, report.retry_reset
+                )
+            )
+            + attempts * self.energy_model.read_energy_per_line,
+            attempts=attempts,
+            retried_bits=report.retried_bits,
+            retry_units=report.retry_units,
+            verify_ns=verify_ns,
+            degraded=report.degraded,
+            retired=report.retired,
+        )
+        if self.verify:
+            verify_outcome(extended, t_set_ns=self.t_set)
+        return extended
 
     # ------------------------------------------------------------------
     @property

@@ -25,7 +25,7 @@ class ConventionalWrite(WriteScheme):
     def worst_case_units(self) -> float:
         return float(self.config.units_per_line)
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=np.uint64)
         n_ones = int(np.bitwise_count(new_logical).sum())
         n_cells = new_logical.size * self.config.data_unit_bits

@@ -28,7 +28,7 @@ class DCWWrite(WriteScheme):
     def worst_case_units(self) -> float:
         return float(self.config.units_per_line)
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=np.uint64)
         # DCW stores plain (unflipped) data; if a previous flip-capable
         # scheme left inverted units behind, compare against the logical

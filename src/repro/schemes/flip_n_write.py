@@ -38,7 +38,7 @@ class FlipNWrite(WriteScheme):
     def worst_case_units(self) -> float:
         return self.config.units_per_line / 2.0
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=np.uint64)
         if self.flip_policy == "cost":
             # The count bound keeps FNW's two-units-per-write-unit power

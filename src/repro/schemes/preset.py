@@ -55,7 +55,7 @@ class PreSETWrite(WriteScheme):
         per_unit = int(np.ceil(cfg.data_unit_bits * cfg.L / cfg.bank_power_budget))
         return cfg.data_units_per_line * per_unit / cfg.K
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=_U64)
         unit_bits = self.config.data_unit_bits
         mask = _ONES if unit_bits == 64 else _U64((1 << unit_bits) - 1)

@@ -97,7 +97,7 @@ class TetrisWrite(WriteScheme):
         )
 
     # ------------------------------------------------------------------
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=_U64)
         rs = read_stage(
             state.physical,

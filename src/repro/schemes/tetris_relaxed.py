@@ -61,7 +61,7 @@ class TetrisRelaxedWrite(WriteScheme):
         self.last_schedule = sched
         return sched.total_subslots / self.config.K
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=np.uint64)
         rs = read_stage(
             state.physical,

@@ -36,7 +36,7 @@ class ThreeStageWrite(WriteScheme):
         nm = self.config.units_per_line
         return nm / (2.0 * self.config.K) + nm / (2.0 * self.config.L)
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=np.uint64)
         rs = read_stage(
             state.physical,

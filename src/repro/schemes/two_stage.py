@@ -39,7 +39,7 @@ class TwoStageWrite(WriteScheme):
         nm = self.config.units_per_line
         return nm / self.config.K + nm / (2.0 * self.config.L)
 
-    def write(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
+    def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
         new_logical = np.asarray(new_logical, dtype=_U64)
         unit_bits = self.config.data_unit_bits
         mask = _ONES if unit_bits == 64 else _U64((1 << unit_bits) - 1)

@@ -81,7 +81,13 @@ class Simulator:
                 raise RuntimeError("event time went backwards")
             self.now = ev.time
             self.events_fired += 1
-            ev.fn(*ev.args)
+            try:
+                ev.fn(*ev.args)
+            except Exception as exc:
+                # Stamp the simulated time so a fault escaping a callback
+                # (e.g. an uncorrectable write) is attributable in traces.
+                exc.add_note(f"while firing event at sim time {ev.time} ns")
+                raise
             return True
         return False
 

@@ -13,7 +13,64 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LatencyStat", "Histogram", "StatRegistry", "TimeSeries"]
+__all__ = ["FaultStats", "LatencyStat", "Histogram", "StatRegistry", "TimeSeries"]
+
+
+@dataclass
+class FaultStats:
+    """Streaming aggregate of the fault/retry facet of write outcomes.
+
+    Feeds the fault-sweep experiment and the CLI summary: every write
+    outcome is folded in via :meth:`observe`, so the aggregate never
+    stores per-write records (the sweeps replay full traces).
+    """
+
+    writes: int = 0
+    retried_writes: int = 0
+    total_attempts: int = 0
+    retried_bits: int = 0
+    retry_units: float = 0.0
+    verify_ns: float = 0.0
+    degraded_writes: int = 0
+    retired_writes: int = 0
+    uncorrectable: int = 0
+
+    def observe(self, outcome) -> None:
+        """Fold one write outcome (any object with the retry fields)."""
+        self.writes += 1
+        attempts = int(getattr(outcome, "attempts", 1))
+        self.total_attempts += attempts
+        if attempts > 1:
+            self.retried_writes += 1
+        self.retried_bits += int(getattr(outcome, "retried_bits", 0))
+        self.retry_units += float(getattr(outcome, "retry_units", 0.0))
+        self.verify_ns += float(getattr(outcome, "verify_ns", 0.0))
+        if getattr(outcome, "degraded", False):
+            self.degraded_writes += 1
+        if getattr(outcome, "retired", False):
+            self.retired_writes += 1
+
+    @property
+    def mean_attempts(self) -> float:
+        return self.total_attempts / self.writes if self.writes else 0.0
+
+    @property
+    def retry_rate(self) -> float:
+        return self.retried_writes / self.writes if self.writes else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "writes": self.writes,
+            "retried_writes": self.retried_writes,
+            "mean_attempts": self.mean_attempts,
+            "retry_rate": self.retry_rate,
+            "retried_bits": self.retried_bits,
+            "retry_units": self.retry_units,
+            "verify_ns": self.verify_ns,
+            "degraded_writes": self.degraded_writes,
+            "retired_writes": self.retired_writes,
+            "uncorrectable": self.uncorrectable,
+        }
 
 
 @dataclass

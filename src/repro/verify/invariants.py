@@ -10,8 +10,11 @@ guards the *values* the simulator produces.  When enabled it validates
   (``result + subresult/K``) within tolerance;
 * every :class:`~repro.schemes.base.WriteOutcome` — non-negative
   components, ``service_ns >= read_ns + analysis_ns``, the Equation-5
-  service decomposition, and ``n_set``/``n_reset`` consistent with the
-  committed :class:`~repro.pcm.state.LineState` diff.
+  service decomposition (extended to multi-attempt writes:
+  ``read + analysis + (units + retry_units) * t_set + verify_ns``),
+  retry accounting (``attempts >= 1``; a single-attempt write reports
+  no retried bits or retry units), and ``n_set``/``n_reset`` consistent
+  with the committed :class:`~repro.pcm.state.LineState` diff.
 
 Violations raise :class:`InvariantViolation`, which carries a machine-
 readable ``kind`` plus the offending slot/unit in ``context`` so a
@@ -58,7 +61,8 @@ class InvariantViolation(AssertionError):
         Stable identifier of the broken invariant (``"power_budget"``,
         ``"slot_range"``, ``"duplicate_burst"``, ``"cell_accounting"``,
         ``"units_mismatch"``, ``"negative_component"``,
-        ``"service_decomposition"``, ``"state_diff"``).
+        ``"service_decomposition"``, ``"retry_accounting"``,
+        ``"state_diff"``).
     context:
         The offending slot/unit/values, for post-mortem without a rerun.
     """
@@ -235,8 +239,11 @@ def verify_outcome(
     additional programs for out-of-array cells such as flip tags, which
     ``count_flip_bit`` adds to the counts but not to the image).
     """
-    for attr in ("service_ns", "units", "read_ns", "analysis_ns", "energy"):
-        value = float(getattr(outcome, attr))
+    for attr in (
+        "service_ns", "units", "read_ns", "analysis_ns", "energy",
+        "retry_units", "verify_ns",
+    ):
+        value = float(getattr(outcome, attr, 0.0))
         if not np.isfinite(value) or value < -tol:
             raise InvariantViolation(
                 "negative_component",
@@ -244,14 +251,41 @@ def verify_outcome(
                 attr=attr,
                 value=value,
             )
-    for attr in ("n_set", "n_reset", "flipped_units"):
-        if int(getattr(outcome, attr)) < 0:
+    for attr in ("n_set", "n_reset", "flipped_units", "retried_bits"):
+        if int(getattr(outcome, attr, 0)) < 0:
             raise InvariantViolation(
                 "negative_component",
                 f"outcome.{attr} must be non-negative",
                 attr=attr,
-                value=int(getattr(outcome, attr)),
+                value=int(getattr(outcome, attr, 0)),
             )
+
+    # --- multi-attempt accounting (fault-enabled writes).
+    attempts = int(getattr(outcome, "attempts", 1))
+    retried_bits = int(getattr(outcome, "retried_bits", 0))
+    retry_units = float(getattr(outcome, "retry_units", 0.0))
+    verify_ns = float(getattr(outcome, "verify_ns", 0.0))
+    if attempts < 1:
+        raise InvariantViolation(
+            "retry_accounting",
+            "a serviced write has at least one program attempt",
+            attempts=attempts,
+        )
+    if attempts == 1 and (retried_bits != 0 or retry_units > tol):
+        raise InvariantViolation(
+            "retry_accounting",
+            "single-attempt write reports retried bits or retry units",
+            attempts=attempts,
+            retried_bits=retried_bits,
+            retry_units=retry_units,
+        )
+    if retried_bits > 0 and attempts < 2:
+        raise InvariantViolation(
+            "retry_accounting",
+            "retried bits require at least a second attempt",
+            attempts=attempts,
+            retried_bits=retried_bits,
+        )
 
     overhead = outcome.read_ns + outcome.analysis_ns
     if outcome.service_ns < overhead - tol:
@@ -263,14 +297,21 @@ def verify_outcome(
             analysis_ns=outcome.analysis_ns,
         )
     if t_set_ns is not None:
-        expect = overhead + outcome.units * t_set_ns
+        # Equation 5, extended to multi-attempt writes: the pristine
+        # write stage plus the residual retry schedules plus read-back
+        # verification time.  Single-attempt, fault-free outcomes reduce
+        # to the paper's read + analysis + units * t_set.
+        expect = overhead + (outcome.units + retry_units) * t_set_ns + verify_ns
         if abs(outcome.service_ns - expect) > tol + 1e-9 * expect:
             raise InvariantViolation(
                 "service_decomposition",
-                "service_ns disagrees with read + analysis + units * t_set",
+                "service_ns disagrees with read + analysis + "
+                "(units + retry_units) * t_set + verify_ns",
                 service_ns=outcome.service_ns,
                 expected=expect,
                 units=outcome.units,
+                retry_units=retry_units,
+                verify_ns=verify_ns,
                 t_set_ns=t_set_ns,
             )
 

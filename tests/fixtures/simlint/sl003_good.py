@@ -18,6 +18,21 @@ class CompleteScheme(WriteScheme):
         return 1.0
 
 
+class TemplateScheme(WriteScheme):
+    """The template-method hook also satisfies the write requirement."""
+
+    name = "fixture_template"
+    requires_read = False
+
+    def _write_once(self, state, new_logical):
+        return self._outcome(
+            units=1.0, read_ns=0.0, analysis_ns=0.0, n_set=0, n_reset=0
+        )
+
+    def worst_case_units(self) -> float:
+        return 1.0
+
+
 class StagedSchemeBase(WriteScheme):
     """Abstract intermediates are exempt: they add an abstract stage."""
 

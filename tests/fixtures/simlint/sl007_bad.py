@@ -1,0 +1,23 @@
+"""simlint fixture — SL007 must fire on these swallowed failures."""
+
+
+def bare_except_swallows(bank, line, data):
+    try:
+        return bank.write(line, data)
+    except:  # BAD: swallows InvariantViolation, UncorrectableWriteError, ...
+        return None
+
+
+def broad_pass(fn):
+    try:
+        return fn()
+    except Exception:  # BAD: the classic silent fault-eater
+        pass
+
+
+def broad_ellipsis_with_docstring(fn):
+    try:
+        return fn()
+    except BaseException:  # BAD: docstring + ellipsis still does nothing
+        """Deliberately ignored."""
+        ...

@@ -1,0 +1,42 @@
+"""simlint fixture — failure handlers SL007 must accept."""
+
+import logging
+
+from repro.faults.ecp import UncorrectableWriteError
+
+log = logging.getLogger(__name__)
+
+
+def specific_handler(bank, line, data):
+    """Catching the specific failure and handling it is fine."""
+    try:
+        return bank.write(line, data)
+    except UncorrectableWriteError as exc:
+        log.error("line %d lost: %s", line, exc)
+        return None
+
+
+def broad_but_reraises(fn):
+    """A broad catch that annotates and re-raises does not swallow."""
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("simulation step failed") from exc
+
+
+def broad_with_handling(fn, fallback):
+    """A broad catch whose body *does* something is accepted."""
+    try:
+        return fn()
+    except Exception:
+        log.warning("falling back after failure")
+        return fallback
+
+
+def narrow_pass_is_fine(mapping, key):
+    """`pass` on a specific, expected exception is not a swallow."""
+    try:
+        del mapping[key]
+    except KeyError:
+        pass
+    return mapping

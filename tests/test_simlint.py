@@ -46,6 +46,7 @@ FIXTURE_MATRIX = [
     ("SL004", "tests.fixture", 4),
     ("SL005", "tests.fixture", 4),
     ("SL006", "repro.core.fixture", 3),
+    ("SL007", "repro.pcm.fixture", 3),
 ]
 
 
@@ -88,6 +89,12 @@ def test_sl006_scoped_to_core_and_schemes():
     src = (FIXTURES / "sl006_bad.py").read_text()
     assert "SL006" in rules_fired(lint_source(src, module="repro.schemes.x"))
     assert "SL006" not in rules_fired(lint_source(src, module="repro.trace.x"))
+
+
+def test_sl007_scoped_to_repro():
+    src = (FIXTURES / "sl007_bad.py").read_text()
+    assert "SL007" in rules_fired(lint_source(src, module="repro.faults.x"))
+    assert "SL007" not in rules_fired(lint_source(src, module="tests.helpers"))
 
 
 # ----------------------------------------------------------------------
@@ -192,11 +199,13 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_six():
+def test_cli_list_rules_names_all_seven():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
-    assert listed == {"SL001", "SL002", "SL003", "SL004", "SL005", "SL006"}
+    assert listed == {
+        "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+    }
 
 
 # ----------------------------------------------------------------------

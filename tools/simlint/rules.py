@@ -1,4 +1,4 @@
-"""simlint rules SL001–SL006, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL007, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
@@ -14,6 +14,7 @@ SL003  ``WriteScheme`` subclasses must register + override abstracts
 SL004  no ``==``/``!=`` on float time/energy expressions
 SL005  no mutable default arguments
 SL006  time-carrying parameters must use the ``_ns`` suffix convention
+SL007  no swallowed-failure handlers (bare/broad except that eats it)
 ====== ==============================================================
 """
 
@@ -35,6 +36,7 @@ __all__ = [
     "FloatTimeEqualityRule",
     "MutableDefaultRule",
     "TimeUnitSuffixRule",
+    "SwallowedExceptionRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -217,15 +219,20 @@ class SchemeRegistrationRule(LintRule):
     ``get_scheme``/``ALL_SCHEMES``, and one missing an abstract override
     explodes only when first instantiated.  The rule requires every
     non-abstract direct subclass to define ``name`` (a string literal),
-    ``requires_read``, and both abstract methods (``write``,
-    ``worst_case_units``) in its own body or via an explicit assignment.
+    ``requires_read``, and both abstract methods in its own body or via
+    an explicit assignment.  The write hook is satisfied by either
+    ``_write_once`` (the template-method hook the base ``write`` wraps
+    with wear + fault handling) or a full ``write`` override (legacy
+    subclasses that bypass the fault path).
     """
 
     id = "SL003"
     title = "incomplete WriteScheme subclass"
     node_types = (ast.ClassDef,)
 
-    _ABSTRACTS = ("write", "worst_case_units")
+    # Each entry is a tuple of acceptable spellings; defining any one of
+    # them satisfies the requirement.
+    _ABSTRACTS = (("_write_once", "write"), ("worst_case_units",))
     _CLASSVARS = ("name", "requires_read")
 
     def _is_writescheme_base(self, base: ast.expr, ctx: ModuleContext) -> bool:
@@ -292,13 +299,14 @@ class SchemeRegistrationRule(LintRule):
                 ctx,
                 f"{node.name}.name must be a string literal for registration",
             )
-        for meth in self._ABSTRACTS:
-            if meth not in defined:
+        for spellings in self._ABSTRACTS:
+            if not any(meth in defined for meth in spellings):
+                wanted = " or ".join(repr(m) for m in spellings)
                 yield self.finding(
                     node,
                     ctx,
                     f"WriteScheme subclass {node.name} does not override "
-                    f"abstract method {meth!r}",
+                    f"abstract method {wanted}",
                 )
 
 
@@ -460,3 +468,85 @@ class TimeUnitSuffixRule(LintRule):
                     "time-valued but has no unit suffix; use the _ns "
                     "convention from schemes/base.py",
                 )
+
+
+# ----------------------------------------------------------------------
+# SL007 — no swallowed-failure handlers in simulator code.
+# ----------------------------------------------------------------------
+class SwallowedExceptionRule(LintRule):
+    """Simulator code must never silently eat a failure.
+
+    The fault subsystem (``repro.faults``) turns hardware failures into
+    structured exceptions precisely so nothing corrupts state silently —
+    a ``bare except:`` or an ``except Exception:`` whose body just
+    ``pass``es undoes that guarantee and hides real bugs (an
+    :class:`InvariantViolation` or ``UncorrectableWriteError`` vanishing
+    into a handler is indistinguishable from a clean run).  Flagged:
+
+    * ``except:`` with no exception type, unless the body re-raises;
+    * ``except Exception`` / ``except BaseException`` whose body is
+      only ``pass``/``...`` (optionally behind a docstring/comment).
+
+    Catching *specific* exceptions, logging-and-handling, and broad
+    handlers that re-raise are all fine.
+    """
+
+    id = "SL007"
+    title = "swallowed-failure exception handler"
+    node_types = (ast.ExceptHandler,)
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    @staticmethod
+    def _reraises(body: list[ast.stmt]) -> bool:
+        for stmt in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(stmt, ast.Raise):
+                return True
+        return False
+
+    @staticmethod
+    def _swallows(body: list[ast.stmt]) -> bool:
+        """True when the handler body does nothing with the failure."""
+        meaningful = [
+            stmt
+            for stmt in body
+            if not (
+                isinstance(stmt, ast.Pass)
+                or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+            )
+        ]
+        return not meaningful
+
+    def _broad_names(self, node: ast.ExceptHandler, ctx: ModuleContext) -> bool:
+        types = (
+            node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        )
+        for t in types:
+            resolved = ctx.resolve(t) if t is not None else None
+            if resolved is not None and resolved.split(".")[-1] in self._BROAD:
+                return True
+        return False
+
+    def check(
+        self, node: ast.ExceptHandler, ctx: ModuleContext
+    ) -> Iterator[LintFinding]:
+        if node.type is None:
+            if not self._reraises(node.body):
+                yield self.finding(
+                    node,
+                    ctx,
+                    "bare `except:` swallows every failure (including "
+                    "InvariantViolation); catch the specific exception "
+                    "or re-raise",
+                )
+            return
+        if self._broad_names(node, ctx) and self._swallows(node.body):
+            yield self.finding(
+                node,
+                ctx,
+                "`except Exception: pass` silently eats a fault; handle "
+                "it, narrow the type, or let it propagate",
+            )
