@@ -279,6 +279,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.experiments.obs_demo import (
+        fsm_overlap_ns,
+        run_traced_fullsystem,
+        run_traced_writes,
+    )
+    from repro.obs import collapsed_stacks, validate_chrome_trace_file, write_chrome_trace
+
+    if args.fullsystem:
+        tracer, _ = run_traced_fullsystem(
+            args.workload,
+            scheme_name=args.scheme,
+            requests_per_core=args.requests,
+            seed=args.seed,
+        )
+    else:
+        tracer, _ = run_traced_writes(
+            args.scheme, n_writes=args.writes, seed=args.seed
+        )
+    write_chrome_trace(tracer, args.out)
+    validate_chrome_trace_file(args.out)
+    overlap = fsm_overlap_ns(tracer)
+    chip_overlap = {p: ns for p, ns in overlap.items() if ".chip" in p and ns > 0}
+    print(
+        f"wrote {args.out}: {len(tracer)} events "
+        f"({tracer.dropped} dropped), load it at https://ui.perfetto.dev"
+    )
+    if overlap:
+        best = max(overlap, key=overlap.get)
+        print(
+            f"FSM1/FSM0 overlap on {len(chip_overlap)} chip lanes; "
+            f"peak {overlap[best]:.0f} ns on {best}"
+        )
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write(collapsed_stacks(tracer))
+        print(f"wrote {args.flamegraph} (collapsed stacks)")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(tracer.metrics.to_json(nested=True))
+        print(f"wrote {args.metrics} (metric registry)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report_gen import generate_report
 
@@ -364,6 +408,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--endurance", type=float, default=60.0,
                    help="mean cell endurance for the --wearout hammer")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "obs", help="record a Perfetto-loadable trace (docs/OBSERVABILITY.md)"
+    )
+    common(p, workloads=False)
+    p.add_argument("--scheme", default="tetris", choices=list(COMPARED_SCHEMES))
+    p.add_argument("--writes", type=int, default=32,
+                   help="writes in the standalone bank loop")
+    p.add_argument("--fullsystem", action="store_true",
+                   help="trace a short functional full-system slice instead")
+    p.add_argument("--workload", default="dedup", choices=list(WORKLOAD_NAMES))
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--flamegraph", default="",
+                   help="also write flamegraph collapsed stacks here")
+    p.add_argument("--metrics", default="",
+                   help="also write the nested metric registry JSON here")
+    p.set_defaults(fn=_cmd_obs)
 
     p = sub.add_parser("ablation", help="parameter sensitivity sweeps")
     common(p, workloads=False)

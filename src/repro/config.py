@@ -252,6 +252,36 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Observability knobs (``repro.obs``; docs/OBSERVABILITY.md).
+
+    When ``enabled``, instrumented components (engine, memory
+    controller, schemes, chips, fault model) record spans / instants /
+    counters into a shared ring-buffer tracer, exportable as
+    Perfetto-loadable Chrome trace JSON and flamegraph collapsed
+    stacks.  Off by default: a disabled run must stay bit-identical to
+    a build without the observability subsystem (the disabled path is
+    one attribute check per site; ``benchmarks/bench_obs_overhead.py``
+    pins it below 2%).
+    """
+
+    enabled: bool = False
+    # Ring capacity in events; older events are overwritten (and
+    # counted as dropped) rather than growing memory without bound.
+    buffer_events: int = 1 << 16
+    # Clock domain: "sim" stamps events in simulated nanoseconds
+    # (deterministic under a fixed seed); "wall" uses the host
+    # process clock (profiling only, never a simulation result).
+    clock: str = "sim"
+
+    def __post_init__(self) -> None:
+        if self.buffer_events < 1:
+            raise ConfigError("trace buffer must hold at least one event")
+        if self.clock not in ("sim", "wall"):
+            raise ConfigError(f"unknown trace clock domain: {self.clock!r}")
+
+
+@dataclass(frozen=True)
 class MemCtrlConfig:
     """Memory controller (paper Table II: FR-FCFS, 32-entry R/W queues).
 
@@ -333,6 +363,8 @@ class SystemConfig:
     track_wear: bool = True
     # Program-failure model (repro.faults; docs/FAULTS.md).
     faults: FaultConfig = field(default_factory=FaultConfig)
+    # Observability (repro.obs; docs/OBSERVABILITY.md).
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     def __post_init__(self) -> None:
         if self.cache_line_bytes % self.organization.write_unit_bytes_per_bank:
@@ -397,6 +429,7 @@ class SystemConfig:
         """Rebuild a config saved with :meth:`to_dict`."""
         data = dict(data)
         faults = data.pop("faults", None)
+        trace = data.pop("trace", None)
         return SystemConfig(
             timings=PCMTimings(**data.pop("timings")),
             power=PCMPower(**data.pop("power")),
@@ -407,6 +440,9 @@ class SystemConfig:
             # Configs saved before the fault subsystem round-trip as
             # fault-free (the behavior they were recorded under).
             faults=FaultConfig(**faults) if faults is not None else FaultConfig(),
+            # Configs saved before the observability subsystem load with
+            # tracing off (the behavior they were recorded under).
+            trace=TraceConfig(**trace) if trace is not None else TraceConfig(),
             **data,
         )
 

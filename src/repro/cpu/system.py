@@ -15,6 +15,8 @@ from repro.config import SystemConfig
 from repro.cpu.core import CoreStats, TraceCore
 from repro.memctrl.controller import ControllerStats, MemoryController, ServiceModel
 from repro.memctrl.frfcfs import RowBufferModel
+from repro.obs.runtime import tracer_for
+from repro.obs.tracer import SimClock
 from repro.sim.engine import Simulator
 from repro.trace.record import OP_WRITE, Trace
 
@@ -62,6 +64,15 @@ class CMPSystem:
         self.config = config
         self.scheme_name = scheme_name
         self.sim = Simulator()
+        # Observability: rebind the shared tracer onto this run's DES
+        # clock so every component's events land in simulated time, and
+        # hand the tracer to the engine for per-event instants.  Must
+        # happen before the controller resolves its own tracer.
+        self.tracer = tracer_for(config)
+        if self.tracer is not None:
+            if config.trace.clock == "sim":
+                self.tracer.bind_clock(SimClock(self.sim))
+            self.sim.tracer = self.tracer
         self.controller = MemoryController(
             self.sim,
             config,

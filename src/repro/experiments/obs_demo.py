@@ -1,0 +1,170 @@
+"""Traced demonstration runs for the observability subsystem.
+
+Two entry points back the ``tetris-write obs`` CLI command and the CI
+trace-artifact job:
+
+* :func:`run_traced_writes` — a standalone write loop through one
+  :class:`~repro.pcm.bank.PCMBank` with functional chips, driven by a
+  :class:`~repro.obs.tracer.ManualClock` advanced by each outcome's
+  service time.  The resulting timeline shows, per chip, the FSM1
+  write-1 slices overlapping the FSM0 write-0 slices — the paper's
+  Figure 4 rendered by Perfetto.
+* :func:`run_traced_fullsystem` — a short Fig 11-14 style run through
+  the functional service model with tracing enabled: engine events,
+  controller queue depths, per-bank service spans and the scheme/chip
+  timelines all land on one simulated-time trace.
+
+Both return the tracer still holding the recorded events; callers
+export with :func:`repro.obs.write_chrome_trace` /
+:func:`repro.obs.collapsed_stacks`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig, TraceConfig, default_config
+from repro.obs.runtime import tracing
+from repro.obs.tracer import ManualClock, TraceEvent, Tracer
+
+__all__ = [
+    "traced_config",
+    "run_traced_writes",
+    "run_traced_fullsystem",
+    "fsm_overlap_ns",
+]
+
+_U64 = np.uint64
+
+
+def traced_config(
+    base: SystemConfig | None = None, *, buffer_events: int = 1 << 16
+) -> SystemConfig:
+    """A config with tracing enabled on the sim clock domain."""
+    cfg = base if base is not None else default_config()
+    return cfg.replace(
+        trace=TraceConfig(enabled=True, buffer_events=buffer_events, clock="sim")
+    )
+
+
+def _random_update(rng: np.random.Generator, old: np.ndarray, p: float = 0.15):
+    """Flip ~``p`` of the cells of each unit (mixed SET/RESET demand)."""
+    bits = rng.random((old.size, 64)) < p
+    shifts = np.arange(64, dtype=_U64)
+    mask = np.bitwise_or.reduce(bits.astype(_U64) << shifts, axis=1)
+    return old ^ mask
+
+
+def run_traced_writes(
+    scheme_name: str = "tetris",
+    *,
+    n_writes: int = 32,
+    n_lines: int = 8,
+    seed: int = 20160816,
+    config: SystemConfig | None = None,
+    verify_cells: bool = True,
+    gap_ns: float = 50.0,
+) -> tuple[Tracer, list]:
+    """Trace a standalone write loop through one functional bank.
+
+    Returns ``(tracer, outcomes)``; the tracer is *not* left installed.
+    """
+    from repro.pcm.bank import PCMBank
+    from repro.schemes import get_scheme
+
+    cfg = traced_config(config)
+    rng = np.random.default_rng(seed)
+    outcomes = []
+    with tracing(Tracer(capacity=cfg.trace.buffer_events,
+                        clock=ManualClock())) as tracer:
+        scheme = get_scheme(scheme_name, cfg)
+        bank = PCMBank(0, scheme, cfg, verify_cells=verify_cells)
+        for w in range(n_writes):
+            line = int(rng.integers(0, n_lines))
+            old = bank.image.read_logical(line)
+            new = _random_update(rng, old)
+            outcome = bank.write(line, new)
+            outcomes.append(outcome)
+            tracer.clock.advance(outcome.service_ns + gap_ns)
+    return tracer, outcomes
+
+
+def run_traced_fullsystem(
+    workload: str = "dedup",
+    *,
+    scheme_name: str = "tetris",
+    requests_per_core: int = 200,
+    seed: int = 20160816,
+    config: SystemConfig | None = None,
+    verify_cells: bool = True,
+):
+    """Trace a short functional full-system slice.
+
+    Returns ``(tracer, SystemResult)``; the tracer is *not* left
+    installed, so subsequent runs in the same process stay untraced.
+    """
+    from repro.cpu.system import CMPSystem
+    from repro.experiments.fullsystem import FunctionalServiceModel
+    from repro.trace.synthetic import generate_trace
+
+    cfg = traced_config(config)
+    trace = generate_trace(workload, requests_per_core, seed=seed)
+    with tracing(Tracer(capacity=cfg.trace.buffer_events)) as tracer:
+        service = FunctionalServiceModel(
+            trace, scheme_name, cfg, verify_cells=verify_cells
+        )
+        system = CMPSystem(trace, cfg, service, scheme_name=scheme_name)
+        result = system.run()
+    return tracer, result
+
+
+# ----------------------------------------------------------------------
+# Overlap measurement: the acceptance criterion made checkable.
+# ----------------------------------------------------------------------
+def fsm_overlap_ns(
+    source: Tracer | list[TraceEvent], *, pid: str | None = None
+) -> dict[str, float]:
+    """Per-process overlap between the FSM1 and FSM0 lanes, in ns.
+
+    For every process (chip / bank) holding both lanes, sums the time
+    during which at least one write-1 slice and at least one write-0
+    slice are simultaneously active — nonzero iff the Tetris property
+    (write-0s running in the interspaces of in-flight write-1s) shows
+    in the trace.  ``pid`` restricts the check to one process.
+    """
+    events = source.events() if isinstance(source, Tracer) else list(source)
+    lanes: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for ev in events:
+        if ev.kind != "span" or ev.tid not in ("FSM1 write-1", "FSM0 write-0"):
+            continue
+        if pid is not None and ev.pid != pid:
+            continue
+        lanes.setdefault(ev.pid, {}).setdefault(ev.tid, []).append(
+            (ev.ts_ns, ev.end_ns)
+        )
+
+    def union(iv: list[tuple[float, float]]) -> list[tuple[float, float]]:
+        out: list[tuple[float, float]] = []
+        for lo, hi in sorted(iv):
+            if out and lo <= out[-1][1]:
+                out[-1] = (out[-1][0], max(out[-1][1], hi))
+            else:
+                out.append((lo, hi))
+        return out
+
+    overlap: dict[str, float] = {}
+    for proc, by_tid in lanes.items():
+        a = union(by_tid.get("FSM1 write-1", []))
+        b = union(by_tid.get("FSM0 write-0", []))
+        total, i, j = 0.0, 0, 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if hi > lo:
+                total += hi - lo
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        overlap[proc] = total
+    return overlap

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.analysis import TetrisScheduler
 from repro.faults.ecp import ECPTable, SparePool, UncorrectableWriteError
+from repro.obs.runtime import tracer_for
 from repro.pcm.variation import ProcessVariation
 from repro.pcm.wear import WearTracker
 
@@ -120,6 +121,8 @@ class FaultModel:
         self.uncorrectable = 0
         self.total_attempts = 0
         self.transient_failures = 0
+        # Observability: None unless config.trace.enabled.
+        self._obs = tracer_for(config)
 
     # ------------------------------------------------------------------
     # Address resolution.
@@ -220,10 +223,24 @@ class FaultModel:
                 if self.ecp.try_assign(pline, want):
                     degraded = True
                     self.degraded_writes += 1
+                    if self._obs is not None:
+                        self._obs.instant(
+                            "fault.ecp_assigned", pid="faults", tid="ecp",
+                            cat="faults",
+                            args={"line": line, "pline": pline,
+                                  "ecp_used": self.ecp.entries_used(pline)},
+                        )
+                        self._obs.metrics.counter("faults.ecp_degraded").inc()
                     break
                 if not self.spares.can_retire():
                     self.uncorrectable += 1
                     self.total_attempts += attempts
+                    if self._obs is not None:
+                        self._obs.instant(
+                            "fault.uncorrectable", pid="faults", tid="retire",
+                            cat="faults", args={"line": line, "pline": pline},
+                        )
+                        self._obs.metrics.counter("faults.uncorrectable").inc()
                     raise UncorrectableWriteError(
                         "retries, ECP and spares exhausted",
                         line=line,
@@ -232,9 +249,18 @@ class FaultModel:
                         attempts=attempts,
                         spares_used=self.spares.spares_used,
                     )
+                old_pline = pline
                 pline = self.spares.retire(pline)
                 retired = True
                 self.retirements += 1
+                if self._obs is not None:
+                    self._obs.instant(
+                        "fault.retired", pid="faults", tid="retire",
+                        cat="faults",
+                        args={"line": line, "from": old_pline, "to": pline,
+                              "spares_used": self.spares.spares_used},
+                    )
+                    self._obs.metrics.counter("faults.retirements").inc()
                 home_attempts = 0
                 # A fresh spare starts fully RESET; the full rewrite runs
                 # through the same priced retry machinery below.
@@ -254,6 +280,15 @@ class FaultModel:
                 retry_units += sched.service_units()
                 retry_set += int(n1.sum())
                 retry_reset += int(n0.sum())
+                if self._obs is not None:
+                    self._obs.instant(
+                        "fault.retry_pass", pid="faults", tid="retry",
+                        cat="faults",
+                        args={"line": line, "pline": pline,
+                              "attempt": attempts,
+                              "bits": int(n1.sum() + n0.sum())},
+                    )
+                    self._obs.metrics.counter("faults.retry_passes").inc()
 
             # Apply the pass: ECP-substituted cells always take the new
             # value (replacement cells are fault-free); hard-stuck cells

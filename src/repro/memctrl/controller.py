@@ -25,6 +25,7 @@ from repro.config import SystemConfig
 from repro.memctrl.frfcfs import FRFCFSPolicy, RowBufferModel
 from repro.memctrl.queues import BoundedQueue
 from repro.memctrl.request import MemRequest, ReqKind
+from repro.obs.runtime import tracer_for
 from repro.sim.engine import Simulator
 from repro.sim.stats import Histogram, LatencyStat, TimeSeries
 
@@ -143,6 +144,46 @@ class MemoryController:
         self._read_port_busy = [False] * self.num_banks
         # Optional queue-occupancy tracing (sparkline diagnostics).
         self.occupancy_trace: "TimeSeries | None" = None
+        # Observability (repro.obs): None unless config.trace.enabled,
+        # so untraced runs pay one `is None` test per site.
+        self._obs = tracer_for(config)
+
+    # ------------------------------------------------------------------
+    # Observability emissions (all sites guard on self._obs).
+    # ------------------------------------------------------------------
+    def _trace_depths(self) -> None:
+        obs = self._obs
+        obs.counter(
+            "memctrl.read_queue", float(self.read_queue.occupancy()),
+            pid="memctrl", cat="queue",
+        )
+        obs.counter(
+            "memctrl.write_queue", float(self.write_queue.occupancy()),
+            pid="memctrl", cat="queue",
+        )
+
+    def _trace_complete(self, bank: int, req: MemRequest) -> None:
+        obs = self._obs
+        kind = "read" if req.kind is ReqKind.READ else "write"
+        obs.complete(
+            f"{kind} line{req.line}",
+            ts_ns=req.start_ns,
+            dur_ns=max(0.0, req.finish_ns - req.start_ns),
+            pid="memctrl",
+            tid=f"bank{bank}",
+            cat="service",
+            args={
+                "line": req.line,
+                "wait_ns": req.queue_wait_ns,
+                "latency_ns": req.latency_ns,
+            },
+        )
+        m = obs.metrics.scope("memctrl")
+        m.counter(f"{kind}s.completed").inc()
+        m.latency(f"{kind}s.latency_ns").add(req.latency_ns)
+        m.gauge(f"bank{bank}.busy_ns").set(
+            self.stats.bank_busy_ns.get(bank, 0.0)
+        )
 
     # ------------------------------------------------------------------
     # Submission API (called by cores).
@@ -155,10 +196,21 @@ class MemoryController:
                 # Serve from the write queue: no bank access needed.
                 req.forwarded = True
                 self.stats.forwarded_reads += 1
+                if self._obs is not None:
+                    self._obs.instant(
+                        "read_forwarded", pid="memctrl", tid="queue",
+                        cat="queue", args={"line": req.line},
+                    )
+                    self._obs.metrics.counter("memctrl.forwarded_reads").inc()
                 self.sim.schedule(self.forward_latency_ns, self._complete_forward, req)
                 return True
             if not self.read_queue.push(req):
                 self.stats.read_stalls += 1
+                if self._obs is not None:
+                    self._obs.instant(
+                        "read_stall", pid="memctrl", tid="queue", cat="queue",
+                    )
+                    self._obs.metrics.counter("memctrl.read_stalls").inc()
                 return False
             if self.config.memctrl.write_pausing:
                 self._maybe_pause(req)
@@ -179,8 +231,15 @@ class MemoryController:
                     return True
             if not self.write_queue.push(req):
                 self.stats.write_stalls += 1
+                if self._obs is not None:
+                    self._obs.instant(
+                        "write_stall", pid="memctrl", tid="queue", cat="queue",
+                    )
+                    self._obs.metrics.counter("memctrl.write_stalls").inc()
                 return False
             self._sample_occupancy()
+        if self._obs is not None:
+            self._trace_depths()
         self._schedule_kick()
         return True
 
@@ -224,6 +283,13 @@ class MemoryController:
             req, remaining + self.config.memctrl.pause_overhead_ns
         )
         self.stats.write_pauses += 1
+        if self._obs is not None:
+            self._obs.instant(
+                "write_paused", pid="memctrl", tid=f"bank{bank}",
+                cat="service",
+                args={"line": req.line, "remaining_ns": remaining},
+            )
+            self._obs.metrics.counter("memctrl.write_pauses").inc()
 
     def _resume_paused(self, bank: int) -> bool:
         """Restart a paused write; returns True if one was resumed."""
@@ -281,6 +347,8 @@ class MemoryController:
         queue.remove(req)
         if req.kind is ReqKind.WRITE:
             self._sample_occupancy()
+        if self._obs is not None:
+            self._trace_depths()
         self._notify_waiters(req.kind)
         req.start_ns = self.sim.now
         if req.kind is ReqKind.READ:
@@ -342,6 +410,8 @@ class MemoryController:
         self._inflight[bank] = None
         req.finish_ns = self.sim.now
         self.stats.record(req)
+        if self._obs is not None:
+            self._trace_complete(bank, req)
         if req.on_done is not None:
             req.on_done(req)
         self._schedule_kick()

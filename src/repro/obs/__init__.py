@@ -1,0 +1,72 @@
+"""``repro.obs`` — tracing + metrics observability (docs/OBSERVABILITY.md).
+
+The subsystem has four small layers:
+
+* :mod:`repro.obs.tracer` — the ring-buffer event recorder
+  (:class:`Tracer`, :class:`TraceEvent`) and its clock domains
+  (:class:`SimClock`, :class:`ManualClock`, :class:`WallClock`);
+* :mod:`repro.obs.metrics` — the hierarchical :class:`MetricRegistry`
+  of counters / gauges / streaming distributions;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable)
+  and flamegraph collapsed-stack exporters, plus the schema validator
+  used by the tests and CI;
+* :mod:`repro.obs.runtime` — the process-wide tracer slot instrumented
+  components resolve against (:func:`tracer_for`, :func:`tracing`).
+
+Tracing is **off by default** (``SystemConfig.trace.enabled=False``);
+a disabled run executes bit-identically to a build without this package
+and pays one attribute check per instrumentation site.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    collapsed_stacks,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.metrics import CounterMetric, GaugeMetric, MetricRegistry, ScopedRegistry
+from repro.obs.runtime import (
+    active_tracer,
+    emit_schedule,
+    install_tracer,
+    tracer_for,
+    tracing,
+    uninstall_tracer,
+)
+from repro.obs.tracer import (
+    ManualClock,
+    SimClock,
+    SpanHandle,
+    TraceEvent,
+    Tracer,
+    WallClock,
+)
+
+__all__ = [
+    # tracer
+    "Tracer",
+    "TraceEvent",
+    "SpanHandle",
+    "SimClock",
+    "ManualClock",
+    "WallClock",
+    # metrics
+    "MetricRegistry",
+    "ScopedRegistry",
+    "CounterMetric",
+    "GaugeMetric",
+    # export
+    "chrome_trace",
+    "write_chrome_trace",
+    "collapsed_stacks",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    # runtime
+    "install_tracer",
+    "uninstall_tracer",
+    "active_tracer",
+    "tracer_for",
+    "tracing",
+    "emit_schedule",
+]

@@ -1,0 +1,260 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) + flamegraphs.
+
+Chrome trace format (the JSON flavor Perfetto and ``chrome://tracing``
+both load):
+
+* processes/threads carry **integer** ids, so the exporter interns the
+  tracer's string ``pid``/``tid`` labels in first-seen order and emits
+  ``process_name`` / ``thread_name`` metadata events (``ph: "M"``) to
+  restore the labels in the UI.  Chips map to processes; FSM0 / FSM1 /
+  write-driver / queue lanes map to threads, so one chip's write-1 and
+  write-0 bursts render as parallel tracks whose overlap *is* the
+  paper's Figure 4.
+* timestamps (``ts``) and durations (``dur``) are microseconds; the
+  tracer records nanoseconds, so values divide by 1000 on the way out
+  (``displayTimeUnit: "ns"`` keeps the UI readout in ns).
+* spans are complete events (``ph: "X"``), instants ``ph: "i"`` with
+  thread scope, counters ``ph: "C"``.
+
+:func:`collapsed_stacks` renders the same spans as flamegraph collapsed
+lines (``lane;outer;inner <self-ns>``) for `flamegraph.pl` / speedscope;
+:func:`validate_chrome_trace` is the schema check shared by the tests
+and the CI trace-artifact job.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.tracer import COUNTER, INSTANT, SPAN, TraceEvent, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "collapsed_stacks",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]
+
+_NS_PER_US = 1000.0
+
+
+def _intern(table: dict[str, int], label: str) -> int:
+    """First-seen-order integer id for a string label (ids start at 1)."""
+    idx = table.get(label)
+    if idx is None:
+        idx = table[label] = len(table) + 1
+    return idx
+
+
+def chrome_trace(source: Tracer | Iterable[TraceEvent]) -> dict:
+    """Render recorded events as a Chrome trace-event JSON object."""
+    events = source.events() if isinstance(source, Tracer) else list(source)
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    out: list[dict] = []
+
+    def ids_for(ev: TraceEvent) -> tuple[int, int]:
+        pid = _intern(pids, ev.pid)
+        key = (ev.pid, ev.tid)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": ev.tid},
+                }
+            )
+        return pid, tid
+
+    # Metadata first so viewers label lanes before any payload arrives.
+    for ev in events:
+        if ev.pid not in pids:
+            pid = _intern(pids, ev.pid)
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": ev.pid},
+                }
+            )
+
+    for ev in sorted(events, key=lambda e: (e.ts_ns, e.seq)):
+        pid, tid = ids_for(ev)
+        base = {
+            "name": ev.name,
+            "pid": pid,
+            "tid": tid,
+            "ts": ev.ts_ns / _NS_PER_US,
+        }
+        if ev.cat:
+            base["cat"] = ev.cat
+        if ev.kind == SPAN:
+            base["ph"] = "X"
+            base["dur"] = ev.dur_ns / _NS_PER_US
+            if ev.args:
+                base["args"] = dict(ev.args)
+        elif ev.kind == INSTANT:
+            base["ph"] = "i"
+            base["s"] = "t"
+            if ev.args:
+                base["args"] = dict(ev.args)
+        elif ev.kind == COUNTER:
+            base["ph"] = "C"
+            base["tid"] = 0
+            base["args"] = {ev.name: ev.value}
+        else:  # unknown kinds become instants rather than vanishing
+            base["ph"] = "i"
+            base["s"] = "t"
+        out.append(base)
+
+    return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(source: Tracer | Iterable[TraceEvent], path) -> dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the object."""
+    obj = chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh)
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Flamegraph collapsed stacks.
+# ----------------------------------------------------------------------
+def collapsed_stacks(source: Tracer | Iterable[TraceEvent]) -> str:
+    """Spans as flamegraph collapsed lines, one per unique stack.
+
+    Stacks are reconstructed per ``(pid, tid)`` lane from interval
+    containment: a span strictly inside another on the same lane is its
+    child.  Values are *self* nanoseconds (duration minus children), so
+    feeding the output to ``flamegraph.pl`` or speedscope shows where
+    scheduling time actually went.  Lines are sorted for determinism.
+    """
+    events = source.events() if isinstance(source, Tracer) else list(source)
+    spans = [ev for ev in events if ev.kind == SPAN]
+    totals: dict[str, float] = {}
+
+    by_lane: dict[tuple[str, str], list[TraceEvent]] = {}
+    for ev in spans:
+        by_lane.setdefault((ev.pid, ev.tid), []).append(ev)
+
+    for (pid, tid), lane in by_lane.items():
+        # Sort by start, widest first on ties, so parents precede children.
+        lane.sort(key=lambda e: (e.ts_ns, -e.dur_ns, e.seq))
+        stack: list[TraceEvent] = []
+        child_ns: dict[int, float] = {}
+
+        def emit(ev: TraceEvent, path: str) -> None:
+            self_ns = max(0.0, ev.dur_ns - child_ns.get(ev.seq, 0.0))
+            if self_ns > 0:
+                totals[path] = totals.get(path, 0.0) + self_ns
+
+        for ev in lane:
+            while stack and ev.ts_ns >= stack[-1].end_ns - 1e-9:
+                done = stack.pop()
+                emit(done, ";".join(
+                    [f"{pid};{tid}"] + [s.name for s in stack] + [done.name]
+                ))
+            if stack:
+                child_ns[stack[-1].seq] = (
+                    child_ns.get(stack[-1].seq, 0.0) + ev.dur_ns
+                )
+            stack.append(ev)
+        while stack:
+            done = stack.pop()
+            emit(done, ";".join(
+                [f"{pid};{tid}"] + [s.name for s in stack] + [done.name]
+            ))
+
+    lines = [f"{path} {int(round(ns))}" for path, ns in totals.items()]
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Validation (shared by tests and the CI artifact job).
+# ----------------------------------------------------------------------
+_REQUIRED = ("ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(obj, *, require_nonempty: bool = False) -> list[str]:
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    Checks every event carries ``ph``/``ts``/``pid``/``tid``, durations
+    are non-negative, counter events carry numeric args, and — per
+    ``(pid, tid)`` lane — complete events nest properly (each pair of
+    spans is either disjoint or one contains the other).
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    payload = [e for e in events if isinstance(e, dict) and e.get("ph") != "M"]
+    if require_nonempty and not payload:
+        problems.append("trace contains no payload events")
+
+    lanes: dict[tuple, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        if ev.get("ph") == "M":
+            continue
+        for key in _REQUIRED:
+            if key not in ev:
+                problems.append(f"event {i} ({ev.get('name')!r}) missing {key!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"span {i} ({ev.get('name')!r}) has bad dur={dur!r}")
+            else:
+                lanes.setdefault((ev.get("pid"), ev.get("tid")), []).append(
+                    (float(ev.get("ts", 0.0)), float(dur), str(ev.get("name")))
+                )
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"counter {i} ({ev.get('name')!r}) args not numeric")
+
+    eps = 1e-6
+    for (pid, tid), spans in lanes.items():
+        spans.sort()
+        open_stack: list[tuple[float, float, str]] = []
+        for ts, dur, name in spans:
+            while open_stack and ts >= open_stack[-1][0] + open_stack[-1][1] - eps:
+                open_stack.pop()
+            if open_stack:
+                parent_end = open_stack[-1][0] + open_stack[-1][1]
+                if ts + dur > parent_end + eps:
+                    problems.append(
+                        f"lane pid={pid} tid={tid}: span {name!r} "
+                        f"[{ts}, {ts + dur}] straddles enclosing span "
+                        f"ending at {parent_end}"
+                    )
+                    continue
+            open_stack.append((ts, dur, name))
+    return problems
+
+
+def validate_chrome_trace_file(path, *, require_nonempty: bool = True) -> None:
+    """Load + validate a trace file; raises ``ValueError`` on problems."""
+    with open(path, "r", encoding="utf-8") as fh:
+        obj = json.load(fh)
+    problems = validate_chrome_trace(obj, require_nonempty=require_nonempty)
+    if problems:
+        raise ValueError(
+            f"{path}: invalid Chrome trace ({len(problems)} problems): "
+            + "; ".join(problems[:10])
+        )

@@ -1,0 +1,195 @@
+"""Hierarchical metric registry for instrumented simulator components.
+
+Names are dotted paths (``chip0.fsm1.bursts``, ``memctrl.write_queue.
+stalls``): the flat dotted form is the storage key — cheap to bump on a
+hot path — and :meth:`MetricRegistry.to_nested` folds the dots back into
+a tree for human-facing JSON.  The value types reuse the streaming
+accumulators of :mod:`repro.sim.stats` (``LatencyStat``, ``Histogram``)
+so distribution metrics cost O(1) memory at Fig 11-14 scale, and add the
+two trivial kinds every stats layer needs:
+
+* :class:`CounterMetric` — a monotone total (events, bursts, retries);
+* :class:`GaugeMetric` — a last-value sample with min/max watermarks
+  (queue depth, GCP current).
+
+Export is deterministic: :meth:`MetricRegistry.to_dict` sorts keys, so
+a fixed-seed run produces byte-identical metric JSON
+(`tests/test_obs.py::test_metric_export_deterministic`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.sim.stats import Histogram, LatencyStat
+
+__all__ = ["CounterMetric", "GaugeMetric", "MetricRegistry", "ScopedRegistry"]
+
+
+@dataclass
+class CounterMetric:
+    """Monotone event total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def summary(self) -> float:
+        return self.value
+
+
+@dataclass
+class GaugeMetric:
+    """Last-sampled value with min/max watermarks."""
+
+    name: str
+    value: float = 0.0
+    samples: int = 0
+    _lo: float = math.inf
+    _hi: float = -math.inf
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.samples += 1
+        if value < self._lo:
+            self._lo = value
+        if value > self._hi:
+            self._hi = value
+
+    @property
+    def lo(self) -> float:
+        return self._lo if self.samples else 0.0
+
+    @property
+    def hi(self) -> float:
+        return self._hi if self.samples else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "value": self.value,
+            "min": self.lo,
+            "max": self.hi,
+            "samples": self.samples,
+        }
+
+
+class MetricRegistry:
+    """Named collection of counters, gauges and streaming distributions."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, CounterMetric] = {}
+        self._gauges: dict[str, GaugeMetric] = {}
+        self._latencies: dict[str, LatencyStat] = {}
+        self._hists: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors create on first use so instrumentation sites stay O(1).
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> CounterMetric:
+        m = self._counters.get(name)
+        if m is None:
+            self._check_fresh(name)
+            m = self._counters[name] = CounterMetric(name)
+        return m
+
+    def gauge(self, name: str) -> GaugeMetric:
+        m = self._gauges.get(name)
+        if m is None:
+            self._check_fresh(name)
+            m = self._gauges[name] = GaugeMetric(name)
+        return m
+
+    def latency(self, name: str) -> LatencyStat:
+        m = self._latencies.get(name)
+        if m is None:
+            self._check_fresh(name)
+            m = self._latencies[name] = LatencyStat(name=name)
+        return m
+
+    def histogram(self, name: str, bin_width: float, num_bins: int = 64) -> Histogram:
+        m = self._hists.get(name)
+        if m is None:
+            self._check_fresh(name)
+            m = self._hists[name] = Histogram(name, bin_width, num_bins)
+        return m
+
+    def _check_fresh(self, name: str) -> None:
+        if any(
+            name in table
+            for table in (self._counters, self._gauges, self._latencies, self._hists)
+        ):
+            raise ValueError(f"metric {name!r} already registered with another type")
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        """A view that prepends ``prefix + '.'`` to every metric name."""
+        return ScopedRegistry(self, prefix)
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Flat ``{dotted_name: summary}`` mapping, keys sorted."""
+        out: dict[str, object] = {}
+        for name, c in self._counters.items():
+            out[name] = c.summary()
+        for name, g in self._gauges.items():
+            out[name] = g.summary()
+        for name, s in self._latencies.items():
+            out[name] = s.summary()
+        for name, h in self._hists.items():
+            out[name] = h.summary()
+        return {k: out[k] for k in sorted(out)}
+
+    def to_nested(self) -> dict:
+        """Fold dotted names into a tree (``chip0.fsm1.drops`` →
+        ``{"chip0": {"fsm1": {"drops": ...}}}``).  A name that is both a
+        leaf and a prefix keeps the leaf under the empty key."""
+        tree: dict = {}
+        for name, value in self.to_dict().items():
+            node = tree
+            *parents, leaf = name.split(".")
+            for part in parents:
+                nxt = node.get(part)
+                if not isinstance(nxt, dict):
+                    nxt = {} if nxt is None else {"": nxt}
+                    node[part] = nxt
+                node = nxt
+            if isinstance(node.get(leaf), dict):
+                node[leaf][""] = value
+            else:
+                node[leaf] = value
+        return tree
+
+    def to_json(self, *, nested: bool = False) -> str:
+        payload = self.to_nested() if nested else self.to_dict()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class ScopedRegistry:
+    """Prefix view over a parent registry (hierarchical naming helper)."""
+
+    def __init__(self, parent: MetricRegistry, prefix: str) -> None:
+        self._parent = parent
+        self._prefix = prefix.rstrip(".") + "."
+
+    def counter(self, name: str) -> CounterMetric:
+        return self._parent.counter(self._prefix + name)
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return self._parent.gauge(self._prefix + name)
+
+    def latency(self, name: str) -> LatencyStat:
+        return self._parent.latency(self._prefix + name)
+
+    def histogram(self, name: str, bin_width: float, num_bins: int = 64) -> Histogram:
+        return self._parent.histogram(self._prefix + name, bin_width, num_bins)
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._parent, self._prefix + prefix)

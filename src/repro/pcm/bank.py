@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.config import SystemConfig
 from repro.faults.ecp import UncorrectableWriteError
+from repro.obs.runtime import tracer_for
 from repro.pcm.chip import PCMChip
 from repro.pcm.state import MemoryImage
 
@@ -85,12 +86,19 @@ class PCMBank:
         self.stats = BankStats()
         self.verify_cells = verify_cells
         self.wear: "WearTracker | None" = WearTracker() if track_wear else None
+        self._obs = tracer_for(self.config)
+        # Stamp the scheme with its owning bank so its timeline lanes
+        # stay distinct from other banks' concurrently-busy schemes.
+        self.scheme.obs_bank = bank_id
         org = self.config.organization
         self.chips = [
             PCMChip(
                 chip_id=c,
                 slice_bits=org.chip_io_bits,
                 power_budget=self.config.power.power_budget_per_chip,
+                tracer=self._obs,
+                t_set_ns=self.config.timings.t_set_ns,
+                obs_pid=f"bank{bank_id}.chip{c}",
             )
             for c in range(org.chips_per_bank)
         ] if verify_cells else []
@@ -127,7 +135,7 @@ class PCMBank:
             raise
 
         if self.verify_cells:
-            self._verify_cell_level(line_addr, state)
+            self._verify_cell_level(line_addr, state, outcome)
 
         s = self.stats
         s.writes += 1
@@ -145,7 +153,7 @@ class PCMBank:
         return outcome
 
     # ------------------------------------------------------------------
-    def _verify_cell_level(self, line_addr: int, state) -> None:
+    def _verify_cell_level(self, line_addr: int, state, outcome=None) -> None:
         """Replay the last Tetris schedule at cell level (if available).
 
         For Tetris writes we push the committed physical image through
@@ -156,11 +164,18 @@ class PCMBank:
         """
         sched = getattr(self.scheme, "last_schedule", None)
         target = state.physical
+        base_ns = None
+        if self._obs is not None and outcome is not None:
+            # Chip lanes start where the write stage does: after the
+            # read-before-write and the analysis stage.
+            base_ns = (
+                self._obs.clock.now_ns() + outcome.read_ns + outcome.analysis_ns
+            )
         if sched is not None:
             pooled = np.zeros(max(sched.total_sub_slots, 1), dtype=np.float64)
             for chip in self.chips:
                 pooled_part = chip.execute_schedule(
-                    line_addr, sched, target, L=self.config.L
+                    line_addr, sched, target, L=self.config.L, base_ns=base_ns
                 )
                 pooled[: pooled_part.size] += pooled_part
             if pooled.size and float(pooled.max()) > self.config.bank_power_budget + 1e-9:

@@ -57,6 +57,16 @@ class PCMChip:
     driver: WriteDriver = field(default_factory=WriteDriver)
     fault_injector: Callable[[int, np.ndarray], np.ndarray] | None = None
     max_attempts: int = 3
+    # Observability (repro.obs): when a tracer is attached and the caller
+    # provides a schedule base time, execute_schedule emits one slice per
+    # burst on this chip's FSM1/FSM0 lanes plus a per-sub-slot pump
+    # current counter — the Perfetto rendering of Fig. 4's overlap.
+    tracer: object | None = None
+    t_set_ns: float = 430.0
+    # Timeline process label; empty picks "chip<N>".  Banks that own the
+    # chip prepend themselves ("bank0.chip2") so concurrently-busy banks
+    # do not share lanes.
+    obs_pid: str = ""
     # (line, unit) -> stored slice value (int); lazily populated.
     _cells: dict[tuple[int, int], int] = field(default_factory=dict)
     set_programs: int = 0
@@ -137,16 +147,23 @@ class PCMChip:
         target_physical: np.ndarray,
         *,
         L: float = 2.0,
+        base_ns: float | None = None,
     ) -> np.ndarray:
         """Drain a schedule's queues against this chip's slices.
 
         ``target_physical`` holds the full post-flip unit words; the chip
         programs only its own lane.  Returns the per-sub-slot current the
-        chip drew, for budget verification by the caller.
+        chip drew, for budget verification by the caller.  With a
+        :attr:`tracer` attached and ``base_ns`` given (the sim time the
+        write stage starts), each burst also lands as a timeline slice
+        on this chip's FSM lanes.
         """
         target = np.asarray(target_physical, dtype=_U64)
         n_slots = max(schedule.total_sub_slots, 1)
         current = np.zeros(n_slots, dtype=np.float64)
+        trace = self.tracer is not None and base_ns is not None
+        pid = self.obs_pid or f"chip{self.chip_id}"
+        t_sub = self.t_set_ns / schedule.K
 
         for op in schedule.write1_queue:
             tgt = self.slice_of(int(target[op.unit]))
@@ -158,6 +175,19 @@ class PCMChip:
             self.set_programs += n
             base = op.slot * schedule.K
             current[base : base + schedule.K] += n
+            if trace and n:
+                self.tracer.complete(
+                    f"write1 u{op.unit}",
+                    ts_ns=base_ns + op.slot * self.t_set_ns,
+                    dur_ns=self.t_set_ns,
+                    pid=pid,
+                    tid="FSM1 write-1",
+                    cat="fsm",
+                    args={"line": line, "unit": op.unit, "slot": op.slot,
+                          "bits": n, "chunk": op.chunk},
+                )
+                self.tracer.metrics.counter(f"{pid}.fsm1.bursts").inc()
+                self.tracer.metrics.counter(f"{pid}.fsm1.set_bits").inc(n)
 
         for op in schedule.write0_queue:
             tgt = self.slice_of(int(target[op.unit]))
@@ -167,6 +197,34 @@ class PCMChip:
             n = int(np.bitwise_count(reset_mask).sum())
             self.reset_programs += n
             current[op.slot] += n * L
+            if trace and n:
+                self.tracer.complete(
+                    f"write0 u{op.unit}",
+                    ts_ns=base_ns + op.slot * t_sub,
+                    dur_ns=t_sub,
+                    pid=pid,
+                    tid="FSM0 write-0",
+                    cat="fsm",
+                    args={"line": line, "unit": op.unit, "subslot": op.slot,
+                          "bits": n, "chunk": op.chunk},
+                )
+                self.tracer.metrics.counter(f"{pid}.fsm0.bursts").inc()
+                self.tracer.metrics.counter(f"{pid}.fsm0.reset_bits").inc(n)
+
+        if trace:
+            # Pump-current track: one sample per sub-slot + closing zero,
+            # and a gauge carrying the peak against the private budget.
+            for s, amps in enumerate(current):
+                self.tracer.counter(
+                    f"{pid}.pump_current", float(amps),
+                    ts_ns=base_ns + s * t_sub, pid=pid, cat="fsm",
+                )
+            self.tracer.counter(
+                f"{pid}.pump_current", 0.0,
+                ts_ns=base_ns + n_slots * t_sub, pid=pid, cat="fsm",
+            )
+            g = self.tracer.metrics.gauge(f"{pid}.pump_peak")
+            g.set(float(current.max()) if current.size else 0.0)
 
         return current
 

@@ -66,6 +66,12 @@ class ProgramResult:
 class WriteDriver:
     """Functional driver: applies gated programs to stored cell words."""
 
+    def __init__(self, tracer=None) -> None:
+        # Optional repro.obs.Tracer: program_verified marks each retry
+        # pass as an instant so failed-pulse storms are visible in the
+        # timeline next to the FSM lanes.
+        self.tracer = tracer
+
     @staticmethod
     def prog_enable(old: np.ndarray | int, new: np.ndarray | int) -> np.ndarray:
         """Fig. 9's XOR: which cells differ and may be programmed."""
@@ -146,6 +152,18 @@ class WriteDriver:
             residual = fail
             if not fail.any():
                 break
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "driver.retry_pass",
+                    pid="driver",
+                    tid="verify",
+                    cat="faults",
+                    args={
+                        "attempt": attempt + 1,
+                        "failed_bits": int(np.bitwise_count(fail).sum()),
+                    },
+                )
+                self.tracer.metrics.counter("driver.retry_passes").inc()
         return ProgramResult(
             result=cur,
             set_mask=set_total,

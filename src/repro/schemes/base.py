@@ -24,6 +24,7 @@ from typing import Callable, ClassVar
 import numpy as np
 
 from repro.config import SystemConfig, default_config
+from repro.obs.runtime import tracer_for
 from repro.pcm.energy import EnergyModel
 from repro.pcm.state import LineState
 from repro.pcm.wear import WearTracker
@@ -102,6 +103,13 @@ class WriteScheme(ABC):
         # Resolved once so the disabled case costs one attribute test on
         # the hot path (config flag OR the REPRO_VERIFY environment).
         self.verify = runtime_verification_enabled(self.config)
+        # Observability (repro.obs): same resolve-once contract — None
+        # unless config.trace.enabled, so an untraced write pays a
+        # single `is None` test.  ``obs_bank`` is stamped by the PCMBank
+        # that owns this scheme instance so concurrently-busy banks land
+        # on distinct timeline lanes.
+        self._obs = tracer_for(self.config)
+        self.obs_bank: int | None = None
         # Endurance accounting rides the write path by default; the fault
         # model needs it always-on (and in per-cell mode) when enabled.
         faults_cfg = getattr(self.config, "faults", None)
@@ -145,8 +153,11 @@ class WriteScheme(ABC):
             outcome = self._write_once(state, new_logical)
             if self.wear is not None:
                 self.wear.record(int(line), outcome.n_set, outcome.n_reset)
-            return outcome
-        return self._write_with_faults(state, new_logical, int(line))
+        else:
+            outcome = self._write_with_faults(state, new_logical, int(line))
+        if self._obs is not None:
+            self._trace_write(outcome, int(line))
+        return outcome
 
     @abstractmethod
     def _write_once(self, state: LineState, new_logical: np.ndarray) -> WriteOutcome:
@@ -209,6 +220,69 @@ class WriteScheme(ABC):
         if self.verify:
             verify_outcome(extended, t_set_ns=self.t_set)
         return extended
+
+    # ------------------------------------------------------------------
+    def _trace_write(self, outcome: WriteOutcome, line: int) -> None:
+        """Record one serviced write on the scheme timeline.
+
+        The span is retrospective: it starts at the tracer clock's *now*
+        (the instant the bank began servicing the write in a DES run)
+        and lasts the already-computed ``service_ns``.  Tetris attaches
+        its Equation-5 quantities when a schedule is available.
+        """
+        obs = self._obs
+        ts = obs.clock.now_ns()
+        tid = self.name if self.obs_bank is None else f"bank{self.obs_bank}"
+        args: dict = {
+            "line": line,
+            "units": outcome.units,
+            "n_set": outcome.n_set,
+            "n_reset": outcome.n_reset,
+        }
+        sched = getattr(self, "last_schedule", None)
+        if sched is not None:
+            args["result"] = sched.result
+            args["subresult"] = sched.subresult
+        if outcome.attempts > 1:
+            args["attempts"] = outcome.attempts
+            obs.instant(
+                "write.retry",
+                ts_ns=ts + outcome.service_ns,
+                pid="scheme",
+                tid=tid,
+                cat="faults",
+                args={"line": line, "attempts": outcome.attempts,
+                      "retried_bits": outcome.retried_bits},
+            )
+        if outcome.degraded:
+            obs.instant(
+                "write.ecp_degraded", ts_ns=ts + outcome.service_ns,
+                pid="scheme", tid=tid, cat="faults",
+                args={"line": line},
+            )
+        if outcome.retired:
+            obs.instant(
+                "write.retired", ts_ns=ts + outcome.service_ns,
+                pid="scheme", tid=tid, cat="faults",
+                args={"line": line},
+            )
+        obs.complete(
+            f"write.{self.name}",
+            ts_ns=ts,
+            dur_ns=outcome.service_ns,
+            pid="scheme",
+            tid=tid,
+            cat="write",
+            args=args,
+        )
+        m = obs.metrics.scope(f"scheme.{self.name}")
+        m.counter("writes").inc()
+        m.counter("set_bits").inc(outcome.n_set)
+        m.counter("reset_bits").inc(outcome.n_reset)
+        m.latency("service_ns").add(outcome.service_ns)
+        m.gauge("units").set(outcome.units)
+        if outcome.attempts > 1:
+            m.counter("retried_writes").inc()
 
     # ------------------------------------------------------------------
     @property

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.analysis import TetrisScheduler
+from repro.obs.runtime import emit_schedule
 from repro.core.read_stage import read_stage
 from repro.core.schedule import TetrisSchedule
 from repro.pcm.state import LineState
@@ -127,6 +128,33 @@ class TetrisWrite(WriteScheme):
         if self.adaptive_analysis and self._fast_path_applies(rs):
             analysis_ns = self.fast_path_ns
             self.fast_path_hits += 1
+
+        if self._obs is not None:
+            # The write stage starts after the read + analysis stages;
+            # lanes land on the bank timeline (GCP mode) or one process
+            # per chip (private-pump mode).
+            base = self._obs.clock.now_ns() + self.t_read + analysis_ns
+            bank_pid = (
+                "bank" if self.obs_bank is None else f"bank{self.obs_bank}"
+            )
+            if self.last_schedule is not None:
+                emit_schedule(
+                    self._obs,
+                    self.last_schedule,
+                    base_ns=base,
+                    t_set_ns=self.t_set,
+                    pid=bank_pid,
+                    budget=self.scheduler.power_budget,
+                )
+            elif self.last_chip_schedules is not None:
+                for c, chip_sched in enumerate(self.last_chip_schedules):
+                    emit_schedule(
+                        self._obs,
+                        chip_sched,
+                        base_ns=base,
+                        t_set_ns=self.t_set,
+                        pid=f"{bank_pid}.chipsched{c}",
+                    )
 
         before = state.physical.copy() if self.verify else None
         state.store(rs.physical, rs.flip)

@@ -53,6 +53,9 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = 0
         self.events_fired = 0
+        # Optional repro.obs.Tracer assigned by the system builder when
+        # tracing is enabled; None keeps step() on the untraced path.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args) -> Event:
@@ -81,6 +84,14 @@ class Simulator:
                 raise RuntimeError("event time went backwards")
             self.now = ev.time
             self.events_fired += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    getattr(ev.fn, "__qualname__", repr(ev.fn)),
+                    ts_ns=ev.time,
+                    pid="sim",
+                    tid="events",
+                    cat="engine",
+                )
             try:
                 ev.fn(*ev.args)
             except Exception as exc:

@@ -144,8 +144,8 @@ class LatencyStat:
     count: int = 0
     _mean: float = 0.0
     _m2: float = 0.0
-    min: float = math.inf
-    max: float = -math.inf
+    _min: float = math.inf
+    _max: float = -math.inf
     total: float = 0.0
 
     def add(self, value: float) -> None:
@@ -154,14 +154,24 @@ class LatencyStat:
         delta = value - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (value - self._mean)
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
 
     @property
     def mean(self) -> float:
         return self._mean if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observed value; 0.0 before any sample (never ``inf``)."""
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observed value; 0.0 before any sample (never ``-inf``)."""
+        return self._max if self.count else 0.0
 
     @property
     def variance(self) -> float:
@@ -176,8 +186,8 @@ class LatencyStat:
             "count": self.count,
             "mean": self.mean,
             "std": self.std,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min,
+            "max": self.max,
         }
 
 
@@ -213,10 +223,21 @@ class Histogram:
         total = self.total
         if total == 0:
             return 0.0
-        target = total * p / 100.0
+        # Clamp the rank to the first sample so p=0 (and tiny p on small
+        # totals) lands on the first *occupied* bin rather than on bin 0
+        # regardless of contents; the upper-edge convention is unchanged.
+        target = max(1.0, total * p / 100.0)
         cum = np.cumsum(self.counts)
         idx = int(np.searchsorted(cum, target))
         return (idx + 1) * self.bin_width
+
+    def summary(self) -> dict[str, float]:
+        """Uniform dump shape alongside :meth:`LatencyStat.summary`."""
+        return {
+            "total": self.total,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
 
 
 class StatRegistry:
@@ -242,5 +263,9 @@ class StatRegistry:
 
     def summary(self) -> dict[str, dict | float]:
         out: dict[str, dict | float] = {k: s.summary() for k, s in self._stats.items()}
+        for k, h in self._hists.items():
+            # A latency stat and a histogram may share a name (same signal
+            # observed two ways); keep both by suffixing the histogram.
+            out[k if k not in out else f"{k}.hist"] = h.summary()
         out.update(self.counters)
         return out

@@ -1,0 +1,16 @@
+"""simlint fixture — SL008 must fire on these bare prints."""
+
+
+def report_progress(done, total):
+    print(f"progress {done}/{total}")  # BAD: stdout belongs to repro.cli
+
+
+def debug_dump(schedule):
+    for op in schedule.write1_queue:
+        print("op", op.unit, op.slot)  # BAD: leftover debugging output
+
+
+def summarize(result):
+    line = f"mean units = {result.mean_units:.3f}"
+    print(line)  # BAD: return the string instead
+    return line

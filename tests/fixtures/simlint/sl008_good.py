@@ -1,0 +1,28 @@
+"""simlint fixture — output styles SL008 must accept."""
+
+import logging
+
+from repro.obs import MetricRegistry
+
+log = logging.getLogger(__name__)
+
+
+def summarize(result):
+    """Returning the formatted string lets the CLI decide to print it."""
+    return f"mean units = {result.mean_units:.3f}"
+
+
+def record_progress(metrics: MetricRegistry, done: int) -> None:
+    """Metrics flow through the registry, not stdout."""
+    metrics.counter("experiment.lines_done").inc(done)
+
+
+def warn_on_retry(line: int, attempt: int) -> None:
+    """Logging is routable and silenceable; print is neither."""
+    log.warning("line %d needed attempt %d", line, attempt)
+
+
+def print_like_name_is_not_a_call(printer):
+    """Only resolved calls to the builtin fire, not attribute lookups."""
+    printer.print_summary()
+    return printer

@@ -1,0 +1,276 @@
+"""repro.obs: tracer ring buffer, clock domains, exporters, and the
+no-perturbation guarantee (docs/OBSERVABILITY.md).
+
+The two contracts the subsystem lives or dies by:
+
+* a trace is a pure function of the seed (same seed ⇒ byte-identical
+  Chrome trace JSON and metric export), and
+* recording one changes nothing — a traced run's simulation outcomes
+  are bit-identical to an untraced run's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import TraceConfig, default_config
+from repro.obs import (
+    ManualClock,
+    MetricRegistry,
+    SimClock,
+    Tracer,
+    WallClock,
+    chrome_trace,
+    collapsed_stacks,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.runtime import active_tracer, tracer_for, tracing
+from repro.experiments.obs_demo import (
+    fsm_overlap_ns,
+    run_traced_fullsystem,
+    run_traced_writes,
+)
+
+SEED = 20160816
+
+
+# ----------------------------------------------------------------------
+# Ring buffer.
+# ----------------------------------------------------------------------
+class TestRingBuffer:
+    def test_events_in_order_below_capacity(self):
+        tr = Tracer(capacity=8)
+        for i in range(5):
+            tr.instant(f"e{i}", ts_ns=float(i))
+        assert [ev.name for ev in tr.events()] == [f"e{i}" for i in range(5)]
+        assert tr.recorded == 5 and tr.dropped == 0 and len(tr) == 5
+
+    def test_wraparound_keeps_newest_oldest_first(self):
+        tr = Tracer(capacity=4)
+        for i in range(10):
+            tr.instant(f"e{i}", ts_ns=float(i))
+        assert [ev.name for ev in tr.events()] == ["e6", "e7", "e8", "e9"]
+        assert tr.recorded == 10 and tr.dropped == 6 and len(tr) == 4
+
+    def test_seq_stays_monotone_across_wraps(self):
+        tr = Tracer(capacity=3)
+        for i in range(7):
+            tr.instant("e", ts_ns=0.0)
+        seqs = [ev.seq for ev in tr.events()]
+        assert seqs == sorted(seqs) and seqs == [4, 5, 6]
+
+    def test_clear_resets_but_keeps_capacity(self):
+        tr = Tracer(capacity=4)
+        tr.instant("e")
+        tr.clear()
+        assert tr.events() == [] and tr.recorded == 0
+        assert tr.capacity == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Clock domains.
+# ----------------------------------------------------------------------
+class TestClocks:
+    def test_manual_clock_advances_and_rejects_backwards(self):
+        clk = ManualClock(100.0)
+        assert clk.now_ns() == 100.0
+        clk.advance(30.0)
+        assert clk.now_ns() == 130.0
+        with pytest.raises(ValueError):
+            clk.advance(-1.0)
+
+    def test_sim_clock_reads_the_des_now(self):
+        class FakeSim:
+            now = 0.0
+
+        sim = FakeSim()
+        clk = SimClock(sim)
+        assert clk.now_ns() == 0.0
+        sim.now = 275.5
+        assert clk.now_ns() == 275.5
+        assert clk.domain == "sim"
+
+    def test_wall_clock_is_relative_and_monotone(self):
+        clk = WallClock()
+        a = clk.now_ns()
+        b = clk.now_ns()
+        assert 0.0 <= a <= b
+        assert clk.domain == "wall"
+
+    def test_tracer_stamps_from_its_clock_by_default(self):
+        clk = ManualClock(42.0)
+        tr = Tracer(capacity=4, clock=clk)
+        tr.instant("auto")
+        tr.complete("span", dur_ns=5.0)
+        assert all(ev.ts_ns == pytest.approx(42.0) for ev in tr.events())
+
+    def test_bind_clock_rebases_subsequent_events(self):
+        tr = Tracer(capacity=4, clock=ManualClock(0.0))
+        tr.instant("before")
+        tr.bind_clock(ManualClock(1000.0))
+        tr.instant("after")
+        before, after = tr.events()
+        assert before.ts_ns == pytest.approx(0.0)
+        assert after.ts_ns == pytest.approx(1000.0)
+
+
+# ----------------------------------------------------------------------
+# Runtime resolution.
+# ----------------------------------------------------------------------
+class TestRuntime:
+    def test_tracer_for_is_none_when_disabled(self):
+        assert tracer_for(default_config()) is None
+        assert tracer_for(None) is None
+
+    def test_tracing_context_restores_previous(self):
+        assert active_tracer() is None
+        with tracing() as tr:
+            assert active_tracer() is tr
+            cfg = default_config().replace(trace=TraceConfig(enabled=True))
+            assert tracer_for(cfg) is tr
+        assert active_tracer() is None
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export: schema validity.
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def test_traced_writes_export_is_schema_valid(self, tmp_path):
+        tracer, outcomes = run_traced_writes("tetris", n_writes=8, seed=SEED)
+        assert len(outcomes) == 8 and tracer.recorded > 0
+        path = tmp_path / "trace.json"
+        obj = write_chrome_trace(tracer, path)
+        assert validate_chrome_trace(obj, require_nonempty=True) == []
+        # The file round-trips as plain JSON.
+        assert json.loads(path.read_text()) == obj
+        assert obj["displayTimeUnit"] == "ns"
+
+    def test_ids_are_interned_integers_with_metadata(self):
+        tr = Tracer(capacity=16)
+        tr.complete("w", ts_ns=0.0, dur_ns=10.0, pid="bank0.chip1", tid="FSM1")
+        tr.instant("i", ts_ns=5.0, pid="bank0.chip1", tid="FSM1")
+        tr.counter("depth", 3.0, ts_ns=0.0, pid="memctrl")
+        obj = chrome_trace(tr)
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        payload = [e for e in obj["traceEvents"] if e["ph"] != "M"]
+        names = {
+            (e["name"], e["args"]["name"]) for e in meta
+        }
+        assert ("process_name", "bank0.chip1") in names
+        assert ("process_name", "memctrl") in names
+        assert ("thread_name", "FSM1") in names
+        assert all(isinstance(e["pid"], int) and e["pid"] >= 1 for e in payload)
+        counter = next(e for e in payload if e["ph"] == "C")
+        assert counter["tid"] == 0 and counter["args"] == {"depth": 3.0}
+
+    def test_validator_flags_straddling_spans(self):
+        tr = Tracer(capacity=8)
+        tr.complete("outer", ts_ns=0.0, dur_ns=100.0, pid="p", tid="t")
+        tr.complete("straddler", ts_ns=50.0, dur_ns=100.0, pid="p", tid="t")
+        problems = validate_chrome_trace(chrome_trace(tr))
+        assert any("straddles" in p for p in problems)
+
+    def test_validator_flags_missing_fields_and_empty(self):
+        assert validate_chrome_trace({}) != []
+        obj = {"traceEvents": [{"ph": "X", "name": "x"}]}
+        problems = validate_chrome_trace(obj)
+        assert any("missing" in p for p in problems)
+        empty = {"traceEvents": []}
+        assert validate_chrome_trace(empty) == []
+        assert validate_chrome_trace(empty, require_nonempty=True) != []
+
+    def test_flamegraph_lines_carry_lane_prefixed_stacks(self):
+        tr = Tracer(capacity=8)
+        tr.complete("outer", ts_ns=0.0, dur_ns=100.0, pid="p", tid="t")
+        tr.complete("inner", ts_ns=10.0, dur_ns=30.0, pid="p", tid="t")
+        text = collapsed_stacks(tr)
+        assert "p;t;outer 70\n" in text
+        assert "p;t;outer;inner 30\n" in text
+
+
+# ----------------------------------------------------------------------
+# Determinism: same seed ⇒ identical trace and metric exports.
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_trace_and_metrics_reproduce_under_fixed_seed(self):
+        a_tracer, _ = run_traced_writes("tetris", n_writes=12, seed=SEED)
+        b_tracer, _ = run_traced_writes("tetris", n_writes=12, seed=SEED)
+        a = json.dumps(chrome_trace(a_tracer), sort_keys=True)
+        b = json.dumps(chrome_trace(b_tracer), sort_keys=True)
+        assert a == b
+        assert a_tracer.metrics.to_json() == b_tracer.metrics.to_json()
+        assert collapsed_stacks(a_tracer) == collapsed_stacks(b_tracer)
+
+    def test_different_seeds_differ(self):
+        a_tracer, _ = run_traced_writes("tetris", n_writes=12, seed=SEED)
+        b_tracer, _ = run_traced_writes("tetris", n_writes=12, seed=SEED + 1)
+        assert json.dumps(chrome_trace(a_tracer)) != json.dumps(
+            chrome_trace(b_tracer)
+        )
+
+
+# ----------------------------------------------------------------------
+# No perturbation: tracing must not change simulation outcomes.
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    def test_scheme_comparison_identical_with_and_without_tracing(self):
+        """One full scheme comparison (tetris vs the DCW baseline) run
+        untraced, with tracing present-but-disabled, and with tracing
+        recording must produce field-identical results."""
+        from repro.experiments.runner import run_schemes_on_workloads
+
+        def comparison(cfg):
+            return run_schemes_on_workloads(
+                ("dcw", "tetris"),
+                ("dedup",),
+                config=cfg,
+                requests_per_core=150,
+                seed=SEED,
+            )
+
+        baseline = comparison(default_config())
+        disabled = comparison(
+            default_config().replace(trace=TraceConfig(enabled=False))
+        )
+        with tracing(Tracer(capacity=1 << 14)):
+            recorded = comparison(
+                default_config().replace(trace=TraceConfig(enabled=True))
+            )
+        assert active_tracer() is None
+
+        rows = lambda results: [dataclasses.asdict(r) for r in results]
+        assert rows(disabled) == rows(baseline)
+        assert rows(recorded) == rows(baseline)
+
+
+# ----------------------------------------------------------------------
+# The acceptance criterion: visible FSM0/FSM1 overlap.
+# ----------------------------------------------------------------------
+class TestFsmOverlap:
+    def test_traced_writes_show_write_unit_overlap_on_a_chip(self):
+        tracer, _ = run_traced_writes("tetris", n_writes=32, seed=SEED)
+        overlap = fsm_overlap_ns(tracer)
+        chip_lanes = {p: ns for p, ns in overlap.items() if ".chip" in p}
+        assert chip_lanes, "no chip FSM lanes in the trace"
+        assert max(chip_lanes.values()) > 0.0, (
+            "tetris trace shows no FSM1/FSM0 overlap on any chip"
+        )
+
+    def test_fullsystem_trace_is_valid_and_overlapping(self, tmp_path):
+        tracer, result = run_traced_fullsystem(
+            "dedup", scheme_name="tetris", requests_per_core=60, seed=SEED
+        )
+        assert result.events > 0
+        path = tmp_path / "fullsystem.json"
+        obj = write_chrome_trace(tracer, path)
+        assert validate_chrome_trace(obj, require_nonempty=True) == []
+        overlap = fsm_overlap_ns(tracer)
+        assert any(ns > 0.0 for p, ns in overlap.items() if ".chip" in p)

@@ -47,6 +47,7 @@ FIXTURE_MATRIX = [
     ("SL005", "tests.fixture", 4),
     ("SL006", "repro.core.fixture", 3),
     ("SL007", "repro.pcm.fixture", 3),
+    ("SL008", "repro.experiments.fixture", 3),
 ]
 
 
@@ -95,6 +96,13 @@ def test_sl007_scoped_to_repro():
     src = (FIXTURES / "sl007_bad.py").read_text()
     assert "SL007" in rules_fired(lint_source(src, module="repro.faults.x"))
     assert "SL007" not in rules_fired(lint_source(src, module="tests.helpers"))
+
+
+def test_sl008_exempts_the_cli_and_non_library_code():
+    src = (FIXTURES / "sl008_bad.py").read_text()
+    assert "SL008" in rules_fired(lint_source(src, module="repro.memctrl.x"))
+    assert "SL008" not in rules_fired(lint_source(src, module="repro.cli"))
+    assert "SL008" not in rules_fired(lint_source(src, module="benchmarks.bench_x"))
 
 
 # ----------------------------------------------------------------------
@@ -199,12 +207,13 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_seven():
+def test_cli_list_rules_names_all_eight():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
     assert listed == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+        "SL008",
     }
 
 

@@ -34,6 +34,22 @@ class TestLatencyStat:
         assert s.variance == 0.0
         assert s.summary()["count"] == 0
 
+    def test_empty_min_max_are_finite(self):
+        """Regression: .min/.max on an empty stat must not leak ±inf."""
+        s = LatencyStat("empty")
+        assert s.min == 0.0
+        assert s.max == 0.0
+        summary = s.summary()
+        assert all(math.isfinite(v) for v in summary.values())
+        assert summary["min"] == 0.0 and summary["max"] == 0.0
+
+    def test_min_max_track_after_first_sample(self):
+        s = LatencyStat()
+        s.add(-3.0)
+        assert s.min == -3.0 and s.max == -3.0
+        s.add(7.0)
+        assert s.min == -3.0 and s.max == 7.0
+
     def test_single_value_variance(self):
         s = LatencyStat()
         s.add(5.0)
@@ -71,6 +87,34 @@ class TestHistogram:
     def test_empty_percentile(self):
         assert Histogram("x", bin_width=1.0).percentile(50) == 0.0
 
+    def test_empty_percentile_all_ranks(self):
+        """Regression: every rank of an empty histogram is 0.0, no NaN."""
+        h = Histogram("x", bin_width=1.0)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 0.0
+
+    def test_empty_summary_is_well_defined(self):
+        summary = Histogram("x", bin_width=1.0).summary()
+        assert summary == {"total": 0, "p50": 0.0, "p99": 0.0}
+
+    def test_p0_lands_on_first_occupied_bin(self):
+        """Regression: p=0 used to report bin 0's edge even when the
+        first samples sat far up the range."""
+        h = Histogram("x", bin_width=10.0, num_bins=16)
+        h.add(55.0)  # bin 5
+        assert h.percentile(0) == pytest.approx(60.0)
+        assert h.percentile(100) == pytest.approx(60.0)
+
+    def test_summary_matches_percentiles(self):
+        h = Histogram("lat", bin_width=1.0, num_bins=100)
+        for v in range(100):
+            h.add(v + 0.5)
+        assert h.summary() == {
+            "total": 100,
+            "p50": h.percentile(50),
+            "p99": h.percentile(99),
+        }
+
 
 class TestStatRegistry:
     def test_latency_created_once(self):
@@ -96,3 +140,16 @@ class TestStatRegistry:
         h = reg.histogram("lat", 10.0)
         h.add(5.0)
         assert reg.histogram("lat", 10.0).total == 1
+
+    def test_summary_includes_histograms(self):
+        """Regression: histograms used to be silently dropped from
+        summary(); a shared name keeps both under a .hist suffix."""
+        reg = StatRegistry()
+        reg.histogram("tail", 10.0).add(25.0)
+        summary = reg.summary()
+        assert summary["tail"] == {"total": 1, "p50": 30.0, "p99": 30.0}
+
+        reg.latency("tail").add(25.0)
+        summary = reg.summary()
+        assert summary["tail"]["count"] == 1
+        assert summary["tail.hist"]["total"] == 1

@@ -1,4 +1,4 @@
-"""simlint rules SL001–SL007, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL008, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
@@ -15,6 +15,7 @@ SL004  no ``==``/``!=`` on float time/energy expressions
 SL005  no mutable default arguments
 SL006  time-carrying parameters must use the ``_ns`` suffix convention
 SL007  no swallowed-failure handlers (bare/broad except that eats it)
+SL008  no bare ``print()`` in library code (CLI owns stdout)
 ====== ==============================================================
 """
 
@@ -37,6 +38,7 @@ __all__ = [
     "MutableDefaultRule",
     "TimeUnitSuffixRule",
     "SwallowedExceptionRule",
+    "BarePrintRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -549,4 +551,42 @@ class SwallowedExceptionRule(LintRule):
                 ctx,
                 "`except Exception: pass` silently eats a fault; handle "
                 "it, narrow the type, or let it propagate",
+            )
+
+
+# ----------------------------------------------------------------------
+# SL008 — library code must not print; the CLI owns stdout.
+# ----------------------------------------------------------------------
+class BarePrintRule(LintRule):
+    """Bare ``print()`` calls inside ``src/repro`` pollute stdout.
+
+    The simulator is a library first: experiments return result objects,
+    metrics flow through ``repro.obs.MetricRegistry``, and the only
+    component allowed to talk to the terminal is ``repro.cli`` (which
+    also formats machine-readable output for the bench harness).  A
+    stray ``print()`` deep in a scheme or the memory controller
+
+    * corrupts piped output (``tetris-write ... | python -``),
+    * breaks bit-identity diffing of run logs, and
+    * cannot be silenced per-run the way tracer/metric output can.
+
+    Return strings, raise structured exceptions, or record to the
+    metric registry instead.  ``repro.cli`` itself is exempt.
+    """
+
+    id = "SL008"
+    title = "bare print() in library code"
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro") and not ctx.in_package("repro.cli")
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[LintFinding]:
+        if ctx.resolve(node.func) == "print":
+            yield self.finding(
+                node,
+                ctx,
+                "library code must not print(); return the string, use "
+                "the repro.obs metric registry, or move output to "
+                "repro.cli",
             )
