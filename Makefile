@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint verify bench faults trace all
+.PHONY: test lint verify bench bench-quick faults trace all
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,9 @@ verify:          ## test suite with runtime invariant checking armed
 
 bench:           ## paper-figure benches (prints + writes benchmarks/out/)
 	$(PYTHON) -m pytest benchmarks/ -q
+
+bench-quick:     ## pinned small sweep -> BENCH_sweep.json perf baseline
+	$(PYTHON) benchmarks/quick_sweep.py
 
 faults:          ## fault-injection smoke: tests at 1e-3 + overhead bench
 	REPRO_VERIFY=1 REPRO_FAULT_RATE=1e-3 $(PYTHON) -m pytest -x -q tests/test_faults.py

@@ -19,6 +19,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _bench_utils import REQUESTS_PER_CORE, SCHEMES, SEED  # noqa: E402
 
 from repro.experiments.runner import run_schemes_on_workloads  # noqa: E402
+from repro.parallel import default_workers  # noqa: E402
 from repro.trace.synthetic import generate_trace  # noqa: E402
 from repro.trace.workloads import WORKLOAD_NAMES  # noqa: E402
 
@@ -34,10 +35,15 @@ def traces():
 
 @pytest.fixture(scope="session")
 def fullsystem_grid(traces):
-    """The 8-workload x 5-scheme full-system sweep behind Figs 11-14."""
+    """The 8-workload x 5-scheme full-system sweep behind Figs 11-14.
+
+    Runs through the parallel sweep engine: cells fan out over a process
+    pool and replay from the on-disk result cache when warm (results are
+    bit-identical either way; set REPRO_NO_CACHE=1 to force cold runs).
+    """
     return run_schemes_on_workloads(
         SCHEMES, WORKLOAD_NAMES, requests_per_core=REQUESTS_PER_CORE,
-        seed=SEED, traces=traces,
+        seed=SEED, traces=traces, workers=default_workers(),
     )
 
 

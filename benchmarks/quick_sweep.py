@@ -1,0 +1,87 @@
+"""``make bench-quick``: a pinned small sweep -> ``BENCH_sweep.json``.
+
+Emits a machine-readable perf baseline so future PRs have a trajectory
+to compare against: wall-clock per cell, DES events per second (the
+hot-path metric the Event/LRU tuning moves), and the warm-run cache hit
+rate.  The grid is pinned (workloads, schemes, requests, seed) so the
+numbers are comparable across commits; the cache store is a throwaway
+temp directory so results never alias the user's store.
+
+Run from the repo root::
+
+    make bench-quick          # writes ./BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.parallel import ResultCache, SweepEngine, code_salt
+
+# Pinned grid — change it and the baseline stops being comparable.
+WORKLOADS = ("dedup", "vips")
+SCHEMES = ("dcw", "three_stage", "tetris")
+REQUESTS = 600
+SEED = 20160816
+WORKERS = 2
+
+
+def main(out_path: str = "BENCH_sweep.json") -> int:
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        store = Path(tmp) / "store"
+        cold = SweepEngine(
+            requests_per_core=REQUESTS, root_seed=SEED, workers=WORKERS,
+            cache=ResultCache(store),
+        ).run(SCHEMES, WORKLOADS)
+        cold.raise_errors()
+        warm = SweepEngine(
+            requests_per_core=REQUESTS, root_seed=SEED, workers=WORKERS,
+            cache=ResultCache(store),
+        ).run(SCHEMES, WORKLOADS)
+        warm.raise_errors()
+
+    total_events = sum(r.events for r in cold.rows)
+    doc = {
+        "grid": {
+            "workloads": list(WORKLOADS),
+            "schemes": list(SCHEMES),
+            "requests_per_core": REQUESTS,
+            "seed": SEED,
+            "workers": WORKERS,
+        },
+        "host": {"cpu_count": os.cpu_count()},
+        "code_version": code_salt()[:16],
+        "cells": cold.stats.cells,
+        "cold": {
+            "wall_s": round(cold.stats.wall_s, 4),
+            "wall_s_per_cell": round(cold.stats.wall_s / cold.stats.cells, 4),
+            "des_events": total_events,
+            "events_per_sec": round(total_events / cold.stats.wall_s, 1),
+        },
+        "warm": {
+            "wall_s": round(warm.stats.wall_s, 4),
+            "cache_hit_rate": round(
+                warm.stats.cache_hits / warm.stats.cells, 4
+            ),
+            "des_invocations": warm.stats.executed,
+        },
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}: "
+          f"{doc['cold']['wall_s_per_cell']}s/cell cold, "
+          f"{doc['cold']['events_per_sec']:,.0f} events/s, "
+          f"warm hit rate {doc['warm']['cache_hit_rate']:.0%}")
+    if warm.stats.executed != 0:
+        print("ERROR: warm re-run invoked the DES", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -7,6 +7,7 @@ dependency is available offline).
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 __all__ = ["format_table", "ascii_bar_chart", "sparkline"]
@@ -42,12 +43,15 @@ def format_table(
 ) -> str:
     """Fixed-width table with a header rule.
 
-    Floats are formatted with ``float_fmt``; everything else with
+    Floats are formatted with ``float_fmt`` (NaN — e.g. a normalization
+    against a zero baseline — renders as ``n/a``); everything else with
     ``str``.  Column widths adapt to content.
     """
 
     def cell(value: object) -> str:
         if isinstance(value, float):
+            if math.isnan(value):
+                return "n/a"
             return float_fmt.format(value)
         return str(value)
 

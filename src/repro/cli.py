@@ -90,6 +90,8 @@ def _cmd_fullsystem(args: argparse.Namespace) -> int:
         config=cfg,
         requests_per_core=args.requests,
         seed=args.seed,
+        workers=args.workers,
+        cache=False if args.no_cache else None,
     )
     base = {r.workload: r for r in results if r.scheme == BASELINE_SCHEME}
     rows = []
@@ -323,6 +325,95 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.runner import BASELINE_SCHEME
+    from repro.parallel import ResultCache, SweepEngine, default_cache_dir
+
+    cache_root = args.cache_dir or default_cache_dir()
+    if args.stats:
+        report = ResultCache(cache_root).report()
+        print(
+            format_table(
+                ["stat", "value"],
+                [
+                    ["store", report["root"]],
+                    ["entries", report["entries"]],
+                    ["bytes", report["bytes"]],
+                    ["current code version", report["current_code_version"]],
+                    *[
+                        [f"entries[{scheme}]", n]
+                        for scheme, n in report["by_scheme"].items()
+                    ],
+                ],
+                title="Result cache report",
+            )
+        )
+        return 0
+    if args.clear_cache:
+        removed = ResultCache(cache_root).clear()
+        print(f"removed {removed} cache entries from {cache_root}")
+        return 0
+
+    schemes = tuple(dict.fromkeys([BASELINE_SCHEME, *args.schemes]))
+    engine = SweepEngine(
+        requests_per_core=args.requests,
+        root_seed=args.seed,
+        workers=args.workers,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir or None,
+    )
+    sweep = engine.run(schemes, tuple(args.workloads))
+    base = {
+        o.cell.workload: o.row
+        for o in sweep.outcomes
+        if o.cell.scheme == BASELINE_SCHEME and o.row is not None
+    }
+    rows = []
+    for o in sweep.outcomes:
+        if o.error is not None:
+            rows.append([o.cell.workload, o.cell.scheme, "ERROR",
+                         o.error.error_type, "", "", ""])
+            continue
+        r = o.row
+        norm = r.normalized(base[r.workload])
+        rows.append(
+            [
+                r.workload, r.scheme,
+                norm["read_latency"], norm["write_latency"],
+                norm["ipc_improvement"], norm["running_time"],
+                "hit" if o.cached else "ran",
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "scheme", "read-lat", "write-lat", "IPC-x", "runtime", "cell"],
+            rows,
+            title="Sweep results normalized to the DCW baseline",
+        )
+    )
+    s = sweep.stats
+    hit_pct = 100.0 * s.cache_hits / s.cells if s.cells else 0.0
+    print(
+        f"{s.cells} cells: {s.executed} executed, {s.cache_hits} cached "
+        f"({hit_pct:.0f}% hits), {s.errors} errors, "
+        f"{s.workers} workers, {s.wall_s:.2f}s"
+    )
+    if args.json:
+        import dataclasses
+
+        payload = {
+            "stats": s.to_dict(),
+            "rows": [dataclasses.asdict(r) for r in sweep.rows],
+            "errors": [dataclasses.asdict(e) for e in sweep.errors],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if sweep.errors else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report_gen import generate_report
 
@@ -373,7 +464,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subarrays per bank (read-under-write bypass)")
     p.add_argument("--mlp", type=int, default=1,
                    help="outstanding reads per core (O3-like window)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size (results identical to serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk result cache (or set REPRO_NO_CACHE)")
     p.set_defaults(fn=_cmd_fullsystem)
+
+    p = sub.add_parser(
+        "sweep", help="parallel cached scheme x workload sweep (docs/PERFORMANCE.md)"
+    )
+    common(p)
+    p.add_argument("--schemes", nargs="+", default=list(COMPARED_SCHEMES))
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size (results identical to serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk result cache (or set REPRO_NO_CACHE)")
+    p.add_argument("--cache-dir", default="",
+                   help="result-cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/tetris-write/results)")
+    p.add_argument("--stats", action="store_true",
+                   help="print a cache-store report instead of sweeping")
+    p.add_argument("--clear-cache", action="store_true",
+                   help="delete every cache entry instead of sweeping")
+    p.add_argument("--json", default="",
+                   help="also write rows + stats as JSON here")
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("diagram", help="chip-level timing diagram (Fig 4)")
     p.add_argument("--seed", type=int, default=20160816)

@@ -451,6 +451,20 @@ class SystemConfig:
 
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
+    def canonical_json(self) -> str:
+        """Minimal sorted-keys serialization for content addressing.
+
+        The parallel result cache (``repro.parallel.resultcache``) keys
+        cells on this string: identical configurations must serialize
+        identically regardless of construction order, so keys are sorted
+        and whitespace is fixed.
+        """
+        import json
+
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
     @staticmethod
     def from_json(text: str) -> "SystemConfig":
         import json

@@ -26,6 +26,8 @@ traces.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core.schedule import ScheduledOp, TetrisSchedule
@@ -54,7 +56,17 @@ class TetrisScheduler:
         share a sub-slot with its own write-1 burst (models a shared
         per-unit select line).  The paper's worked example overlaps them,
         so the default is ``False``.
+    memo_size:
+        Bound of the per-instance LRU memo on :meth:`schedule`.  Write
+        bit-profiles repeat heavily (Fig 3: ~9.6 changed bits per 64-bit
+        unit on average), so the chip path re-packs the same count tuples
+        constantly; memoized schedules are returned *shared* and must not
+        be mutated (nothing in the simulator does after ``validate()``).
+        ``0`` disables memoization.
     """
+
+    #: Default bound of the per-instance schedule memo.
+    MEMO_SIZE = 4096
 
     def __init__(
         self,
@@ -64,6 +76,7 @@ class TetrisScheduler:
         *,
         exclusive_unit_slots: bool = False,
         allow_split: bool = False,
+        memo_size: int | None = None,
     ) -> None:
         if K < 1:
             raise ValueError("K must be >= 1")
@@ -78,13 +91,18 @@ class TetrisScheduler:
         # budget-sized chunks scheduled independently (distinct cells of
         # the same unit programmed in different write units).
         self.allow_split = bool(allow_split)
+        self.memo_size = self.MEMO_SIZE if memo_size is None else int(memo_size)
+        self._memo: OrderedDict[tuple[bytes, bytes], TetrisSchedule] = OrderedDict()
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # ------------------------------------------------------------------
     def schedule(self, n_set: np.ndarray, n_reset: np.ndarray) -> TetrisSchedule:
         """Pack one cache line's per-unit SET/RESET counts into a schedule.
 
         ``n_set`` / ``n_reset`` are the read stage's per-unit program
-        counts.  Returns a validated :class:`TetrisSchedule`.
+        counts.  Returns a validated :class:`TetrisSchedule` — possibly a
+        shared, memoized instance (treat schedules as immutable).
         """
         n_set = np.atleast_1d(np.asarray(n_set, dtype=np.int64))
         n_reset = np.atleast_1d(np.asarray(n_reset, dtype=np.int64))
@@ -93,6 +111,16 @@ class TetrisScheduler:
         if int(n_set.min(initial=0)) < 0 or int(n_reset.min(initial=0)) < 0:
             raise ValueError("program counts must be non-negative")
 
+        memo = self._memo if self.memo_size > 0 else None
+        if memo is not None:
+            key = (n_set.tobytes(), n_reset.tobytes())
+            cached = memo.get(key)
+            if cached is not None:
+                memo.move_to_end(key)
+                self.memo_hits += 1
+                return cached
+            self.memo_misses += 1
+
         sched = TetrisSchedule(K=self.K, power_budget=self.power_budget)
         in1 = n_set.astype(np.float64)  # SET draws 1 current unit per cell
         in0 = n_reset.astype(np.float64) * self.L
@@ -100,6 +128,11 @@ class TetrisScheduler:
         self._pack_write1(sched, in1, n_set)
         self._pack_write0(sched, in0, n_reset)
         sched.validate()
+
+        if memo is not None:
+            memo[key] = sched
+            if len(memo) > self.memo_size:
+                memo.popitem(last=False)
         return sched
 
     # ------------------------------------------------------------------

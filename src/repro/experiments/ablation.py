@@ -12,16 +12,22 @@ Each sweep answers one "what actually buys the win?" question:
 * **scheduler variants** — flip disabled (how much of the win is
   Flip-N-Write's?), exclusive unit slots (shared select line), chip-level
   scheduling without GCP.
+
+Every list sweep accepts ``workers``: points are independent, so they
+fan out over :func:`repro.parallel.parallel_map` (ordered, fail-fast);
+``workers=1`` is a plain loop with identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.config import SystemConfig, default_config
 from repro.core.batch import pack_batch
+from repro.parallel.engine import parallel_map
 from repro.trace.record import Trace
 
 __all__ = [
@@ -64,21 +70,41 @@ def _mean_units(
     )
 
 
+# Per-point workers for parallel_map: top-level (picklable) functions
+# taking the swept value last so sweeps can ``partial`` the fixed args.
+def _budget_point(trace: Trace, K: int, L: float, budget: float) -> AblationPoint:
+    u, r, s = _mean_units(trace, K=K, L=L, budget=budget, allow_split=True)
+    return AblationPoint("power_budget", budget, u, r, s)
+
+
+def _K_point(trace: Trace, L: float, budget: float, K: int) -> AblationPoint:
+    u, r, s = _mean_units(trace, K=K, L=L, budget=budget)
+    return AblationPoint("K", float(K), u, r, s)
+
+
+def _L_point(trace: Trace, K: int, budget: float, L: float) -> AblationPoint:
+    u, r, s = _mean_units(trace, K=K, L=L, budget=budget)
+    return AblationPoint("L", L, u, r, s)
+
+
+def _width_point(trace: Trace, width: int) -> AblationPoint:
+    budget = 128.0 * width / 16.0
+    u, r, s = _mean_units(trace, K=8, L=2.0, budget=budget, allow_split=True)
+    return AblationPoint("write_unit_bits", float(width), u, r, s)
+
+
 def sweep_power_budget(
     trace: Trace,
     budgets: tuple[float, ...] = (32.0, 48.0, 64.0, 96.0, 128.0, 192.0, 256.0),
     *,
     config: SystemConfig | None = None,
+    workers: int = 1,
 ) -> list[AblationPoint]:
     """Tetris units vs. available instantaneous current per bank."""
     cfg = config if config is not None else default_config()
-    out = []
-    for budget in budgets:
-        u, r, s = _mean_units(
-            trace, K=cfg.K, L=cfg.L, budget=budget, allow_split=True
-        )
-        out.append(AblationPoint("power_budget", budget, u, r, s))
-    return out
+    return parallel_map(
+        partial(_budget_point, trace, cfg.K, cfg.L), budgets, workers=workers
+    )
 
 
 def sweep_time_asymmetry(
@@ -86,14 +112,13 @@ def sweep_time_asymmetry(
     Ks: tuple[int, ...] = (1, 2, 4, 8, 16),
     *,
     config: SystemConfig | None = None,
+    workers: int = 1,
 ) -> list[AblationPoint]:
     """Tetris units vs. the Tset/Treset ratio."""
     cfg = config if config is not None else default_config()
-    out = []
-    for K in Ks:
-        u, r, s = _mean_units(trace, K=K, L=cfg.L, budget=cfg.bank_power_budget)
-        out.append(AblationPoint("K", float(K), u, r, s))
-    return out
+    return parallel_map(
+        partial(_K_point, trace, cfg.L, cfg.bank_power_budget), Ks, workers=workers
+    )
 
 
 def sweep_power_asymmetry(
@@ -101,19 +126,20 @@ def sweep_power_asymmetry(
     Ls: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 4.0),
     *,
     config: SystemConfig | None = None,
+    workers: int = 1,
 ) -> list[AblationPoint]:
     """Tetris units vs. the Creset/Cset ratio."""
     cfg = config if config is not None else default_config()
-    out = []
-    for L in Ls:
-        u, r, s = _mean_units(trace, K=cfg.K, L=L, budget=cfg.bank_power_budget)
-        out.append(AblationPoint("L", L, u, r, s))
-    return out
+    return parallel_map(
+        partial(_L_point, trace, cfg.K, cfg.bank_power_budget), Ls, workers=workers
+    )
 
 
 def sweep_write_unit_width(
     trace: Trace,
     widths: tuple[int, ...] = (2, 4, 8, 16),
+    *,
+    workers: int = 1,
 ) -> list[AblationPoint]:
     """The mobile division modes of §I: budget scales with the width.
 
@@ -121,12 +147,7 @@ def sweep_write_unit_width(
     per chip (128 per bank); narrower units scale the bank budget down
     proportionally.
     """
-    out = []
-    for width in widths:
-        budget = 128.0 * width / 16.0
-        u, r, s = _mean_units(trace, K=8, L=2.0, budget=budget, allow_split=True)
-        out.append(AblationPoint("write_unit_bits", float(width), u, r, s))
-    return out
+    return parallel_map(partial(_width_point, trace), widths, workers=workers)
 
 
 def sweep_no_flip(

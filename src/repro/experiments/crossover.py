@@ -12,11 +12,13 @@ separate in the paper's order.  The interesting outputs are the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.config import SystemConfig, default_config
 from repro.experiments.fullsystem import run_fullsystem
+from repro.parallel.engine import parallel_map
 from repro.trace.record import Trace
 from repro.trace.synthetic import generate_trace
 
@@ -55,6 +57,32 @@ def scale_intensity(trace: Trace, factor: float) -> Trace:
     )
 
 
+def _intensity_point(
+    base_trace: Trace,
+    schemes: tuple[str, ...],
+    cfg: SystemConfig,
+    factor: float,
+) -> CrossoverPoint:
+    """One intensity sample (top-level so ``parallel_map`` can pickle it)."""
+    trace = scale_intensity(base_trace, factor)
+    dcw = run_fullsystem(trace, "dcw", cfg)
+    runtime_ratio = {}
+    read_ratio = {}
+    for scheme in schemes:
+        res = run_fullsystem(trace, scheme, cfg)
+        runtime_ratio[scheme] = res.runtime_ns / dcw.runtime_ns
+        read_ratio[scheme] = (
+            res.mean_read_latency_ns / dcw.mean_read_latency_ns
+            if dcw.mean_read_latency_ns
+            else 1.0
+        )
+    return CrossoverPoint(
+        intensity=factor,
+        runtime_ratio=runtime_ratio,
+        read_latency_ratio=read_ratio,
+    )
+
+
 def sweep_intensity(
     workload: str = "dedup",
     factors: tuple[float, ...] = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0),
@@ -63,32 +91,20 @@ def sweep_intensity(
     requests_per_core: int = 1500,
     seed: int = 20160816,
     config: SystemConfig | None = None,
+    workers: int = 1,
 ) -> list[CrossoverPoint]:
-    """Run the intensity sweep; factor 1.0 is the workload's Table III rate."""
+    """Run the intensity sweep; factor 1.0 is the workload's Table III rate.
+
+    Each factor is an independent DES grid, so ``workers`` fans the
+    points over a process pool with identical (ordered) output.
+    """
     cfg = config if config is not None else default_config()
     base_trace = generate_trace(workload, requests_per_core, seed=seed)
-    points = []
-    for factor in factors:
-        trace = scale_intensity(base_trace, factor)
-        dcw = run_fullsystem(trace, "dcw", cfg)
-        runtime_ratio = {}
-        read_ratio = {}
-        for scheme in schemes:
-            res = run_fullsystem(trace, scheme, cfg)
-            runtime_ratio[scheme] = res.runtime_ns / dcw.runtime_ns
-            read_ratio[scheme] = (
-                res.mean_read_latency_ns / dcw.mean_read_latency_ns
-                if dcw.mean_read_latency_ns
-                else 1.0
-            )
-        points.append(
-            CrossoverPoint(
-                intensity=factor,
-                runtime_ratio=runtime_ratio,
-                read_latency_ratio=read_ratio,
-            )
-        )
-    return points
+    return parallel_map(
+        partial(_intensity_point, base_trace, tuple(schemes), cfg),
+        factors,
+        workers=workers,
+    )
 
 
 def find_knee(

@@ -1,20 +1,23 @@
 """Experiment orchestration: schemes x workloads sweeps with caching.
 
-The Fig 11-14 benches all need the same grid of full-system runs, so the
-runner generates each workload's trace once, prices it under every
-scheme, runs the DES, and hands back a tidy list of
-:class:`ExperimentResult` rows that the report layer turns into the
-paper's normalized figures.
+The Fig 11-14 benches all need the same grid of full-system runs.  The
+runner delegates that grid to :class:`repro.parallel.SweepEngine`, which
+fans cells over a process pool (``workers``), replays previously
+computed cells from the content-addressed on-disk result cache, and
+reuses each workload's trace across schemes — then hands back a tidy
+list of :class:`ExperimentResult` rows that the report layer turns into
+the paper's normalized figures.  ``workers=1`` with a cold cache runs
+the exact cell code serially, bit-identical to any parallel run.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.config import SystemConfig, default_config
-from repro.experiments.fullsystem import precompute_write_service, run_fullsystem
+from repro.config import SystemConfig
 from repro.trace.record import Trace
-from repro.trace.synthetic import generate_trace
 from repro.trace.workloads import WORKLOAD_NAMES
 
 __all__ = ["ExperimentResult", "run_schemes_on_workloads", "BASELINE_SCHEME"]
@@ -38,18 +41,22 @@ class ExperimentResult:
     events: int
 
     def normalized(self, base: "ExperimentResult") -> dict[str, float]:
-        """The paper's normalizations against the DCW baseline."""
+        """The paper's normalizations against the DCW baseline.
+
+        A zero baseline metric has no meaningful ratio — returning 0.0
+        would let a degenerate baseline masquerade as an infinite
+        improvement, so those entries are NaN (rendered ``n/a`` by the
+        report layer).
+        """
+
+        def ratio(mine: float, theirs: float) -> float:
+            return mine / theirs if theirs else math.nan
+
         return {
-            "read_latency": self.read_latency_ns / base.read_latency_ns
-            if base.read_latency_ns
-            else 0.0,
-            "write_latency": self.write_latency_ns / base.write_latency_ns
-            if base.write_latency_ns
-            else 0.0,
-            "ipc_improvement": self.ipc / base.ipc if base.ipc else 0.0,
-            "running_time": self.runtime_ns / base.runtime_ns
-            if base.runtime_ns
-            else 0.0,
+            "read_latency": ratio(self.read_latency_ns, base.read_latency_ns),
+            "write_latency": ratio(self.write_latency_ns, base.write_latency_ns),
+            "ipc_improvement": ratio(self.ipc, base.ipc),
+            "running_time": ratio(self.runtime_ns, base.runtime_ns),
         }
 
 
@@ -61,38 +68,32 @@ def run_schemes_on_workloads(
     requests_per_core: int = 4000,
     seed: int = 20160816,
     traces: dict[str, Trace] | None = None,
+    workers: int = 1,
+    cache: object | None = None,
+    cache_dir: str | Path | None = None,
 ) -> list[ExperimentResult]:
-    """Run the full grid; returns one row per (workload, scheme)."""
-    config = config if config is not None else default_config()
-    results: list[ExperimentResult] = []
-    for workload in workloads:
-        trace = (
-            traces[workload]
-            if traces is not None and workload in traces
-            else generate_trace(
-                workload, requests_per_core, num_cores=config.cpu.num_cores, seed=seed
-            )
-        )
-        for scheme in schemes:
-            table = precompute_write_service(trace, scheme, config)
-            res = run_fullsystem(trace, scheme, config, table=table)
-            results.append(
-                ExperimentResult(
-                    workload=workload,
-                    scheme=scheme,
-                    read_latency_ns=res.mean_read_latency_ns,
-                    write_latency_ns=res.mean_write_latency_ns,
-                    ipc=res.ipc,
-                    runtime_ns=res.runtime_ns,
-                    mean_write_units=table.mean_units(),
-                    mean_write_energy=float(table.energy.mean())
-                    if table.energy.size
-                    else 0.0,
-                    forwarded_reads=res.controller.forwarded_reads,
-                    events=res.events,
-                )
-            )
-    return results
+    """Run the full grid; returns one row per (workload, scheme).
+
+    ``workers`` fans cells over a process pool (output is bit-identical
+    to serial); ``cache`` follows :class:`~repro.parallel.SweepEngine`
+    semantics (``None`` = on unless ``REPRO_NO_CACHE``, ``False`` = off,
+    or a :class:`~repro.parallel.ResultCache` instance).  Cell failures
+    raise, matching the historical serial-loop behavior.
+    """
+    from repro.parallel.engine import SweepEngine
+
+    engine = SweepEngine(
+        config=config,
+        requests_per_core=requests_per_core,
+        root_seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+        traces=traces,
+    )
+    sweep = engine.run(tuple(schemes), tuple(workloads))
+    sweep.raise_errors()
+    return sweep.rows
 
 
 def results_by(

@@ -122,15 +122,22 @@ class FRFCFSPolicy:
         read_queue: BoundedQueue,
         write_queue: BoundedQueue,
     ) -> MemRequest | None:
-        """Pick the next request for an idle bank (or None)."""
-        self.update_drain_state(write_queue)
-        read = self._first_ready(read_queue, bank)
-        write = self._next_write(write_queue, bank)
+        """Pick the next request for an idle bank (or None).
 
+        Candidate lookups are lazy: the losing queue is only scanned when
+        the winning queue has no candidate for the bank.  select() runs
+        after every bank completion, so skipping the dead scan is a real
+        win on read-heavy phases (candidate search is O(queue)).
+        """
+        self.update_drain_state(write_queue)
         if self.draining:
-            return write if write is not None else read
+            write = self._next_write(write_queue, bank)
+            if write is not None:
+                return write
+            return self._first_ready(read_queue, bank)
+        read = self._first_ready(read_queue, bank)
         if read is not None:
             return read
-        if write is not None and self.config.opportunistic_drain:
-            return write
+        if self.config.opportunistic_drain:
+            return self._next_write(write_queue, bank)
         return None

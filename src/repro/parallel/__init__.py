@@ -1,0 +1,50 @@
+"""Parallel experiment infrastructure: sweep fan-out + result caching.
+
+Public surface:
+
+* :class:`~repro.parallel.engine.SweepEngine` — fan the (scheme x
+  workload x seed x config-variant) grid over a process pool, with
+  deterministic seeding and structured failure capture.
+* :func:`~repro.parallel.engine.parallel_map` — ordered fail-fast pool
+  map for the smaller analytical sweeps.
+* :class:`~repro.parallel.resultcache.ResultCache` — content-addressed
+  on-disk store keyed by (config, trace, scheme, code-version salt).
+"""
+
+from repro.parallel.engine import (
+    CellError,
+    CellOutcome,
+    SweepCell,
+    SweepCellError,
+    SweepEngine,
+    SweepResult,
+    SweepStats,
+    default_workers,
+    derive_cell_seeds,
+    parallel_map,
+)
+from repro.parallel.resultcache import (
+    CacheStats,
+    ResultCache,
+    cache_disabled_by_env,
+    code_salt,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CacheStats",
+    "CellError",
+    "CellOutcome",
+    "ResultCache",
+    "SweepCell",
+    "SweepCellError",
+    "SweepEngine",
+    "SweepResult",
+    "SweepStats",
+    "cache_disabled_by_env",
+    "code_salt",
+    "default_cache_dir",
+    "default_workers",
+    "derive_cell_seeds",
+    "parallel_map",
+]

@@ -1,0 +1,495 @@
+"""Parallel experiment engine: fan the evaluation grid over processes.
+
+The paper's evaluation (Figs 11-14, Table III) is a grid of independent
+full-system DES runs — a (scheme x workload x seed x config-variant)
+product where no cell reads another cell's output.  That shape is
+embarrassingly parallel, and :class:`SweepEngine` exploits it:
+
+* **Multiprocess fan-out** — cells are distributed over a
+  ``multiprocessing`` pool with chunked dynamic dispatch (idle workers
+  steal the next chunk), so wall-clock scales with cores instead of one
+  Python interpreter.
+* **Determinism** — each cell's seed is a pure function of the grid
+  coordinates (``SeedSequence``-derived for replicated-seed studies),
+  never of worker identity or completion order, and rows are reassembled
+  in grid order; a ``workers=N`` sweep is bit-identical to ``workers=1``.
+* **Per-worker trace reuse** — a worker generates each workload's trace
+  once (bounded ``lru_cache``) and reuses it for every scheme cell it
+  services, instead of regenerating per cell.
+* **Result caching** — cells are content-addressed in the on-disk
+  :class:`~repro.parallel.resultcache.ResultCache`; hits skip trace
+  generation and the DES entirely.
+* **Structured failure capture** — a crashed cell becomes a
+  :class:`CellError` row carrying the traceback; the rest of the grid
+  completes.  Legacy callers that want fail-fast semantics use
+  :meth:`SweepResult.raise_errors`.
+
+:func:`parallel_map` is the small sibling used by the ablation and
+crossover sweeps: an ordered, fail-fast process-pool map that degrades
+to a plain loop at ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import SystemConfig, default_config
+from repro.parallel.resultcache import (
+    ResultCache,
+    cache_disabled_by_env,
+    default_cache_dir,
+)
+from repro.trace.record import Trace
+from repro.trace.workloads import WORKLOAD_NAMES
+
+__all__ = [
+    "CellError",
+    "CellOutcome",
+    "SweepCell",
+    "SweepCellError",
+    "SweepEngine",
+    "SweepResult",
+    "SweepStats",
+    "default_workers",
+    "derive_cell_seeds",
+    "parallel_map",
+]
+
+
+def default_workers() -> int:
+    """Sensible worker count: the machine's cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def derive_cell_seeds(root_seed: int, n: int) -> tuple[int, ...]:
+    """Derive ``n`` independent per-replica seeds from one root seed.
+
+    ``SeedSequence.spawn`` guarantees the children are statistically
+    independent and — crucially for parallel determinism — each child is
+    a pure function of ``(root_seed, index)``: the derivation never
+    observes worker identity, scheduling order, or wall clock, so a
+    parallel sweep prices replica *i* identically to a serial one.
+    """
+    if n < 1:
+        raise ValueError("need at least one seed")
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return tuple(int(child.generate_state(1)[0]) for child in children)
+
+
+# ----------------------------------------------------------------------
+# Grid cells and outcomes.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """Coordinates of one grid cell."""
+
+    workload: str
+    scheme: str
+    seed: int
+    variant: str = "default"
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Structured capture of one crashed cell (the sweep survives)."""
+
+    workload: str
+    scheme: str
+    seed: int
+    variant: str
+    error_type: str
+    message: str
+    traceback_text: str
+
+    def format(self) -> str:
+        return (
+            f"[{self.variant}] {self.workload} x {self.scheme} "
+            f"(seed {self.seed}): {self.error_type}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One cell's terminal state: a result row or an error, maybe cached."""
+
+    cell: SweepCell
+    row: object | None = None          # ExperimentResult on success
+    error: CellError | None = None
+    cached: bool = False
+
+
+class SweepCellError(RuntimeError):
+    """Raised by :meth:`SweepResult.raise_errors` for fail-fast callers."""
+
+    def __init__(self, errors: list[CellError]) -> None:
+        self.errors = errors
+        first = errors[0]
+        super().__init__(
+            f"{len(errors)} sweep cell(s) failed; first: {first.format()}\n"
+            f"{first.traceback_text}"
+        )
+
+
+@dataclass
+class SweepStats:
+    """Execution accounting for one :meth:`SweepEngine.run`."""
+
+    cells: int = 0
+    executed: int = 0       # cells that actually ran the DES
+    cache_hits: int = 0
+    cache_stores: int = 0
+    errors: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": self.cells,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_stores": self.cache_stores,
+            "errors": self.errors,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Grid outcomes in deterministic grid order, plus run statistics."""
+
+    outcomes: list[CellOutcome]
+    stats: SweepStats
+
+    @property
+    def rows(self) -> list:
+        """Successful :class:`ExperimentResult` rows, in grid order."""
+        return [o.row for o in self.outcomes if o.row is not None]
+
+    @property
+    def errors(self) -> list[CellError]:
+        return [o.error for o in self.outcomes if o.error is not None]
+
+    def raise_errors(self) -> None:
+        """Propagate cell failures the way a serial loop would have."""
+        errors = self.errors
+        if errors:
+            raise SweepCellError(errors)
+
+
+# ----------------------------------------------------------------------
+# The per-cell unit of work.  Everything below must stay top-level and
+# picklable: pool workers import this module and receive plain tuples.
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4)
+def _config_from_json(config_json: str) -> SystemConfig:
+    return SystemConfig.from_json(config_json)
+
+
+@lru_cache(maxsize=16)
+def _trace_for(
+    workload: str, requests_per_core: int, num_cores: int, seed: int
+) -> Trace:
+    """Per-process trace cache: one generation per (workload, seed) per
+    worker, shared by every scheme cell the worker services."""
+    from repro.trace.synthetic import generate_trace
+
+    return generate_trace(
+        workload, requests_per_core, num_cores=num_cores, seed=seed
+    )
+
+
+def _execute_cell(trace: Trace, workload: str, scheme: str, config: SystemConfig):
+    """Price + simulate one (trace, scheme) cell -> ExperimentResult.
+
+    Fields are coerced to builtin ``float``/``int`` so a freshly computed
+    row is byte-identical to the same row after a JSON cache round-trip.
+    """
+    from repro.experiments.fullsystem import (
+        precompute_write_service,
+        run_fullsystem,
+    )
+    from repro.experiments.runner import ExperimentResult
+
+    table = precompute_write_service(trace, scheme, config)
+    res = run_fullsystem(trace, scheme, config, table=table)
+    return ExperimentResult(
+        workload=workload,
+        scheme=scheme,
+        read_latency_ns=float(res.mean_read_latency_ns),
+        write_latency_ns=float(res.mean_write_latency_ns),
+        ipc=float(res.ipc),
+        runtime_ns=float(res.runtime_ns),
+        mean_write_units=float(table.mean_units()),
+        mean_write_energy=float(table.energy.mean()) if table.energy.size else 0.0,
+        forwarded_reads=int(res.controller.forwarded_reads),
+        events=int(res.events),
+    )
+
+
+def _run_cell(payload: tuple):
+    """Pool task: run one cell, returning ``(idx, row | CellError)``.
+
+    The broad except is the structured-failure boundary: the exception is
+    converted into a :class:`CellError` row (type, message, traceback)
+    and returned to the parent, so one poisoned cell cannot kill the
+    whole grid.
+    """
+    idx, workload, scheme, seed, variant, requests_per_core, config_json, trace = payload
+    try:
+        config = _config_from_json(config_json)
+        if trace is None:
+            trace = _trace_for(
+                workload, requests_per_core, config.cpu.num_cores, seed
+            )
+        return idx, _execute_cell(trace, workload, scheme, config)
+    except Exception as exc:
+        return idx, CellError(
+            workload=workload,
+            scheme=scheme,
+            seed=seed,
+            variant=variant,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+class SweepEngine:
+    """Run (scheme x workload x seed x variant) grids, parallel + cached.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`SystemConfig`; defaults to the paper's Table II.
+    variants:
+        Optional named config variants (``{name: SystemConfig}``) adding
+        a fourth grid axis; ``None`` runs only the base config under the
+        variant name ``"default"``.
+    requests_per_core:
+        Synthetic trace length per core (ignored for supplied traces).
+    root_seed:
+        Trace seed for single-seed grids, and the root that
+        :func:`derive_cell_seeds` expands for replicated-seed grids.
+    workers:
+        Process count; ``1`` (the default) runs inline with zero
+        multiprocessing machinery on exactly the same per-cell code.
+    cache:
+        ``None`` (default) enables the on-disk result cache unless the
+        ``REPRO_NO_CACHE`` environment variable is set; ``True`` forces
+        it on; ``False`` disables it; a :class:`ResultCache` instance is
+        used as-is.
+    cache_dir:
+        Store location override (default: ``REPRO_CACHE_DIR`` or
+        ``~/.cache/tetris-write/results``).
+    traces:
+        Optional pre-built traces (``{workload: Trace}``); matching
+        workloads skip synthetic generation and are content-fingerprinted
+        for cache keying.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: SystemConfig | None = None,
+        variants: dict[str, SystemConfig] | None = None,
+        requests_per_core: int = 4000,
+        root_seed: int = 20160816,
+        workers: int = 1,
+        cache: object | None = None,
+        cache_dir: str | Path | None = None,
+        traces: dict[str, Trace] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.base_config = config if config is not None else default_config()
+        self.variants = dict(variants) if variants else {"default": self.base_config}
+        self.requests_per_core = int(requests_per_core)
+        self.root_seed = int(root_seed)
+        self.workers = int(workers)
+        self.traces = dict(traces) if traces else {}
+        self.cache = self._resolve_cache(cache, cache_dir)
+
+    @staticmethod
+    def _resolve_cache(cache, cache_dir) -> ResultCache | None:
+        if isinstance(cache, ResultCache):
+            return cache
+        if cache is False:
+            return None
+        if cache is None and cache_disabled_by_env():
+            return None
+        root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        return ResultCache(root)
+
+    # ------------------------------------------------------------------
+    def grid(
+        self,
+        schemes: tuple[str, ...],
+        workloads: tuple[str, ...] = WORKLOAD_NAMES,
+        *,
+        seeds: int | tuple[int, ...] | None = None,
+    ) -> list[SweepCell]:
+        """Enumerate cells in the deterministic grid order rows use:
+        variant-major, then seed, then workload, with schemes innermost
+        (the order the serial runner produced)."""
+        if seeds is None:
+            seed_list: tuple[int, ...] = (self.root_seed,)
+        elif isinstance(seeds, int):
+            seed_list = derive_cell_seeds(self.root_seed, seeds)
+        else:
+            seed_list = tuple(int(s) for s in seeds)
+        return [
+            SweepCell(workload=w, scheme=s, seed=seed, variant=v)
+            for v in self.variants
+            for seed in seed_list
+            for w in workloads
+            for s in schemes
+        ]
+
+    def _trace_key(self, cell: SweepCell, config: SystemConfig) -> str:
+        """Cache-key component identifying the cell's trace.
+
+        Supplied traces hash their full content; synthetic ones are
+        identified by their generation coordinates (the generator itself
+        is covered by the cache's code salt).
+        """
+        trace = self.traces.get(cell.workload)
+        if trace is not None:
+            return f"content:{trace.fingerprint()}"
+        return (
+            f"synthetic:{cell.workload}:{self.requests_per_core}:"
+            f"{config.cpu.num_cores}:{cell.seed}"
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        schemes: tuple[str, ...],
+        workloads: tuple[str, ...] = WORKLOAD_NAMES,
+        *,
+        seeds: int | tuple[int, ...] | None = None,
+    ) -> SweepResult:
+        """Run the grid and return outcomes in grid order."""
+        start = time.perf_counter()
+        cells = self.grid(tuple(schemes), tuple(workloads), seeds=seeds)
+        config_json = {
+            name: cfg.canonical_json() for name, cfg in self.variants.items()
+        }
+
+        outcomes: dict[int, CellOutcome] = {}
+        pending: list[tuple] = []       # worker payloads for cache misses
+        pending_keys: dict[int, str | None] = {}
+        for idx, cell in enumerate(cells):
+            key = None
+            if self.cache is not None:
+                key = self.cache.cell_key(
+                    config_json=config_json[cell.variant],
+                    trace_key=self._trace_key(cell, self.variants[cell.variant]),
+                    scheme=cell.scheme,
+                )
+                row_dict = self.cache.get(key)
+                if row_dict is not None:
+                    from repro.experiments.runner import ExperimentResult
+
+                    outcomes[idx] = CellOutcome(
+                        cell, row=ExperimentResult(**row_dict), cached=True
+                    )
+                    continue
+            pending_keys[idx] = key
+            pending.append(
+                (
+                    idx,
+                    cell.workload,
+                    cell.scheme,
+                    cell.seed,
+                    cell.variant,
+                    self.requests_per_core,
+                    config_json[cell.variant],
+                    self.traces.get(cell.workload),
+                )
+            )
+
+        for idx, result in self._execute(pending):
+            cell = cells[idx]
+            if isinstance(result, CellError):
+                outcomes[idx] = CellOutcome(cell, error=result)
+            else:
+                outcomes[idx] = CellOutcome(cell, row=result)
+                key = pending_keys[idx]
+                if self.cache is not None and key is not None:
+                    import dataclasses
+
+                    self.cache.put(
+                        key,
+                        dataclasses.asdict(result),
+                        meta={
+                            "scheme": cell.scheme,
+                            "workload": cell.workload,
+                            "seed": cell.seed,
+                            "variant": cell.variant,
+                            "salt": self.cache.salt,
+                        },
+                    )
+
+        ordered = [outcomes[i] for i in range(len(cells))]
+        stats = SweepStats(
+            cells=len(cells),
+            executed=len(pending),
+            cache_hits=self.cache.stats.hits if self.cache else 0,
+            cache_stores=self.cache.stats.stores if self.cache else 0,
+            errors=sum(1 for o in ordered if o.error is not None),
+            workers=self.workers,
+            wall_s=time.perf_counter() - start,
+        )
+        return SweepResult(outcomes=ordered, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _execute(self, payloads: list[tuple]):
+        """Yield ``(idx, row-or-error)`` for every payload.
+
+        Serial mode runs the exact same ``_run_cell`` per payload, so
+        parallel and serial cells traverse identical code.  Parallel mode
+        uses chunked ``imap_unordered`` — completed workers pull the next
+        chunk off the shared queue (work stealing), and chunks follow the
+        grid's workload-major order so a worker's trace cache keeps
+        hitting within a chunk.
+        """
+        if not payloads:
+            return
+        workers = min(self.workers, len(payloads))
+        if workers <= 1:
+            for payload in payloads:
+                yield _run_cell(payload)
+            return
+        chunksize = max(1, -(-len(payloads) // (workers * 4)))
+        with multiprocessing.Pool(processes=workers) as pool:
+            yield from pool.imap_unordered(_run_cell, payloads, chunksize=chunksize)
+
+
+# ----------------------------------------------------------------------
+# Ordered fail-fast map for the ablation / crossover sweeps.
+# ----------------------------------------------------------------------
+def parallel_map(fn, items, *, workers: int = 1, chunksize: int = 1) -> list:
+    """Map ``fn`` over ``items`` preserving order, optionally in a pool.
+
+    Unlike :class:`SweepEngine`, failures propagate immediately (the
+    ablation sweeps are small and their points are not independent
+    experiment artifacts worth salvaging).  ``fn`` and every item must be
+    picklable when ``workers > 1``.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with multiprocessing.Pool(processes=min(workers, len(items))) as pool:
+        return pool.map(fn, items, chunksize=chunksize)

@@ -1,0 +1,234 @@
+"""Content-addressed on-disk cache for experiment-grid cells.
+
+Every (scheme x workload x seed x config) cell of a sweep is a pure
+function of its inputs, so its :class:`~repro.experiments.runner.
+ExperimentResult` can be cached on disk and replayed on the next
+invocation without touching the DES.  The key design points:
+
+* **Content addressing** — a cell's key is the SHA-256 of the
+  canonicalized :class:`~repro.config.SystemConfig` JSON, the trace key
+  (either a content fingerprint for user-supplied traces or the full
+  synthetic-generation coordinates), the scheme name, and a code-version
+  salt.  Anything that can change the simulated result changes the key.
+* **Code-version salt** — the salt hashes every ``*.py`` file of the
+  installed ``repro`` package, so editing any simulator source
+  invalidates the whole store automatically; no manual version bumps,
+  no stale results after a refactor.
+* **Atomic writes** — entries are written to a temp file in the cache
+  directory and ``os.replace``d into place, so concurrent sweep
+  processes sharing one store can never observe a torn entry.
+* **Opt-outs** — ``REPRO_NO_CACHE`` (any non-empty value) disables the
+  cache globally; ``REPRO_CACHE_DIR`` moves the store; callers can pass
+  an explicit directory or ``cache=False``.
+
+Corrupt or unreadable entries are treated as misses and overwritten,
+never raised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "cache_disabled_by_env",
+    "code_salt",
+    "default_cache_dir",
+]
+
+# Bump when the entry layout (not the simulated semantics — the code
+# salt covers those) changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+def cache_disabled_by_env() -> bool:
+    """True when ``REPRO_NO_CACHE`` is set to a non-empty value."""
+    return bool(os.environ.get("REPRO_NO_CACHE", ""))
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/tetris-write/results``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "tetris-write" / "results"
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Digest of the ``repro`` package sources (the code-version salt).
+
+    Hashing path-sorted (relative path, file bytes) pairs makes the salt
+    stable across machines for identical sources and different for any
+    source change — including to this module, which conservatively
+    invalidates the store when the cache itself evolves.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(path.relative_to(root).as_posix().encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache handle's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+@dataclass
+class ResultCache:
+    """One on-disk result store rooted at ``root``.
+
+    The store is a two-level directory of JSON entries
+    (``<key[:2]>/<key>.json``) so no single directory grows unbounded.
+    """
+
+    root: Path
+    salt: str = ""
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if not self.salt:
+            self.salt = code_salt()
+
+    # ------------------------------------------------------------------
+    # Keying.
+    # ------------------------------------------------------------------
+    def cell_key(self, *, config_json: str, trace_key: str, scheme: str) -> str:
+        """Content address of one grid cell.
+
+        ``config_json`` must be the canonical (sorted-keys) serialization
+        of the cell's :class:`SystemConfig` so field ordering can never
+        split the key space.
+        """
+        h = hashlib.sha256()
+        for part in (str(CACHE_FORMAT_VERSION), self.salt, scheme, trace_key,
+                     config_json):
+            h.update(part.encode())
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store.
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """Return the cached row dict for ``key``, or None on a miss.
+
+        Unreadable and format-mismatched entries count as misses.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if entry.get("version") != CACHE_FORMAT_VERSION or "row" not in entry:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["row"]
+
+    def put(self, key: str, row: dict, *, meta: dict | None = None) -> None:
+        """Atomically persist one cell's row (tmp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "meta": meta or {},
+            "row": row,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # A failed store (disk full, permissions) must never kill the
+            # sweep — the cell result is still returned to the caller.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance / reporting.
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def report(self) -> dict:
+        """Store-wide summary for ``tetris-write sweep --stats``."""
+        entries = self.entries()
+        total_bytes = 0
+        by_scheme: dict[str, int] = {}
+        current_salt = 0
+        for path in entries:
+            try:
+                total_bytes += path.stat().st_size
+                with open(path, encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            scheme = entry.get("meta", {}).get("scheme", "?")
+            by_scheme[scheme] = by_scheme.get(scheme, 0) + 1
+            if entry.get("meta", {}).get("salt", "") == self.salt:
+                current_salt += 1
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "by_scheme": dict(sorted(by_scheme.items())),
+            "current_code_version": current_salt,
+        }

@@ -11,30 +11,42 @@ on this engine.  Design points:
   components hold their own state machines (as the paper's FSMs do).
 * **Cancellation** — events carry a live flag; cancelling is O(1) and the
   heap lazily discards dead entries.
+* **Hot-path layout** — the heap stores ``(time, seq, event)`` tuples, so
+  sift comparisons are C-speed tuple compares on floats/ints (``seq`` is
+  unique, so the event object itself is never compared), and ``Event``
+  uses ``__slots__``; a full-system run allocates one event per FSM
+  transition, which makes both measurable in ``bench_fig14_running_time``.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = ["Event", "Simulator"]
 
 
-@dataclass(order=True)
 class Event:
-    """One scheduled callback.  Ordered by (time, seq) for determinism."""
+    """One scheduled callback; ``(time, seq)`` orders it in the heap."""
 
-    time: float
-    seq: int
-    fn: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    alive: bool = field(compare=False, default=True)
+    __slots__ = ("time", "seq", "fn", "args", "alive")
+
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: tuple = ()
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.alive = True
 
     def cancel(self) -> None:
         """Prevent the event from firing (lazy removal from the heap)."""
         self.alive = False
+
+    def __repr__(self) -> str:  # debugging aid; never on the hot path
+        state = "live" if self.alive else "cancelled"
+        return f"Event(t={self.time}, seq={self.seq}, {state}, fn={self.fn!r})"
 
 
 class Simulator:
@@ -50,11 +62,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        # Heap of (time, seq, Event); time/seq duplicated from the event
+        # so ordering never falls back to comparing Python objects.
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.events_fired = 0
         # Optional repro.obs.Tracer assigned by the system builder when
-        # tracing is enabled; None keeps step() on the untraced path.
+        # tracing is enabled; None keeps run() on the untraced fast path.
+        # Must be set before run() — the check is hoisted out of the loop.
         self.tracer = None
 
     # ------------------------------------------------------------------
@@ -69,25 +84,26 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
         self._seq += 1
-        ev = Event(time=time, seq=self._seq, fn=fn, args=args)
-        heapq.heappush(self._heap, ev)
+        ev = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, ev))
         return ev
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next live event.  Returns False when none remain."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, ev = heapq.heappop(heap)
             if not ev.alive:
                 continue
-            if ev.time < self.now:  # defensive; cannot happen via the API
+            if time < self.now:  # defensive; cannot happen via the API
                 raise RuntimeError("event time went backwards")
-            self.now = ev.time
+            self.now = time
             self.events_fired += 1
             if self.tracer is not None:
                 self.tracer.instant(
                     getattr(ev.fn, "__qualname__", repr(ev.fn)),
-                    ts_ns=ev.time,
+                    ts_ns=time,
                     pid="sim",
                     tid="events",
                     cat="engine",
@@ -97,7 +113,7 @@ class Simulator:
             except Exception as exc:
                 # Stamp the simulated time so a fault escaping a callback
                 # (e.g. an uncorrectable write) is attributable in traces.
-                exc.add_note(f"while firing event at sim time {ev.time} ns")
+                exc.add_note(f"while firing event at sim time {time} ns")
                 raise
             return True
         return False
@@ -107,17 +123,43 @@ class Simulator:
 
         ``until`` stops the clock *after* processing every event at or
         before that time; ``max_events`` is a safety valve for tests.
+
+        The drain loop is inlined rather than delegating to :meth:`step`:
+        the tracer check is hoisted to a single branch decision before
+        the loop (``tracer`` must not be attached mid-run), and the
+        monotone-time guard is unnecessary here because :meth:`at`
+        already rejects past times.
         """
+        heap = self._heap
+        heappop = heapq.heappop
+        traced = self.tracer is not None
         fired = 0
-        while self._heap:
-            nxt = self._peek_time()
-            if nxt is None:
-                break
-            if until is not None and nxt > until:
+        while heap:
+            entry = heap[0]
+            ev = entry[2]
+            if not ev.alive:
+                heappop(heap)
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 self.now = until
                 return
-            if not self.step():
-                break
+            heappop(heap)
+            self.now = time
+            self.events_fired += 1
+            if traced:
+                self.tracer.instant(
+                    getattr(ev.fn, "__qualname__", repr(ev.fn)),
+                    ts_ns=time,
+                    pid="sim",
+                    tid="events",
+                    cat="engine",
+                )
+            try:
+                ev.fn(*ev.args)
+            except Exception as exc:
+                exc.add_note(f"while firing event at sim time {time} ns")
+                raise
             fired += 1
             if max_events is not None and fired >= max_events:
                 raise RuntimeError(f"exceeded max_events={max_events}")
@@ -125,11 +167,12 @@ class Simulator:
             self.now = max(self.now, until)
 
     def _peek_time(self) -> float | None:
-        while self._heap and not self._heap[0].alive:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and not heap[0][2].alive:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     @property
     def pending(self) -> int:
         """Number of live events still queued."""
-        return sum(1 for ev in self._heap if ev.alive)
+        return sum(1 for _, _, ev in self._heap if ev.alive)

@@ -13,6 +13,11 @@ import pytest
 # environment still wins, and individual tests monkeypatch as needed.
 os.environ.setdefault("REPRO_VERIFY", "1")
 
+# Keep tests hermetic: never read or write the user's on-disk result
+# cache (repro.parallel.resultcache).  Cache-behavior tests construct
+# explicit ResultCache instances under tmp_path, which bypass this.
+os.environ.setdefault("REPRO_NO_CACHE", "1")
+
 from repro.config import default_config  # noqa: E402
 
 

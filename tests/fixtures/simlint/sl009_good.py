@@ -1,0 +1,40 @@
+"""Fork-safe pool usage SL009 accepts.
+
+Workers are top-level (picklable under spawn), per-process memoization
+goes through ``functools.lru_cache`` on a pure function instead of a
+module-level dict, and module-level state that workers read is immutable.
+"""
+
+import multiprocessing
+from functools import lru_cache, partial
+
+LIMIT = 8  # immutable module constant: safe to read from any process
+
+
+@lru_cache(maxsize=8)
+def _expensive(x):
+    return x * x
+
+
+def worker(x):
+    # Per-process memoization via lru_cache on a pure function — the
+    # fork-safe replacement for a module-level cache dict.
+    return _expensive(x) + LIMIT
+
+
+def offset_worker(x, offset):
+    return x + offset
+
+
+def run():
+    with multiprocessing.Pool(2) as pool:
+        a = pool.map(worker, range(LIMIT))
+        b = pool.map(partial(offset_worker, offset=2), range(LIMIT))
+    return a + b
+
+
+def local_mutables_are_fine():
+    acc = []
+    for i in range(3):
+        acc.append(i)
+    return acc

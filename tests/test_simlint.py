@@ -48,6 +48,7 @@ FIXTURE_MATRIX = [
     ("SL006", "repro.core.fixture", 3),
     ("SL007", "repro.pcm.fixture", 3),
     ("SL008", "repro.experiments.fixture", 3),
+    ("SL009", "repro.parallel.fixture", 5),
 ]
 
 
@@ -103,6 +104,19 @@ def test_sl008_exempts_the_cli_and_non_library_code():
     assert "SL008" in rules_fired(lint_source(src, module="repro.memctrl.x"))
     assert "SL008" not in rules_fired(lint_source(src, module="repro.cli"))
     assert "SL008" not in rules_fired(lint_source(src, module="benchmarks.bench_x"))
+
+
+def test_sl009_scoped_to_repro():
+    src = (FIXTURES / "sl009_bad.py").read_text()
+    assert "SL009" in rules_fired(lint_source(src, module="repro.parallel.x"))
+    assert "SL009" not in rules_fired(lint_source(src, module="benchmarks.bench_x"))
+
+
+def test_sl009_quiet_without_pool_submissions():
+    # Module-level mutable state alone is not a finding — only when a
+    # pool worker consumes it.
+    src = "STATE = {}\n\ndef not_a_worker(x):\n    STATE[x] = x\n    return x\n"
+    assert "SL009" not in rules_fired(lint_source(src, module="repro.parallel.x"))
 
 
 # ----------------------------------------------------------------------
@@ -207,13 +221,13 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_eight():
+def test_cli_list_rules_names_all_nine():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
     assert listed == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008",
+        "SL008", "SL009",
     }
 
 

@@ -1,4 +1,4 @@
-"""simlint rules SL001–SL008, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL009, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
@@ -16,6 +16,8 @@ SL005  no mutable default arguments
 SL006  time-carrying parameters must use the ``_ns`` suffix convention
 SL007  no swallowed-failure handlers (bare/broad except that eats it)
 SL008  no bare ``print()`` in library code (CLI owns stdout)
+SL009  no fork-unsafe multiprocessing patterns (mutable module state
+       consumed in pool workers; lambdas as pool tasks)
 ====== ==============================================================
 """
 
@@ -39,6 +41,7 @@ __all__ = [
     "TimeUnitSuffixRule",
     "SwallowedExceptionRule",
     "BarePrintRule",
+    "ForkUnsafeWorkerRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -590,3 +593,185 @@ class BarePrintRule(LintRule):
                 "the repro.obs metric registry, or move output to "
                 "repro.cli",
             )
+
+# ----------------------------------------------------------------------
+# SL009 — fork-unsafe multiprocessing patterns.
+# ----------------------------------------------------------------------
+class ForkUnsafeWorkerRule(LintRule):
+    """Pool workers must not rely on mutable module-level state.
+
+    The sweep engine (``repro.parallel``) fans experiment cells over a
+    process pool.  Two patterns look correct under Linux's ``fork`` start
+    method but are wrong or non-portable:
+
+    * **Module-level mutable state consumed inside a worker function** —
+      each forked process mutates its *own copy*, so accumulations
+      silently diverge from the serial run and vanish when the pool
+      exits (and under ``spawn`` the state is re-imported empty).  Pass
+      state through the task payload, return it from the worker, or use
+      a per-process ``functools.lru_cache`` on a pure function.
+    * **Lambdas (or other unpicklable callables) submitted as pool
+      tasks** — ``fork`` happens to ship them, but ``spawn``/
+      ``forkserver`` (macOS/Windows defaults) pickle the callable by
+      qualified name and crash.  Define workers at module top level.
+
+    The rule analyzes one module at a time: it collects module-level
+    mutable bindings and pool-task submissions (``pool.map``-family
+    methods, ``parallel_map``, ``Process(target=...)``), then walks each
+    locally-defined worker for reads/writes of those bindings.
+    """
+
+    id = "SL009"
+    title = "fork-unsafe multiprocessing pattern"
+    node_types = (ast.Module,)
+
+    # Methods that submit a callable to a pool.  The generic names (map,
+    # apply) are only trusted when the receiver looks like a pool or an
+    # executor; the multiprocessing-specific spellings always count.
+    _POOL_ONLY_METHODS = frozenset(
+        {"imap", "imap_unordered", "map_async", "starmap", "starmap_async",
+         "apply_async"}
+    )
+    _GENERIC_METHODS = frozenset({"map", "apply", "submit"})
+    _TASK_FUNCS = frozenset({"parallel_map"})
+    _RECEIVER_HINT = re.compile(r"(pool|executor)", re.I)
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "deque",
+         "Counter", "OrderedDict"}
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    # -- module-level mutable bindings ---------------------------------
+    def _is_mutable_value(self, node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def _module_mutables(self, module: ast.Module) -> dict[str, ast.stmt]:
+        out: dict[str, ast.stmt] = {}
+        for stmt in module.body:
+            if isinstance(stmt, ast.Assign) and self._is_mutable_value(stmt.value):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        out[tgt.id] = stmt
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and stmt.value is not None
+                and isinstance(stmt.target, ast.Name)
+                and self._is_mutable_value(stmt.value)
+            ):
+                out[stmt.target.id] = stmt
+        return out
+
+    # -- pool-task submissions -----------------------------------------
+    def _receiver_text(self, node: ast.expr, ctx: ModuleContext) -> str:
+        resolved = ctx.resolve(node)
+        if resolved is not None:
+            return resolved
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
+    def _task_exprs(self, tree: ast.Module, ctx: ModuleContext) -> list[ast.expr]:
+        """Every expression submitted as a pool task in this module."""
+        tasks: list[ast.expr] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                method = func.attr
+                is_pool_call = method in self._POOL_ONLY_METHODS or (
+                    method in self._GENERIC_METHODS
+                    and self._RECEIVER_HINT.search(
+                        self._receiver_text(func.value, ctx)
+                    )
+                )
+                if is_pool_call and node.args:
+                    tasks.append(node.args[0])
+                    continue
+            resolved = ctx.resolve(func)
+            if resolved is not None:
+                tail = resolved.split(".")[-1]
+                if tail in self._TASK_FUNCS and node.args:
+                    tasks.append(node.args[0])
+                    continue
+                if tail == "Process":
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            tasks.append(kw.value)
+        return tasks
+
+    @staticmethod
+    def _unwrap_partial(expr: ast.expr) -> ast.expr:
+        """``partial(fn, ...)`` submits ``fn``; look through it."""
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, (ast.Name, ast.Attribute))
+            and (
+                expr.func.id if isinstance(expr.func, ast.Name) else expr.func.attr
+            )
+            == "partial"
+            and expr.args
+        ):
+            return expr.args[0]
+        return expr
+
+    # ------------------------------------------------------------------
+    def check(self, node: ast.Module, ctx: ModuleContext) -> Iterator[LintFinding]:
+        mutables = self._module_mutables(node)
+        tasks = self._task_exprs(node, ctx)
+        if not tasks:
+            return
+
+        worker_names: set[str] = set()
+        for expr in tasks:
+            expr = self._unwrap_partial(expr)
+            if isinstance(expr, ast.Lambda):
+                yield self.finding(
+                    expr,
+                    ctx,
+                    "lambda passed as a pool task cannot be pickled under "
+                    "the spawn start method; define a top-level worker "
+                    "function",
+                )
+            elif isinstance(expr, ast.Name):
+                worker_names.add(expr.id)
+
+        if not mutables or not worker_names:
+            return
+        workers = [
+            stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in worker_names
+        ]
+        for fn in workers:
+            reported: set[str] = set()
+            for sub in ast.walk(fn):
+                if (
+                    isinstance(sub, ast.Name)
+                    and sub.id in mutables
+                    and sub.id not in reported
+                ):
+                    reported.add(sub.id)
+                    yield self.finding(
+                        sub,
+                        ctx,
+                        f"pool worker {fn.name}() uses module-level mutable "
+                        f"state {sub.id!r}; each forked process mutates its "
+                        "own copy (results diverge silently) — pass it via "
+                        "the task payload or return it from the worker",
+                    )
