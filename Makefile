@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint verify bench bench-quick faults trace all
+.PHONY: test lint verify oracle bench bench-quick faults trace all
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,10 @@ lint:            ## simulator-aware static analysis (docs/SIMLINT.md)
 
 verify:          ## test suite with runtime invariant checking armed
 	REPRO_VERIFY=1 $(PYTHON) -m pytest -x -q
+
+oracle:          ## differential + metamorphic oracle run (docs/ORACLE.md)
+	$(PYTHON) -m repro.cli oracle --cases 2000
+	$(PYTHON) -m pytest -x -q tests/test_oracle.py
 
 bench:           ## paper-figure benches (prints + writes benchmarks/out/)
 	$(PYTHON) -m pytest benchmarks/ -q

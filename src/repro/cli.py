@@ -414,6 +414,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if sweep.errors else 0
 
 
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.oracle.differential import run_differential
+    from repro.oracle.metamorphic import run_metamorphic
+
+    report = run_differential(
+        tuple(args.schemes) if args.schemes else None,
+        cases=args.cases,
+        seed=args.seed,
+    )
+    meta = run_metamorphic(trials=max(args.cases // 4, 50), seed=args.seed)
+
+    lane_summary = ", ".join(
+        f"{lane}: {n}" for lane, n in sorted(report.lane_cases.items())
+    )
+    print(
+        f"differential: {report.cases} cases ({lane_summary}), "
+        f"{len(report.divergences)} divergences"
+    )
+    for d in report.divergences[:20]:
+        print(
+            f"  DIVERGENCE {d.scheme}/{d.lane} [{d.kind}] "
+            f"n_set={list(d.n_set)} n_reset={list(d.n_reset)} "
+            f"analytic={d.analytic} reported={d.reported} "
+            f"executed={d.executed} first_bad_unit={d.first_bad_unit}"
+        )
+    if len(report.divergences) > 20:
+        print(f"  ... and {len(report.divergences) - 20} more")
+    n_meta = sum(len(v) for v in meta["violations"].values())
+    print(
+        f"metamorphic: {meta['trials']} trials per relation over "
+        f"{len(meta['violations'])} relations, {n_meta} violations"
+    )
+    for name, violations in sorted(meta["violations"].items()):
+        for v in violations[:5]:
+            print(f"  VIOLATION {name}: {v}")
+
+    if args.json:
+        payload = {"differential": report.to_dict(), "metamorphic": meta}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    ok = report.ok and meta["ok"]
+    print("oracle: OK" if ok else "oracle: FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report_gen import generate_report
 
@@ -505,6 +553,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="characterize a saved trace file")
     p.add_argument("trace_file")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "oracle",
+        help="differential + metamorphic oracle run (docs/ORACLE.md)",
+    )
+    p.add_argument("--seed", type=int, default=20160816)
+    p.add_argument("--cases", type=int, default=500,
+                   help="random demand-vector volume (grids/corners always run)")
+    p.add_argument("--schemes", nargs="+", default=[],
+                   help="restrict the write lane (default: every registered scheme)")
+    p.add_argument("--json", default="",
+                   help="write the full divergence report as JSON here")
+    p.set_defaults(fn=_cmd_oracle)
 
     p = sub.add_parser("report", help="run everything into a Markdown report")
     common(p, workloads=False)

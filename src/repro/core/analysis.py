@@ -118,7 +118,9 @@ class TetrisScheduler:
             if cached is not None:
                 memo.move_to_end(key)
                 self.memo_hits += 1
-                return cached
+                # Serve a copy: the memoized entry must survive callers
+                # that mutate their schedule (fault-retry re-pricing).
+                return cached.copy()
             self.memo_misses += 1
 
         sched = TetrisSchedule(K=self.K, power_budget=self.power_budget)
@@ -130,27 +132,48 @@ class TetrisScheduler:
         sched.validate()
 
         if memo is not None:
-            memo[key] = sched
+            # Keep a pristine copy; the caller gets the working object.
+            memo[key] = sched.copy()
             if len(memo) > self.memo_size:
                 memo.popitem(last=False)
         return sched
 
     # ------------------------------------------------------------------
-    def _chunks(self, unit: int, need: float, kind: str) -> list[tuple[int, int, float]]:
-        """Split one burst into budget-sized chunks: (unit, chunk, current)."""
+    def _chunks(
+        self, unit: int, n_cells: int, cost: float, kind: str
+    ) -> list[tuple[int, int, float, int]]:
+        """Split one burst into budget-sized chunks: (unit, chunk, current, bits).
+
+        The split is *bit-integral*: each chunk programs a whole number
+        of cells (``floor(budget / cost)`` per full chunk) and the chunk
+        bit counts sum exactly to ``n_cells``.  Slicing by current
+        instead — the historical behavior — both lost cells to rounding
+        (``int(round(...))`` per chunk need not conserve the total) and
+        fabricated capacity a cell-integral device cannot realize
+        (2.5 bits per sub-slot), which the differential oracle flags as
+        executed-vs-reported latency divergence.
+        """
         budget = self.power_budget
+        need = n_cells * cost
         if need <= budget:
-            return [(unit, 0, need)]
+            return [(unit, 0, need, n_cells)]
         if not self.allow_split:
             raise ScheduleError(
                 f"{kind} burst of unit {unit} needs {need} > budget {budget} "
                 "(pass allow_split=True to divide oversized bursts)"
             )
+        cells_per_chunk = int(budget // cost)
+        if cells_per_chunk < 1:
+            raise ScheduleError(
+                f"power budget {budget} below one {kind} cell's current {cost}"
+            )
         out = []
         chunk = 0
-        while need > 0:
-            out.append((unit, chunk, min(need, budget)))
-            need -= budget
+        remaining = n_cells
+        while remaining > 0:
+            bits = min(remaining, cells_per_chunk)
+            out.append((unit, chunk, bits * cost, bits))
+            remaining -= bits
             chunk += 1
         return out
 
@@ -162,12 +185,14 @@ class TetrisScheduler:
         # already committed to write unit j (uniform across its K slots
         # because only write-1s are placed in this pass).
         wu_used: list[float] = []
-        bursts: list[tuple[int, int, float]] = []
+        bursts: list[tuple[int, int, float, int]] = []
         for i in np.argsort(-in1, kind="stable"):
             if in1[i] > 0:
-                bursts.extend(self._chunks(int(i), float(in1[i]), "write-1"))
+                bursts.extend(
+                    self._chunks(int(i), int(n_set[i]), 1.0, "write-1")
+                )
         bursts.sort(key=lambda b: -b[2])
-        for unit, chunk, need in bursts:
+        for unit, chunk, need, bits in bursts:
             for j, used in enumerate(wu_used):
                 if used + need <= budget:
                     wu_used[j] = used + need
@@ -175,11 +200,10 @@ class TetrisScheduler:
             else:
                 wu_used.append(need)
                 j = len(wu_used) - 1
-            # n_bits: the chunk programs `need` cells (SET current is 1/cell).
             sched.write1_queue.append(
                 ScheduledOp(
                     unit=unit, kind="write1", slot=j,
-                    current=need, n_bits=int(round(need)), chunk=chunk,
+                    current=need, n_bits=bits, chunk=chunk,
                 )
             )
         sched.result = len(wu_used)
@@ -199,12 +223,14 @@ class TetrisScheduler:
         own_unit = {op.unit: op.slot for op in sched.write1_queue}
 
         extra: list[float] = []  # occupancy of appended sub-slots
-        bursts: list[tuple[int, int, float]] = []
+        bursts: list[tuple[int, int, float, int]] = []
         for i in np.argsort(-in0, kind="stable"):
             if in0[i] > 0:
-                bursts.extend(self._chunks(int(i), float(in0[i]), "write-0"))
+                bursts.extend(
+                    self._chunks(int(i), int(n_reset[i]), self.L, "write-0")
+                )
         bursts.sort(key=lambda b: -b[2])
-        for unit, chunk, need in bursts:
+        for unit, chunk, need, bits in bursts:
             placed = -1
             for s in range(occ.size):
                 if occ[s] + need > budget:
@@ -228,11 +254,10 @@ class TetrisScheduler:
                     placed = occ.size + len(extra) - 1
             else:
                 occ[placed] += need
-            # A chunk of current `need` RESETs need/L cells.
             sched.write0_queue.append(
                 ScheduledOp(
                     unit=unit, kind="write0", slot=placed,
-                    current=need, n_bits=int(round(need / self.L)), chunk=chunk,
+                    current=need, n_bits=bits, chunk=chunk,
                 )
             )
         sched.subresult = len(extra)

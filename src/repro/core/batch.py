@@ -80,19 +80,28 @@ def _ffd_pass(
     return nbins, choice
 
 
-def _split_demand(demand: np.ndarray, budget: float) -> np.ndarray:
+def _split_demand(counts: np.ndarray, budget: float, cost: float) -> np.ndarray:
     """Divide oversized bursts into budget-sized chunks (column-expand).
 
-    Input (W, U) demands; output (W, U * C) where C = max chunks any
-    burst needs.  Chunk c of a burst holds ``clip(d - c*budget, 0,
-    budget)`` — zero columns are ignored by the packer.
+    Input (W, U) per-unit *cell counts*; output (W, U * C) current
+    demands, where C = max chunks any burst needs.  The split is
+    bit-integral, mirroring the scalar ``TetrisScheduler._chunks``:
+    each chunk programs at most ``floor(budget / cost)`` whole cells, so
+    the chunk bit counts sum exactly to the demand and no chunk claims
+    fractional-cell capacity.  Zero columns are ignored by the packer.
     """
-    peak = float(demand.max(initial=0.0))
+    peak = float(counts.max(initial=0.0)) * cost
     if peak <= budget:
-        return demand
-    C = int(np.ceil(peak / budget))
-    chunks = [np.clip(demand - c * budget, 0.0, budget) for c in range(C)]
-    return np.concatenate(chunks, axis=1)
+        return counts * cost
+    cells_per_chunk = int(budget // cost)
+    if cells_per_chunk < 1:
+        raise ValueError(f"power budget {budget} below one cell's current {cost}")
+    C = int(np.ceil(float(counts.max(initial=0.0)) / cells_per_chunk))
+    chunks = [
+        np.clip(counts - c * cells_per_chunk, 0.0, cells_per_chunk)
+        for c in range(C)
+    ]
+    return np.concatenate(chunks, axis=1) * cost
 
 
 def pack_batch(
@@ -127,7 +136,7 @@ def pack_batch(
     # ---- write-1 pass: FFD into whole write units --------------------
     in1 = n_set.astype(np.float64)
     if allow_split:
-        in1 = _split_demand(in1, power_budget)
+        in1 = _split_demand(n_set.astype(np.float64), power_budget, 1.0)
     in1 = np.sort(in1, axis=1)[:, ::-1]
     wu_used = np.zeros((W, in1.shape[1]), dtype=np.float64)
     result, _ = _ffd_pass(in1, wu_used, power_budget)
@@ -135,7 +144,7 @@ def pack_batch(
     # ---- write-0 pass: first-fit over sub-slots, then extras ---------
     in0 = n_reset.astype(np.float64) * L
     if allow_split:
-        in0 = _split_demand(in0, power_budget)
+        in0 = _split_demand(n_reset.astype(np.float64), power_budget, L)
     in0 = np.sort(in0, axis=1)[:, ::-1]
     U1 = wu_used.shape[1]
     U0 = in0.shape[1]

@@ -59,6 +59,16 @@ class ScheduledOp:
             raise ValueError(f"bad op kind: {self.kind}")
         if self.slot < 0:
             raise ValueError("slot must be non-negative")
+        if self.chunk < 0:
+            raise ValueError("chunk index must be non-negative")
+        # A burst programs at least one cell and draws positive current:
+        # a zero-bit op would occupy a sub-slot (stretching Eq. 5) while
+        # programming nothing — the chunk-split rounding bug the oracle
+        # harness pins in tests/fixtures/oracle/.
+        if self.n_bits < 1:
+            raise ValueError(f"burst must program >= 1 cell, got {self.n_bits}")
+        if not self.current > 0 or not np.isfinite(self.current):
+            raise ValueError(f"burst current must be positive, got {self.current}")
 
 
 @dataclass
@@ -76,6 +86,24 @@ class TetrisSchedule:
     write0_queue: list[ScheduledOp] = field(default_factory=list)
     result: int = 0
     subresult: int = 0
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "TetrisSchedule":
+        """Independent copy sharing only the frozen :class:`ScheduledOp` s.
+
+        The scheduler's memo serves schedules to many callers; handing
+        each one a copy keeps a caller that re-prices a schedule in
+        place (e.g. fault-retry accounting) from corrupting the memo
+        entry every later cache hit would receive.
+        """
+        return TetrisSchedule(
+            K=self.K,
+            power_budget=self.power_budget,
+            write1_queue=list(self.write1_queue),
+            write0_queue=list(self.write0_queue),
+            result=self.result,
+            subresult=self.subresult,
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,38 @@
+"""Differential oracle: independent models cross-checked against the DES.
+
+Three pillars (see docs/ORACLE.md):
+
+* :mod:`repro.oracle.analytic` — closed-form Eqs. 1-5 written only from
+  the paper, sharing no code with the production schemes (simlint SL010
+  enforces the independence);
+* :mod:`repro.oracle.differential` — for every registered scheme,
+  generated demand vectors serviced three ways (analytic, reported,
+  DES-executed) with structured :class:`Divergence` records on mismatch;
+* :mod:`repro.oracle.metamorphic` — relations that need no ground truth
+  (permutation invariance, bounded extension, pointwise dominance);
+* :mod:`repro.oracle.paper_claims` — the golden ledger of Table II
+  constants and figure bands the test suite asserts against.
+
+CLI: ``tetris-write oracle [--schemes ... --cases N --json PATH]``.
+"""
+
+from repro.oracle.analytic import OperatingPoint
+from repro.oracle.differential import (
+    DifferentialReport,
+    Divergence,
+    run_differential,
+)
+from repro.oracle.metamorphic import RELATIONS, run_metamorphic
+from repro.oracle.paper_claims import CLAIMS, RANKINGS, Claim
+
+__all__ = [
+    "CLAIMS",
+    "Claim",
+    "DifferentialReport",
+    "Divergence",
+    "OperatingPoint",
+    "RANKINGS",
+    "RELATIONS",
+    "run_differential",
+    "run_metamorphic",
+]

@@ -1,0 +1,329 @@
+"""Independent analytic service-time models: paper Equations 1-5.
+
+This module is the *oracle half* of the differential harness
+(``repro.oracle.differential``): closed-form write-stage lengths for the
+four baselines (Eqs. 1-4), an independently written Algorithm-2 packer
+for Tetris Write (Eq. 5), and the matching unaligned packer for the
+``tetris_relaxed`` extension.  Everything is written from the paper text
+alone and deliberately shares **no code** with the production schemes.
+
+Independence contract (enforced by simlint rule SL010): this module must
+not import anything from ``repro.schemes``, ``repro.core``,
+``repro.pcm``, ``repro.sim`` or ``repro.config``.  If the production
+scheduler and this packer ever agree on a wrong answer, it must be
+because both independently implement the paper wrongly — not because one
+calls the other.
+
+All models are parameterized by an :class:`OperatingPoint`
+``(K, L, budget, data_units, ...)`` and, for the content-aware schemes,
+by per-unit demand vectors ``n_set`` / ``n_reset``.
+
+Equation reference (PAPER.md):
+
+* Eq. 1 — Conventional / DCW: ``T = (N/M) * Tset``
+* Eq. 2 — Flip-N-Write:       ``T = Tread + (N/M)/2 * Tset``
+* Eq. 3 — 2-Stage-Write:      ``T = (1/K + 1/2L) * (N/M) * Tset``
+* Eq. 4 — 3-Stage-Write:      ``T = Tread + (1/2K + 1/2L) * (N/M) * Tset``
+* Eq. 5 — Tetris Write:       ``T = (result + subresult/K) * Tset``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "OperatingPoint",
+    "conventional_units",
+    "dcw_units",
+    "flip_n_write_units",
+    "two_stage_units",
+    "three_stage_units",
+    "tetris_pack",
+    "tetris_units",
+    "tetris_relaxed_subslots",
+    "tetris_relaxed_units",
+    "preset_units",
+    "worst_case_units",
+    "service_ns",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """The paper's operating parameters, decoupled from ``SystemConfig``.
+
+    ``write_units`` is the paper's ``N/M`` — how many sequential write
+    units a cache line needs under the conventional scheme (Eqs. 1-4).
+    ``data_units`` is the number of demand-vector entries the analysis
+    stage schedules (Eq. 5); both are 8 at the paper's Table II point
+    but diverge in the mobile configurations (smaller write units, same
+    64-bit data units).
+    """
+
+    K: int = 8
+    L: float = 2.0
+    budget: float = 128.0
+    data_units: int = 8
+    write_units: int = 8
+    unit_bits: int = 64
+    t_read_ns: float = 50.0
+    t_set_ns: float = 430.0
+    analysis_ns: float = 102.5
+
+    def __post_init__(self) -> None:
+        if self.K < 1:
+            raise ValueError("K must be >= 1")
+        if self.L <= 0 or self.budget <= 0:
+            raise ValueError("L and budget must be positive")
+        if self.data_units < 1 or self.write_units < 1 or self.unit_bits < 1:
+            raise ValueError("unit counts must be positive")
+
+    @staticmethod
+    def from_config(config) -> "OperatingPoint":
+        """Build a point from a ``SystemConfig``-shaped object.
+
+        Duck-typed on purpose: reading attributes keeps this module free
+        of simulator imports (the SL010 independence contract).
+        """
+        return OperatingPoint(
+            K=int(config.K),
+            L=float(config.L),
+            budget=float(config.bank_power_budget),
+            data_units=int(config.data_units_per_line),
+            write_units=int(config.units_per_line),
+            unit_bits=int(config.data_unit_bits),
+            t_read_ns=float(config.timings.t_read_ns),
+            t_set_ns=float(config.timings.t_set_ns),
+            analysis_ns=float(config.analysis_overhead_ns),
+        )
+
+
+# ----------------------------------------------------------------------
+# Equations 1-4: content-independent write-stage lengths, in t_set units.
+# ----------------------------------------------------------------------
+def conventional_units(point: OperatingPoint) -> float:
+    """Eq. 1: every write unit takes a full ``t_set`` — ``N/M`` units."""
+    return float(point.write_units)
+
+
+def dcw_units(point: OperatingPoint) -> float:
+    """DCW keeps Eq. 1's timing; only the programmed-cell count shrinks."""
+    return float(point.write_units)
+
+
+def flip_n_write_units(point: OperatingPoint) -> float:
+    """Eq. 2: at most ``N/2`` programs per unit doubles the write unit."""
+    return point.write_units / 2.0
+
+
+def two_stage_units(point: OperatingPoint) -> float:
+    """Eq. 3: a RESET phase of ``(N/M)/K`` plus a SET phase of ``(N/M)/2L``."""
+    nm = point.write_units
+    return nm / point.K + nm / (2.0 * point.L)
+
+
+def three_stage_units(point: OperatingPoint) -> float:
+    """Eq. 4: the read stage halves both phases' cell counts."""
+    nm = point.write_units
+    return nm / (2.0 * point.K) + nm / (2.0 * point.L)
+
+
+# ----------------------------------------------------------------------
+# Equation 5: an independent implementation of Algorithm 2.
+# ----------------------------------------------------------------------
+def _burst_chunks(cells: int, cost: float, budget: float) -> list[int]:
+    """Split one unit's burst into whole-cell chunks under the budget."""
+    if cells < 0:
+        raise ValueError("negative program count")
+    if cells * cost <= budget:
+        return [cells] if cells else []
+    per_chunk = int(budget // cost)
+    if per_chunk < 1:
+        raise ValueError(f"budget {budget} below one cell's current {cost}")
+    full, rest = divmod(cells, per_chunk)
+    return [per_chunk] * full + ([rest] if rest else [])
+
+
+def tetris_pack(
+    n_set: Sequence[int], n_reset: Sequence[int], point: OperatingPoint
+) -> tuple[int, int]:
+    """Algorithm 2 from the paper text: returns ``(result, subresult)``.
+
+    Pass 1 (write-1): SET bursts, one current unit per cell, each
+    occupying a whole write unit of ``K`` sub-slots; placed
+    first-fit-decreasing into write units — the count opened is
+    ``result``.  Pass 2 (write-0): RESET bursts, ``L`` current per cell,
+    one sub-slot each; dropped largest-first into the earliest sub-slot
+    with headroom, appending extra sub-slots only when none fits — the
+    extras are ``subresult``.
+
+    Implementation is residual-based (free capacity per slot) rather
+    than the production scheduler's occupancy-based bookkeeping, so the
+    two agree only if both implement the paper's algorithm correctly.
+    """
+    if len(n_set) != len(n_reset):
+        raise ValueError("n_set / n_reset length mismatch")
+    budget, K, L = point.budget, point.K, point.L
+
+    set_bursts = sorted(
+        (bits * 1.0 for u in n_set for bits in _burst_chunks(int(u), 1.0, budget)),
+        reverse=True,
+    )
+    unit_free: list[float] = []  # residual budget per opened write unit
+    for need in set_bursts:
+        for j, free in enumerate(unit_free):
+            if need <= free:
+                unit_free[j] = free - need
+                break
+        else:
+            unit_free.append(budget - need)
+    result = len(unit_free)
+
+    # The timeline: K interspace sub-slots per write unit, then extras.
+    slot_free = [free for free in unit_free for _ in range(K)]
+    reset_bursts = sorted(
+        (bits * L for u in n_reset for bits in _burst_chunks(int(u), L, budget)),
+        reverse=True,
+    )
+    n_interspace = len(slot_free)
+    for need in reset_bursts:
+        for s in range(len(slot_free)):
+            if need <= slot_free[s]:
+                slot_free[s] -= need
+                break
+        else:
+            slot_free.append(budget - need)
+    subresult = len(slot_free) - n_interspace
+    return result, subresult
+
+
+def tetris_units(
+    n_set: Sequence[int], n_reset: Sequence[int], point: OperatingPoint
+) -> float:
+    """Eq. 5 without ``Tset``: ``result + subresult / K``."""
+    result, subresult = tetris_pack(n_set, n_reset, point)
+    return result + subresult / point.K
+
+
+def preset_units(n_zero: Sequence[int], point: OperatingPoint) -> float:
+    """PreSET demand write: RESET-only Algorithm 2 (``result = 0``).
+
+    ``n_zero`` is the per-unit count of '0' cells in the new data (the
+    line was pre-SET to all-ones in the background).
+    """
+    result, subresult = tetris_pack([0] * len(n_zero), n_zero, point)
+    return result + subresult / point.K
+
+
+def tetris_relaxed_subslots(
+    n_set: Sequence[int], n_reset: Sequence[int], point: OperatingPoint
+) -> int:
+    """Unaligned Algorithm 2: earliest-offset fit on the sub-slot line.
+
+    Models the ``tetris_relaxed`` extension: a write-1 burst spans ``K``
+    consecutive sub-slots starting at *any* offset (not only write-unit
+    boundaries); bursts go longest-then-largest first to the earliest
+    offset where every spanned sub-slot has headroom.  Returns the total
+    occupied sub-slots (completion time in ``t_set/K`` units).
+    """
+    if len(n_set) != len(n_reset):
+        raise ValueError("n_set / n_reset length mismatch")
+    budget, K, L = point.budget, point.K, point.L
+
+    items: list[tuple[int, float]] = []  # (duration_subslots, current)
+    for u in n_set:
+        for bits in _burst_chunks(int(u), 1.0, budget):
+            items.append((K, bits * 1.0))
+    for u in n_reset:
+        for bits in _burst_chunks(int(u), L, budget):
+            items.append((1, bits * L))
+    items.sort(key=lambda it: (-it[0], -it[1]))
+
+    free: list[float] = []  # residual budget per occupied sub-slot
+    for duration, current in items:
+        start = len(free)
+        for s in range(len(free)):
+            span = free[s : s + duration]
+            if all(current <= f for f in span):
+                start = s
+                break
+        end = start + duration
+        while len(free) < end:
+            free.append(budget)
+        for s in range(start, end):
+            free[s] -= current
+    return len(free)
+
+
+def tetris_relaxed_units(
+    n_set: Sequence[int], n_reset: Sequence[int], point: OperatingPoint
+) -> float:
+    """Relaxed completion in ``t_set`` units: ``total_subslots / K``."""
+    return tetris_relaxed_subslots(n_set, n_reset, point) / point.K
+
+
+# ----------------------------------------------------------------------
+# Worst cases and full service times.
+# ----------------------------------------------------------------------
+def worst_case_units(scheme: str, point: OperatingPoint) -> float:
+    """Closed-form worst-case write-stage length per scheme."""
+    if scheme in ("conventional", "dcw"):
+        return float(point.write_units)
+    if scheme == "flip_n_write":
+        return flip_n_write_units(point)
+    if scheme == "two_stage":
+        return two_stage_units(point)
+    if scheme == "three_stage":
+        return three_stage_units(point)
+    if scheme in ("tetris", "tetris_relaxed"):
+        # Queue-admission bound: one write unit per data unit plus a
+        # full set of overflow sub-slots.
+        return float(point.write_units) + point.data_units / point.K
+    if scheme == "preset":
+        per_unit = math.ceil(point.unit_bits * point.L / point.budget)
+        return point.data_units * per_unit / point.K
+    raise KeyError(f"no analytic worst case for scheme {scheme!r}")
+
+
+#: Which schemes pay the read-before-write and the analysis stage.
+_READS = frozenset({"dcw", "flip_n_write", "three_stage", "tetris", "tetris_relaxed"})
+_ANALYZES = frozenset({"tetris", "tetris_relaxed"})
+
+
+def service_ns(scheme: str, units: float, point: OperatingPoint) -> float:
+    """Total bank occupancy: read + analysis + ``units * Tset``."""
+    read = point.t_read_ns if scheme in _READS else 0.0
+    analysis = point.analysis_ns if scheme in _ANALYZES else 0.0
+    return read + analysis + units * point.t_set_ns
+
+
+def scheme_units(
+    scheme: str,
+    point: OperatingPoint,
+    n_set: Iterable[int] | None = None,
+    n_reset: Iterable[int] | None = None,
+    n_zero: Iterable[int] | None = None,
+) -> float:
+    """Dispatch: the analytic write-stage length for any registered scheme.
+
+    Content-aware schemes need their demand vectors (``n_set`` /
+    ``n_reset`` post-flip program counts; ``n_zero`` per-unit zero cells
+    for PreSET); the fixed-latency baselines ignore them.
+    """
+    if scheme in ("conventional", "dcw"):
+        return conventional_units(point)
+    if scheme == "flip_n_write":
+        return flip_n_write_units(point)
+    if scheme == "two_stage":
+        return two_stage_units(point)
+    if scheme == "three_stage":
+        return three_stage_units(point)
+    if scheme == "tetris":
+        return tetris_units(list(n_set or []), list(n_reset or []), point)
+    if scheme == "tetris_relaxed":
+        return tetris_relaxed_units(list(n_set or []), list(n_reset or []), point)
+    if scheme == "preset":
+        return preset_units(list(n_zero or []), point)
+    raise KeyError(f"no analytic model for scheme {scheme!r}")

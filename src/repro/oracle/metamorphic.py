@@ -1,0 +1,183 @@
+"""Metamorphic relations: properties that need no ground-truth latency.
+
+Where the differential lane asks "do three implementations agree on this
+input?", a metamorphic relation asks "does the answer *move the right
+way* when the input is transformed?" — checkable without knowing the
+correct absolute value.  Four relations, all derived from the paper:
+
+``permutation``
+    Algorithm 2 packs *currents*, not unit identities: permuting the
+    data units of a line never changes ``(result, subresult)``.
+``reset_extension``
+    Appending one extra RESET cell adds at most one sub-write-unit to
+    the schedule (it either slots into existing interspace or opens one
+    extra sub-slot; it can never force a whole new write unit).
+``fnw_vs_conventional``
+    Flip-N-Write's write stage is never longer than Conventional's on
+    the same data (Eq. 2's bound is half of Eq. 1's — Table I).
+``tetris_vs_two_stage``
+    Fig. 10: Tetris never exceeds 2-Stage-Write's constant on realizable
+    (post-flip) demand vectors at the paper's operating point.
+
+Each relation is a callable ``(rng, trials) -> list[violation dicts]``
+registered in :data:`RELATIONS`; :func:`run_metamorphic` drives them
+all.  Violations are returned, not raised, so the CLI can report them
+alongside differential divergences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.analysis import TetrisScheduler
+from repro.oracle import analytic
+
+__all__ = ["RELATIONS", "run_metamorphic"]
+
+#: (K, L, budget) points every scheduler relation is exercised at.
+_POINTS: tuple[tuple[int, float, float], ...] = (
+    (8, 2.0, 128.0),
+    (8, 2.0, 16.0),
+    (4, 1.5, 6.5),
+    (16, 2.0, 12.0),
+    (8, 3.0, 9.0),
+)
+_UNITS = 8
+_MAX = 32
+
+
+def _random_vector(
+    rng: np.random.Generator, max_per_unit: int = _MAX
+) -> tuple[np.ndarray, np.ndarray]:
+    total = rng.integers(0, max_per_unit + 1, size=_UNITS)
+    split = rng.integers(0, total + 1)
+    return split.astype(np.int64), (total - split).astype(np.int64)
+
+
+def _violation(name: str, point, n_set, n_reset, before, after, bound) -> dict:
+    return {
+        "relation": name,
+        "point": {"K": point[0], "L": point[1], "budget": point[2]},
+        "n_set": [int(x) for x in n_set],
+        "n_reset": [int(x) for x in n_reset],
+        "before": before,
+        "after": after,
+        "bound": bound,
+    }
+
+
+# ----------------------------------------------------------------------
+def check_permutation(rng: np.random.Generator, trials: int) -> list[dict]:
+    """Permuting the data units never changes ``(result, subresult)``."""
+    out: list[dict] = []
+    per_point = max(trials // len(_POINTS), 1)
+    for K, L, budget in _POINTS:
+        scheduler = TetrisScheduler(K, L, budget, allow_split=True)
+        for _ in range(per_point):
+            n_set, n_reset = _random_vector(rng)
+            base = scheduler.schedule(n_set, n_reset)
+            perm = rng.permutation(_UNITS)
+            permuted = scheduler.schedule(n_set[perm], n_reset[perm])
+            if (base.result, base.subresult) != (
+                permuted.result, permuted.subresult
+            ):
+                out.append(_violation(
+                    "permutation", (K, L, budget), n_set, n_reset,
+                    before=[base.result, base.subresult],
+                    after=[permuted.result, permuted.subresult],
+                    bound="equal",
+                ))
+    return out
+
+
+def check_reset_extension(rng: np.random.Generator, trials: int) -> list[dict]:
+    """One extra RESET cell costs at most one extra sub-write-unit."""
+    out: list[dict] = []
+    per_point = max(trials // len(_POINTS), 1)
+    for K, L, budget in _POINTS:
+        scheduler = TetrisScheduler(K, L, budget, allow_split=True)
+        for _ in range(per_point):
+            n_set, n_reset = _random_vector(rng)
+            unit = int(rng.integers(0, _UNITS))
+            extended = n_reset.copy()
+            extended[unit] += 1
+            before = scheduler.schedule(n_set, n_reset).total_sub_slots
+            after = scheduler.schedule(n_set, extended).total_sub_slots
+            if after > before + 1:
+                out.append(_violation(
+                    "reset_extension", (K, L, budget), n_set, n_reset,
+                    before=before, after=after, bound="before + 1",
+                ))
+    return out
+
+
+def check_fnw_vs_conventional(
+    rng: np.random.Generator, trials: int
+) -> list[dict]:
+    """Eq. 2 <= Eq. 1 at every operating point (write-stage length)."""
+    out: list[dict] = []
+    for K, L, budget in _POINTS:
+        point = analytic.OperatingPoint(K=K, L=L, budget=budget)
+        fnw = analytic.flip_n_write_units(point)
+        conv = analytic.conventional_units(point)
+        if fnw > conv + 1e-12:
+            out.append(_violation(
+                "fnw_vs_conventional", (K, L, budget), [], [],
+                before=conv, after=fnw, bound="fnw <= conventional",
+            ))
+    return out
+
+
+def check_tetris_vs_two_stage(
+    rng: np.random.Generator, trials: int
+) -> list[dict]:
+    """Fig. 10: measured Tetris <= 2-Stage's constant on realizable vectors.
+
+    Realizable means post-flip: at most half a unit's cells programmed
+    (the flip rule's guarantee), which is what 2-Stage's Eq. 3 assumes.
+    Checked at the paper's bank point, where the figure lives.
+    """
+    out: list[dict] = []
+    K, L, budget = 8, 2.0, 128.0
+    point = analytic.OperatingPoint(K=K, L=L, budget=budget)
+    scheduler = TetrisScheduler(K, L, budget, allow_split=True)
+    bound = analytic.two_stage_units(point)
+    for _ in range(trials):
+        n_set, n_reset = _random_vector(rng)  # totals <= 32 = realizable
+        units = scheduler.schedule(n_set, n_reset).service_units()
+        if units > bound + 1e-12:
+            out.append(_violation(
+                "tetris_vs_two_stage", (K, L, budget), n_set, n_reset,
+                before=bound, after=units, bound="tetris <= two_stage",
+            ))
+    return out
+
+
+RELATIONS: dict[str, Callable[[np.random.Generator, int], list[dict]]] = {
+    "permutation": check_permutation,
+    "reset_extension": check_reset_extension,
+    "fnw_vs_conventional": check_fnw_vs_conventional,
+    "tetris_vs_two_stage": check_tetris_vs_two_stage,
+}
+
+
+def run_metamorphic(
+    *, trials: int = 200, seed: int = 0,
+    relations: list[str] | None = None,
+) -> dict:
+    """Run the registered relations; return ``{relation: [violations]}``
+    plus a top-level ``ok`` flag."""
+    names = relations if relations is not None else sorted(RELATIONS)
+    unknown = set(names) - set(RELATIONS)
+    if unknown:
+        raise KeyError(f"unknown relations: {sorted(unknown)}")
+    rng = np.random.default_rng(seed)
+    results = {name: RELATIONS[name](rng, trials) for name in names}
+    return {
+        "ok": not any(results.values()),
+        "trials": trials,
+        "seed": seed,
+        "violations": results,
+    }

@@ -47,6 +47,7 @@ class PreSETWrite(WriteScheme):
             cfg.K, cfg.L, cfg.bank_power_budget, allow_split=True
         )
         self.preset_cells = 0  # background SETs owed (energy/endurance)
+        self.last_schedule = None  # most recent demand-write schedule
 
     def worst_case_units(self) -> float:
         """All cells zero: N cells x L current per unit; each unit's burst
@@ -65,6 +66,7 @@ class PreSETWrite(WriteScheme):
             np.int64
         )
         sched = self.scheduler.schedule(np.zeros_like(n_reset), n_reset)
+        self.last_schedule = sched
         # Background debt: the next idle pre-SET must re-SET those cells.
         self.preset_cells += int(n_reset.sum())
 

@@ -60,9 +60,9 @@ class InvariantViolation(AssertionError):
     kind:
         Stable identifier of the broken invariant (``"power_budget"``,
         ``"slot_range"``, ``"duplicate_burst"``, ``"cell_accounting"``,
-        ``"units_mismatch"``, ``"negative_component"``,
-        ``"service_decomposition"``, ``"retry_accounting"``,
-        ``"state_diff"``).
+        ``"bit_accounting"``, ``"units_mismatch"``,
+        ``"negative_component"``, ``"service_decomposition"``,
+        ``"retry_accounting"``, ``"state_diff"``).
     context:
         The offending slot/unit/values, for post-mortem without a rerun.
     """
@@ -168,7 +168,37 @@ def verify_schedule(
                     queue=kind,
                 )
 
-    # --- per-unit current accounting against the read stage's counts.
+    # --- every burst programs whole cells and draws matching current.
+    # A zero-bit burst occupies a sub-slot while programming nothing
+    # (stretching Eq. 5 for free); a current that disagrees with
+    # n_bits * per-cell-cost claims capacity the cell-integral device
+    # cannot draw.  Both were symptoms of the current-sliced chunk
+    # split the differential oracle flagged.
+    for kind, queue, cost in (
+        ("write1", sched.write1_queue, 1.0),
+        ("write0", sched.write0_queue, float(L) if L is not None else None),
+    ):
+        for op in queue:
+            if op.n_bits < 1:
+                raise InvariantViolation(
+                    "bit_accounting",
+                    f"{kind} burst programs no cells",
+                    unit=op.unit,
+                    chunk=op.chunk,
+                    n_bits=op.n_bits,
+                )
+            if cost is not None and abs(op.current - op.n_bits * cost) > tol:
+                raise InvariantViolation(
+                    "bit_accounting",
+                    f"{kind} burst current disagrees with n_bits x per-cell cost",
+                    unit=op.unit,
+                    chunk=op.chunk,
+                    current=float(op.current),
+                    n_bits=op.n_bits,
+                    cost=cost,
+                )
+
+    # --- per-unit current + bit accounting against the read stage's counts.
     if n_set is not None:
         _check_accounting(sched.write1_queue,
                           np.atleast_1d(np.asarray(n_set, dtype=np.float64)),
@@ -194,8 +224,9 @@ def verify_schedule(
 
 
 def _check_accounting(queue, counts: np.ndarray, *, scale: float, kind: str, tol: float) -> None:
-    """Scheduled current per unit must equal ``counts * scale`` exactly."""
+    """Scheduled current/bits per unit must equal the read-stage counts."""
     scheduled = np.zeros_like(counts)
+    bits = np.zeros_like(counts)
     for op in queue:
         if not 0 <= op.unit < counts.size:
             raise InvariantViolation(
@@ -205,6 +236,7 @@ def _check_accounting(queue, counts: np.ndarray, *, scale: float, kind: str, tol
                 units_in_line=int(counts.size),
             )
         scheduled[op.unit] += op.current
+        bits[op.unit] += op.n_bits
     expected = counts * scale
     bad = np.nonzero(np.abs(scheduled - expected) > tol + 1e-9 * np.abs(expected))[0]
     if bad.size:
@@ -215,6 +247,18 @@ def _check_accounting(queue, counts: np.ndarray, *, scale: float, kind: str, tol
             unit=i,
             scheduled=float(scheduled[i]),
             expected=float(expected[i]),
+        )
+    # Chunk splits must conserve cells: the per-unit n_bits total equals
+    # the demanded program count exactly (not merely the current total).
+    bad = np.nonzero(np.abs(bits - counts) > tol)[0]
+    if bad.size:
+        i = int(bad[0])
+        raise InvariantViolation(
+            "bit_accounting",
+            f"data unit's {kind} cells not scheduled exactly once",
+            unit=i,
+            scheduled_bits=float(bits[i]),
+            expected_bits=float(counts[i]),
         )
 
 

@@ -1,0 +1,31 @@
+"""SL010 bad fixture.
+
+Linted under two module scopes by the test harness:
+
+* as ``repro.oracle.analytic`` — the five simulator imports below are
+  violations (the independent model pulling in production code);
+* as ``repro.schemes.fixture`` — the two ``repro.oracle`` imports are
+  violations (production code deriving answers from the oracle).
+"""
+
+import repro.core.analysis  # BAD (oracle scope): production scheduler
+import repro.sim  # BAD (oracle scope): the DES the oracle must check
+from repro.config import default_config  # BAD (oracle scope)
+from repro.pcm.state import LineState  # BAD (oracle scope)
+from repro.schemes import get_scheme  # BAD (oracle scope)
+
+import repro.oracle  # BAD (scheme scope): scheme consulting the oracle
+from repro.oracle.analytic import tetris_units  # BAD (scheme scope)
+
+
+def units_from_oracle(n_set, n_reset, point):
+    # A "scheme" that prices itself with the oracle's own model makes
+    # the differential cross-check a tautology.
+    return tetris_units(n_set, n_reset, point)
+
+
+def oracle_from_scheduler(n_set, n_reset):
+    # And an "oracle" that calls the production scheduler cannot catch
+    # the scheduler's bugs.
+    sched = repro.core.analysis.analyze(n_set, n_reset)
+    return sched.service_units()

@@ -1,0 +1,39 @@
+"""SL010 good fixture: an independent analytic model done right.
+
+Linted as ``repro.oracle.analytic``: only stdlib/numpy imports, every
+quantity computed from the paper's equations — nothing shared with the
+production schedulers.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Point:
+    K: int
+    L: float
+    budget: float
+    write_units: int
+
+
+def two_stage_units(point: Point) -> float:
+    # Eq. 3, straight from the paper text.
+    nm = point.write_units
+    return nm / point.K + nm / (2.0 * point.L)
+
+
+def chunk_cells(cells: int, cost: float, budget: float) -> list:
+    per_chunk = int(budget // cost)
+    full, rest = divmod(cells, per_chunk)
+    return [per_chunk] * full + ([rest] if rest else [])
+
+
+def ceil_units(subresult: int, K: int) -> int:
+    return int(math.ceil(subresult / K))
+
+
+def total_demand(n_set: np.ndarray, n_reset: np.ndarray, L: float) -> float:
+    return float(np.sum(n_set) + L * np.sum(n_reset))

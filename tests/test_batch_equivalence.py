@@ -68,6 +68,30 @@ class TestEquivalence:
             assert packed.result[i] == r
             assert packed.subresult[i] == s
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        counts_matrix,
+        st.sampled_from([(5.0, 2.0), (5.5, 1.5), (4.0, 1.5), (9.0, 3.0)]),
+    )
+    def test_split_mode_fractional_budget_cost_ratios(self, m, point):
+        """Budget/cost pairs that do not divide evenly: the bit-integral
+        split (floor(budget/cost) whole cells per chunk) must agree
+        between the scalar and vectorized packers.  These ratios are the
+        ones the pre-fix current-sliced split got wrong (see
+        tests/fixtures/oracle/chunk_split_*.json)."""
+        budget, L = point
+        n_set = np.array(m)
+        n_reset = np.array(m[::-1])
+        packed = pack_batch(
+            n_set, n_reset, L=L, power_budget=budget, allow_split=True
+        )
+        for i in range(len(m)):
+            r, s = scalar_pack(
+                n_set[i], n_reset[i], L=L, budget=budget, allow_split=True
+            )
+            assert packed.result[i] == r, f"row {i}: result mismatch"
+            assert packed.subresult[i] == s, f"row {i}: subresult mismatch"
+
 
 class TestBatchAPI:
     def test_single_row_shapes(self):

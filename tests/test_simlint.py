@@ -49,6 +49,7 @@ FIXTURE_MATRIX = [
     ("SL007", "repro.pcm.fixture", 3),
     ("SL008", "repro.experiments.fixture", 3),
     ("SL009", "repro.parallel.fixture", 5),
+    ("SL010", "repro.oracle.analytic", 5),
 ]
 
 
@@ -110,6 +111,30 @@ def test_sl009_scoped_to_repro():
     src = (FIXTURES / "sl009_bad.py").read_text()
     assert "SL009" in rules_fired(lint_source(src, module="repro.parallel.x"))
     assert "SL009" not in rules_fired(lint_source(src, module="benchmarks.bench_x"))
+
+
+def test_sl010_flags_both_import_directions():
+    src = (FIXTURES / "sl010_bad.py").read_text()
+    # As the analytic oracle: the five simulator imports are violations.
+    oracle_hits = [
+        f for f in lint_source(src, module="repro.oracle.analytic")
+        if f.rule == "SL010"
+    ]
+    assert len(oracle_hits) == 5
+    # As production scheme code: the two oracle imports are violations.
+    scheme_hits = [
+        f for f in lint_source(src, module="repro.schemes.fixture")
+        if f.rule == "SL010"
+    ]
+    assert len(scheme_hits) == 2
+    # The differential harness is the sanctioned bridge: under its module
+    # scope the simulator imports are fine (it must drive production
+    # code) and so are the oracle-internal ones.
+    assert "SL010" not in rules_fired(
+        lint_source(src, module="repro.oracle.differential")
+    )
+    # The CLI may report oracle results.
+    assert "SL010" not in rules_fired(lint_source(src, module="repro.cli"))
 
 
 def test_sl009_quiet_without_pool_submissions():
@@ -221,13 +246,13 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_nine():
+def test_cli_list_rules_names_all_ten():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
     assert listed == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008", "SL009",
+        "SL008", "SL009", "SL010",
     }
 
 

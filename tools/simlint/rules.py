@@ -1,4 +1,4 @@
-"""simlint rules SL001–SL009, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL010, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
@@ -18,6 +18,9 @@ SL007  no swallowed-failure handlers (bare/broad except that eats it)
 SL008  no bare ``print()`` in library code (CLI owns stdout)
 SL009  no fork-unsafe multiprocessing patterns (mutable module state
        consumed in pool workers; lambdas as pool tasks)
+SL010  oracle/simulator independence — the analytic oracle must not
+       import production code, and production code must not import
+       the oracle (``repro.cli`` excepted)
 ====== ==============================================================
 """
 
@@ -42,6 +45,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "BarePrintRule",
     "ForkUnsafeWorkerRule",
+    "OracleIndependenceRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -775,3 +779,83 @@ class ForkUnsafeWorkerRule(LintRule):
                         "own copy (results diverge silently) — pass it via "
                         "the task payload or return it from the worker",
                     )
+
+
+# ----------------------------------------------------------------------
+# SL010 — oracle independence: schemes and oracle must not share code.
+# ----------------------------------------------------------------------
+class OracleIndependenceRule(LintRule):
+    """The differential oracle only catches bugs it does not share.
+
+    ``repro.oracle.analytic`` re-implements Equations 1-5 from the paper
+    text precisely so that a wrong answer in the production schedulers
+    cannot be reproduced by construction on the oracle side.  Two import
+    directions break that guarantee:
+
+    * **oracle -> simulator**: ``repro.oracle.analytic`` importing
+      ``repro.schemes`` / ``repro.core`` / ``repro.pcm`` / ``repro.sim``
+      / ``repro.config`` would let production arithmetic leak into the
+      "independent" model (the differential *harness* modules are the
+      sanctioned bridge and are exempt);
+    * **simulator -> oracle**: production code importing
+      ``repro.oracle`` would invert the dependency — a scheme computing
+      its latency *from* the oracle makes the cross-check a tautology.
+      Only ``repro.cli`` (reporting) may depend on the oracle package.
+    """
+
+    id = "SL010"
+    title = "oracle/simulator independence violation"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    #: simulator packages the analytic oracle must never touch.
+    _SIM_PACKAGES = (
+        "repro.schemes", "repro.core", "repro.pcm", "repro.sim",
+        "repro.config",
+    )
+    #: oracle modules under the independence contract (the differential /
+    #: metamorphic harnesses legitimately drive the production code).
+    _INDEPENDENT = ("repro.oracle.analytic", "repro.oracle.paper_claims")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro") and not ctx.in_package("repro.cli")
+
+    @staticmethod
+    def _targets(node: ast.Import | ast.ImportFrom) -> list[str]:
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        if node.module and not node.level:
+            return [node.module]
+        return []
+
+    def check(
+        self, node: ast.Import | ast.ImportFrom, ctx: ModuleContext
+    ) -> Iterator[LintFinding]:
+        in_oracle = ctx.in_package("repro.oracle")
+        independent = any(
+            ctx.module == m or ctx.module.startswith(m + ".")
+            for m in self._INDEPENDENT
+        )
+        for target in self._targets(node):
+            if independent and any(
+                target == p or target.startswith(p + ".")
+                for p in self._SIM_PACKAGES
+            ):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"{ctx.module} must stay independent of the simulator "
+                    f"but imports {target}; the analytic oracle is only "
+                    "a cross-check if it shares no production code "
+                    "(docs/ORACLE.md)",
+                )
+            elif not in_oracle and (
+                target == "repro.oracle" or target.startswith("repro.oracle.")
+            ):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"production module {ctx.module} imports {target}; "
+                    "scheme/simulator code deriving answers from the "
+                    "oracle makes the differential cross-check a "
+                    "tautology — only repro.cli may report oracle results",
+                )
