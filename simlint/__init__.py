@@ -4,31 +4,53 @@
 so this one-file package at the repo root redirects the import system to
 ``tools/simlint`` — letting the linter run from a fresh checkout with no
 ``PYTHONPATH`` setup (the tier-1 test command only adds ``src``).  All
-submodules (``simlint.cli``, ``simlint.rules``, ``simlint.__main__``)
-load from ``tools/simlint`` through the rewritten ``__path__``.
+submodules (``simlint.cli``, ``simlint.rules``, ``simlint.project``,
+``simlint.__main__``) load from ``tools/simlint`` through the rewritten
+``__path__``.
 """
 
 from pathlib import Path as _Path
 
 __path__ = [str(_Path(__file__).resolve().parent.parent / "tools" / "simlint")]
 
+from simlint.cache import LintCache, compute_salt  # noqa: E402
+from simlint.config import (  # noqa: E402
+    SimlintSettings,
+    find_config_file,
+    load_settings,
+)
 from simlint.engine import (  # noqa: E402
     DEFAULT_EXCLUDES,
+    SEVERITIES,
     LintFinding,
+    LintRun,
     lint_file,
     lint_paths,
     lint_source,
+    lint_tree,
 )
+from simlint.project import ModuleInfo, ProjectModel, build_module_info  # noqa: E402
 from simlint.rules import RULE_REGISTRY, default_rules  # noqa: E402
 
 __all__ = [
     "DEFAULT_EXCLUDES",
+    "SEVERITIES",
+    "LintCache",
     "LintFinding",
+    "LintRun",
+    "ModuleInfo",
+    "ProjectModel",
     "RULE_REGISTRY",
+    "SimlintSettings",
+    "build_module_info",
+    "compute_salt",
     "default_rules",
+    "find_config_file",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_tree",
+    "load_settings",
 ]
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"

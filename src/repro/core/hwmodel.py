@@ -150,6 +150,8 @@ class TetrisLogicModel:
     SCALE_CYCLES = 1
     WRITEOUT_CYCLES = 6
     CONTROL_CYCLES = 1
+    #: two sort passes + two placement passes, each 1 cycle/unit
+    CYCLES_PER_UNIT = 4
 
     def __init__(self, n_units: int, K: int, L: float, budget: float) -> None:
         self.n = n_units
@@ -201,7 +203,7 @@ class TetrisLogicModel:
     def worst_case_cycles(cls, n_units: int) -> int:
         """Closed form of the schedule above: ``4n + 9``."""
         return (
-            4 * n_units
+            cls.CYCLES_PER_UNIT * n_units
             + cls.LOAD_CYCLES
             + cls.SCALE_CYCLES
             + cls.WRITEOUT_CYCLES

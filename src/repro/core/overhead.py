@@ -42,6 +42,11 @@ class AnalysisOverheadModel:
     logic_power_mw: float = 4.0
     pump_power_mw: float = 125.0
 
+    #: schedule cost of the pipeline: 2 sorts + 2 placement passes,
+    #: each burning one cycle per data unit (matches
+    #: ``TetrisLogicModel.CYCLES_PER_UNIT``)
+    CYCLES_PER_UNIT = 4
+
     @property
     def measured_worst_ns(self) -> float:
         """The constant the scheme model charges per write (102.5 ns)."""
@@ -68,8 +73,8 @@ class AnalysisOverheadModel:
         n = n_units
         # 2 sorting networks (n stages each) + 2 greedy passes (n stages
         # each, scans pipelined) + fixed control/setup overhead.
-        control = self.measured_worst_cycles - 4 * self.reference_units
-        return 4 * n + max(control, 0)
+        control = self.measured_worst_cycles - self.CYCLES_PER_UNIT * self.reference_units
+        return self.CYCLES_PER_UNIT * n + max(control, 0)
 
     def estimated_ns(self, n_units: int) -> float:
         return self.estimated_cycles(n_units) / self.clock_mhz * 1e3

@@ -1,0 +1,49 @@
+"""Bad fixture: SL011 — mixed physical units in dataflow.
+
+Every function below mixes unit families the suffix conventions declare
+(ns vs cycles, pJ vs ns, ...) without an ``X_PER_Y`` conversion.  The
+last one replays the real seam this rule caught in
+``repro.core.hwmodel.worst_case_cycles`` (a bare per-unit cost
+multiplied into a unit count, then added to cycle constants).
+"""
+
+LOAD_CYCLES = 1
+
+
+def total_latency_ns(t_read_ns, t_cmd_cycles):
+    return t_read_ns + t_cmd_cycles  # mixed +: ns vs cycles
+
+
+def deadline_exceeded(budget_ns, elapsed_cycles):
+    return budget_ns < elapsed_cycles  # mixed comparison
+
+
+def window(t_set_ns):
+    window_cycles = t_set_ns  # ns value assigned to *_cycles name
+    return window_cycles
+
+
+def accumulate(total_ns, step_cycles):
+    total_ns += step_cycles  # mixed +=
+    return total_ns
+
+
+def program_pulse(width_ns, current_ma):
+    del current_ma
+    return width_ns
+
+
+def issue(t_cmd_cycles):
+    return program_pulse(t_cmd_cycles, 3.0)  # cycles into width_ns (positional)
+
+
+def schedule(t_set_ns, enqueue):
+    enqueue(deadline_cycles=t_set_ns)  # ns into *_cycles keyword
+
+
+def drift_ns(t_cmd_cycles):
+    return t_cmd_cycles  # cycles returned from a *_ns function
+
+
+def worst_case_cycles(n_units):
+    return 4 * n_units + LOAD_CYCLES  # unit count + cycles, conversion implied

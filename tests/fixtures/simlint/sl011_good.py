@@ -1,0 +1,56 @@
+"""Good fixture: SL011 — unit discipline the rule must accept.
+
+Conversions ride ``X_PER_Y`` constants, same-unit arithmetic is free,
+ratios and dimensional products deliberately stay unknown, and the
+``CYCLES_PER_UNIT`` pattern mirrors the fixed
+``repro.core.hwmodel.worst_case_cycles`` (the regression pin for the
+real finding this rule surfaced).
+"""
+
+NS_PER_CYCLE = 2.5
+CYCLES_PER_NS = 0.4
+PJ_PER_BIT = 1.3
+CYCLES_PER_UNIT = 4
+LOAD_CYCLES = 1
+
+
+def total_latency_ns(t_read_ns, t_cmd_cycles):
+    return t_read_ns + t_cmd_cycles * NS_PER_CYCLE
+
+
+def deadline_exceeded(budget_ns, elapsed_cycles):
+    return budget_ns < elapsed_cycles * NS_PER_CYCLE
+
+
+def window(t_set_ns):
+    window_cycles = t_set_ns * CYCLES_PER_NS
+    return window_cycles
+
+
+def to_cycles(t_ns):
+    return t_ns / NS_PER_CYCLE
+
+
+def accumulate(total_ns, step_cycles):
+    total_ns += step_cycles * NS_PER_CYCLE
+    return total_ns
+
+
+def energy_pj(n_bits):
+    return n_bits * PJ_PER_BIT
+
+
+def utilization(busy_ns, total_ns):
+    return busy_ns / total_ns  # dimensionless ratio: unknown, not flagged
+
+
+def charge(current_ma, t_ns):
+    return current_ma * t_ns  # dimensional product: out of scope
+
+
+def scaled_ns(t_ns):
+    return 2 * t_ns + min(t_ns, 5.0)
+
+
+def worst_case_cycles(n_units):
+    return CYCLES_PER_UNIT * n_units + LOAD_CYCLES

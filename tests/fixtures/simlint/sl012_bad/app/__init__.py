@@ -1,0 +1,1 @@
+"""Fixture package: a tiny layered app that breaks its own contract."""

@@ -1,0 +1,8 @@
+"""Half of an import cycle with app.beta."""
+
+import app.beta
+from app.util import helper
+
+
+def a():
+    return helper() + app.beta.b()

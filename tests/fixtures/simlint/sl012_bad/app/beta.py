@@ -1,0 +1,7 @@
+"""Other half of the import cycle."""
+
+import app.alpha
+
+
+def b():
+    return app.alpha.a()

@@ -1,0 +1,5 @@
+"""Nothing imports this module and it has no __main__ guard: orphan."""
+
+
+def unused():
+    return 0

@@ -1,0 +1,8 @@
+"""Top layer."""
+
+import app.stray
+from app.alpha import a
+
+
+def run():
+    return a() + app.stray.VALUE

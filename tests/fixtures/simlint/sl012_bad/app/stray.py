@@ -1,0 +1,3 @@
+"""Imported by engine but covered by no declared layer: unmapped."""
+
+VALUE = 1

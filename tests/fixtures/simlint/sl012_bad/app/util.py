@@ -1,0 +1,7 @@
+"""Lowest layer — importing engine is an upward (SL012) violation."""
+
+from app.engine import run
+
+
+def helper():
+    return run()

@@ -1,0 +1,1 @@
+"""Fixture package: the same layered app, contract respected."""

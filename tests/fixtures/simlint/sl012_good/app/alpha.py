@@ -1,0 +1,8 @@
+"""Middle layer; same-layer import of beta is fine, no cycle back."""
+
+import app.beta
+from app.util import helper
+
+
+def a():
+    return helper() + app.beta.b()

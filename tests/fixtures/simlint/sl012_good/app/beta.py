@@ -1,0 +1,8 @@
+"""Middle layer; declared orphan_ok (library surface, not yet imported
+at top level — alpha imports it, so it is not an orphan anyway)."""
+
+from app.util import helper
+
+
+def b():
+    return helper()

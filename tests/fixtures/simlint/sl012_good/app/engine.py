@@ -1,0 +1,14 @@
+"""Top layer: may import anything below; function-level back-import is
+the sanctioned cycle break and must stay legal."""
+
+from app.alpha import a
+
+
+def run():
+    from app.beta import b  # function-level: excluded from cycle graph
+
+    return a() + b()
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

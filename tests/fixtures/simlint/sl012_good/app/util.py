@@ -1,0 +1,5 @@
+"""Lowest layer: imports nothing above it."""
+
+
+def helper():
+    return 1

@@ -1,0 +1,10 @@
+"""One module whose public surface drifted from API.md."""
+
+
+def kept_function(x):
+    return x
+
+
+def new_function(y):
+    """Public but missing from API.md."""
+    return y

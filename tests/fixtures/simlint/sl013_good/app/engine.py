@@ -1,0 +1,9 @@
+"""One module whose public surface matches API.md exactly."""
+
+
+def kept_function(x):
+    return x
+
+
+def new_function(y):
+    return y

@@ -50,7 +50,31 @@ FIXTURE_MATRIX = [
     ("SL008", "repro.experiments.fixture", 3),
     ("SL009", "repro.parallel.fixture", 5),
     ("SL010", "repro.oracle.analytic", 5),
+    ("SL011", "repro.core.fixture", 8),
 ]
+
+# Project-level rules lint a directory mini-project (with its own
+# simlint.toml) instead of a single file.
+DIR_FIXTURE_MATRIX = [
+    # (rule, expected findings on bad tree, of which warn-severity)
+    ("SL012", 4, 1),
+    ("SL013", 3, 0),
+]
+
+
+@pytest.mark.parametrize("rule,expected,warns", DIR_FIXTURE_MATRIX)
+def test_project_rule_fires_on_bad_tree(rule, expected, warns):
+    findings = lint_paths([FIXTURES / f"{rule.lower()}_bad"], excludes=())
+    hits = [f for f in findings if f.rule == rule]
+    assert len(hits) == expected, [f.format() for f in findings]
+    assert sum(f.severity == "warn" for f in hits) == warns
+    assert {f.rule for f in findings} == {rule}
+
+
+@pytest.mark.parametrize("rule,_e,_w", DIR_FIXTURE_MATRIX)
+def test_project_rule_quiet_on_good_tree(rule, _e, _w):
+    findings = lint_paths([FIXTURES / f"{rule.lower()}_good"], excludes=())
+    assert [f.format() for f in findings] == []
 
 
 @pytest.mark.parametrize("rule,module,expected", FIXTURE_MATRIX)
@@ -246,14 +270,57 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_ten():
+def test_cli_list_rules_names_all_thirteen():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
     assert listed == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008", "SL009", "SL010",
+        "SL008", "SL009", "SL010", "SL011", "SL012", "SL013",
     }
+
+
+def test_cli_explain_renders_catalogue_entry():
+    proc = run_cli("--explain", "SL011")
+    assert proc.returncode == 0
+    assert "SL011" in proc.stdout
+    assert "mixed physical units" in proc.stdout
+    assert "X_PER_Y" in proc.stdout  # the docstring's escape hatch
+    assert run_cli("--explain", "SL999").returncode == 2
+
+
+def test_cli_json_reports_suppressed_counts(tmp_path):
+    bad = tmp_path / "bad_module.py"
+    bad.write_text(
+        "def f(xs=[]):  # simlint: disable=SL005\n"
+        "    return xs\n"
+        "def g(ys=[]):\n"
+        "    return ys\n"
+    )
+    proc = run_cli(str(bad), "--json")
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    assert doc["count"] == 1
+    assert doc["suppressed"] == {"SL005": 1}
+    assert doc["errors"] == 1
+    assert doc["warnings"] == 0
+
+
+def test_cli_warn_severity_does_not_fail_the_run(tmp_path):
+    # An orphan module is the one built-in warn-severity finding.
+    proj = tmp_path / "proj"
+    (proj / "app").mkdir(parents=True)
+    (proj / "simlint.toml").write_text(
+        '[project]\nroot = "app"\n\n[layers]\norder = [["app"]]\n'
+    )
+    (proj / "app" / "__init__.py").write_text('"""pkg."""\n')
+    (proj / "app" / "lonely.py").write_text('"""orphan."""\nX = 1\n')
+    proc = run_cli(str(proj), "--json", "--no-cache")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["warnings"] == 1 and doc["errors"] == 0
+    (finding,) = doc["findings"]
+    assert finding["rule"] == "SL012" and finding["severity"] == "warn"
 
 
 # ----------------------------------------------------------------------

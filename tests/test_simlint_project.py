@@ -1,0 +1,254 @@
+"""simlint v2 internals: project model, import graph, incremental cache.
+
+The whole-program layer (phase 1) and the cache are infrastructure the
+project-level rules (SL012/SL013) and the <1 s warm ``make lint``
+depend on; these tests pin their semantics directly, below the rule
+level.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+if str(REPO) not in sys.path:  # the root shim makes `import simlint` work
+    sys.path.insert(0, str(REPO))
+
+from simlint import LintCache, build_module_info, compute_salt  # noqa: E402
+from simlint.engine import lint_tree  # noqa: E402
+from simlint.project import ProjectModel, module_name_for  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# build_module_info: import classification.
+# ----------------------------------------------------------------------
+def info_for(source: str, module: str = "app.mod", path: str = "app/mod.py"):
+    info = build_module_info(source, path=path, module=module)
+    assert info is not None
+    return info
+
+
+def test_import_records_classify_typing_only_and_function_level():
+    info = info_for(
+        "from typing import TYPE_CHECKING\n"
+        "import app.low\n"
+        "if TYPE_CHECKING:\n"
+        "    from app.high import Thing\n"
+        "def f():\n"
+        "    import app.late\n"
+    )
+    by_target = {r.target: r for r in info.imports}
+    assert not by_target["app.low"].typing_only
+    assert by_target["app.high"].typing_only
+    assert by_target["app.late"].function_level
+    assert not by_target["app.low"].function_level
+
+
+def test_relative_imports_resolve_against_the_package():
+    info = info_for(
+        "from . import sibling\nfrom .nested import thing\nfrom ..other import x\n",
+        module="pkg.sub.mod",
+        path="pkg/sub/mod.py",
+    )
+    targets = {r.target for r in info.imports}
+    assert targets == {"pkg.sub", "pkg.sub.nested", "pkg.other"}
+
+
+def test_module_name_for_anchors_on_package_structure(tmp_path):
+    (tmp_path / "pkg" / "sub").mkdir(parents=True)
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+    mod = tmp_path / "pkg" / "sub" / "mod.py"
+    mod.write_text("X = 1\n")
+    assert module_name_for(mod) == "pkg.sub.mod"
+    # A namespace-style file with no __init__.py above it is bare.
+    loose = tmp_path / "loose.py"
+    loose.write_text("X = 1\n")
+    assert module_name_for(loose) == "loose"
+
+
+# ----------------------------------------------------------------------
+# ProjectModel: edges, cycles, re-export resolution.
+# ----------------------------------------------------------------------
+def model_of(sources: dict[str, str]) -> ProjectModel:
+    project = ProjectModel()
+    for module, src in sources.items():
+        is_pkg = module.endswith(".__init__")
+        name = module[: -len(".__init__")] if is_pkg else module
+        path = module.replace(".", "/") + ".py"
+        if is_pkg:
+            path = name.replace(".", "/") + "/__init__.py"
+        info = build_module_info(src, path=path, module=name)
+        assert info is not None, module
+        project.add(info)
+    return project
+
+
+def test_from_import_resolves_to_the_submodule_not_the_package():
+    project = model_of(
+        {
+            "pkg.__init__": "from pkg.a import thing\n",
+            "pkg.a": "def thing():\n    return 1\n",
+            "pkg.b": "from pkg import a\n",
+        }
+    )
+    (record,) = project.modules["pkg.b"].imports
+    assert project.resolve_targets(record) == ["pkg.a"]
+    # No false package<->submodule cycle through the re-exporting init.
+    assert project.find_cycles() == []
+
+
+def test_find_cycles_reports_the_scc_and_ignores_function_level():
+    project = model_of(
+        {
+            "app.a": "import app.b\n",
+            "app.b": "import app.a\n",
+            "app.c": "def f():\n    import app.a\n",
+            "app.__init__": "",
+        }
+    )
+    assert project.find_cycles() == [["app.a", "app.b"]]
+
+
+def test_resolve_export_follows_init_chains():
+    project = model_of(
+        {
+            "pkg.__init__": "from pkg.impl import worker\n",
+            "pkg.impl": "def worker():\n    return 1\n",
+            "use": "from pkg import worker\n",
+        }
+    )
+    resolved = project.resolve_export("pkg", "worker")
+    assert resolved is not None
+    mod, sym = resolved
+    assert mod == "pkg.impl" and sym.kind == "function"
+
+
+def test_public_api_honors_all_and_module_filter():
+    project = model_of(
+        {
+            "app.mod": (
+                "from app.other import helper, LIMIT\n"
+                "__all__ = ['main', 'LIMIT', 'helper']\n"
+                "def main():\n    return helper()\n"
+                "def _private():\n    return 0\n"
+            ),
+            "app.other": "LIMIT = 3\ndef helper():\n    return 1\n",
+            "app.__init__": "",
+        }
+    )
+    names = [n for n, _ in project.public_api("app.mod")]
+    # `helper` is imported (foreign __module__ -> filtered); the
+    # constant LIMIT has no __module__ and is kept, like gen_api_docs.
+    assert names == ["main", "LIMIT"]
+
+
+def test_covers_package_detects_partial_scans(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text("X = 1\n")
+    (pkg / "b.py").write_text("Y = 2\n")
+    full = lint_tree([pkg]).project
+    assert full.covers_package("pkg")
+    partial = lint_tree([pkg / "__init__.py", pkg / "a.py"]).project
+    assert not partial.covers_package("pkg")
+
+
+# ----------------------------------------------------------------------
+# Incremental cache.
+# ----------------------------------------------------------------------
+def write_tree(root: Path) -> Path:
+    pkg = root / "pkg"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "__init__.py").write_text('"""pkg."""\n')
+    (pkg / "a.py").write_text("def f(xs=[]):\n    return xs\n")
+    (pkg / "b.py").write_text("def g():\n    return 1\n")
+    return pkg
+
+
+def run_cached(pkg: Path, cache_dir: Path):
+    cache = LintCache(cache_dir, compute_salt(None))
+    return lint_tree([pkg], cache=cache)
+
+
+def test_warm_run_is_byte_identical_and_fully_cached(tmp_path):
+    pkg = write_tree(tmp_path)
+    cold = run_cached(pkg, tmp_path / "cache")
+    warm = run_cached(pkg, tmp_path / "cache")
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == warm.files == 3
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+    assert warm.suppressed == cold.suppressed
+
+
+def test_touch_rehashes_but_reuses_findings(tmp_path):
+    pkg = write_tree(tmp_path)
+    run_cached(pkg, tmp_path / "cache")
+    a = pkg / "a.py"
+    a.touch()  # new mtime, same bytes
+    warm = run_cached(pkg, tmp_path / "cache")
+    assert warm.cache_hits == 3
+    assert len(warm.findings) == 1  # the SL005 in a.py, from cache
+
+
+def test_stale_hash_invalidates_only_that_file(tmp_path):
+    pkg = write_tree(tmp_path)
+    run_cached(pkg, tmp_path / "cache")
+    (pkg / "b.py").write_text("def g(ys=[]):\n    return ys\n")
+    rerun = run_cached(pkg, tmp_path / "cache")
+    assert rerun.cache_hits == 2  # a.py and __init__ still cached
+    assert sorted(f.path for f in rerun.findings) == [
+        str(pkg / "a.py"),
+        str(pkg / "b.py"),
+    ]
+
+
+def test_salt_change_discards_the_cache(tmp_path):
+    pkg = write_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cache = LintCache(cache_dir, "salt-one")
+    lint_tree([pkg], cache=cache)
+    reopened = LintCache(cache_dir, "salt-two")
+    run = lint_tree([pkg], cache=reopened)
+    assert run.cache_hits == 0
+
+
+def test_signature_change_invalidates_dependent_findings(tmp_path):
+    # SL011 checks call sites against callee signatures, so per-file
+    # findings are only reusable while the project interface digest
+    # holds; renaming a parameter elsewhere must force a re-lint.
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text('"""repro fixture."""\n')
+    (pkg / "lowlevel.py").write_text(
+        "def pulse(width_ns):\n    return width_ns\n"
+    )
+    (pkg / "caller.py").write_text(
+        "from repro.lowlevel import pulse\n"
+        "def issue(t_cycles):\n"
+        "    return pulse(t_cycles)\n"
+    )
+    cache_dir = tmp_path / "cache"
+    first = run_cached(pkg, cache_dir)
+    assert [f.rule for f in first.findings] == ["SL011"]
+    # The callee stops taking ns: the cached caller.py findings are
+    # stale even though caller.py itself did not change.
+    (pkg / "lowlevel.py").write_text(
+        "def pulse(width_cycles):\n    return width_cycles\n"
+    )
+    second = run_cached(pkg, cache_dir)
+    assert [f.rule for f in second.findings] == []
+
+
+def test_cache_file_is_json_with_salt(tmp_path):
+    pkg = write_tree(tmp_path)
+    run_cached(pkg, tmp_path / "cache")
+    doc = json.loads((tmp_path / "cache" / "cache.json").read_text())
+    assert doc["salt"] == compute_salt(None)
+    assert len(doc["files"]) == 3

@@ -5,29 +5,55 @@ module importable without touching ``PYTHONPATH``)::
 
     python -m simlint                      # lint src/ tests/ benchmarks/
     python -m simlint src/repro --json     # machine-readable output
+    python -m simlint --explain SL011      # one rule's rationale
     python -m simlint --list-rules
 
-See ``docs/SIMLINT.md`` for the rule catalogue (SL001-SL006) and the
+v2 is a two-phase whole-program analyzer: phase 1 assembles a
+:class:`~simlint.project.ProjectModel` (import graph, symbol table,
+re-export resolution), phase 2 runs the per-file rules plus the
+project-level rules (SL012 architecture contract, SL013 API drift)
+against it.  An incremental cache (``.simlint_cache/``) keeps warm runs
+under a second; ``simlint.toml`` at the repo root declares the layer
+DAG and other contract settings.
+
+See ``docs/SIMLINT.md`` for the rule catalogue (SL001-SL013) and the
 ``# simlint: disable=SLxxx`` suppression syntax.
 """
 
+from simlint.cache import LintCache, compute_salt
+from simlint.config import SimlintSettings, find_config_file, load_settings
 from simlint.engine import (
     DEFAULT_EXCLUDES,
+    SEVERITIES,
     LintFinding,
+    LintRun,
     lint_file,
     lint_paths,
     lint_source,
+    lint_tree,
 )
+from simlint.project import ModuleInfo, ProjectModel, build_module_info
 from simlint.rules import RULE_REGISTRY, default_rules
 
 __all__ = [
     "DEFAULT_EXCLUDES",
+    "SEVERITIES",
+    "LintCache",
     "LintFinding",
+    "LintRun",
+    "ModuleInfo",
+    "ProjectModel",
     "RULE_REGISTRY",
+    "SimlintSettings",
+    "build_module_info",
+    "compute_salt",
     "default_rules",
+    "find_config_file",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_tree",
+    "load_settings",
 ]
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"

@@ -1,0 +1,200 @@
+"""Incremental lint cache: mtime+hash per file, one JSON document.
+
+Warm ``make lint`` over the full tree must stay under a second, which
+rules out re-parsing ~250 files every run.  The cache stores, per file:
+
+* ``mtime``/``size`` — the cheap freshness probe (a stat per file);
+* ``sha256`` — the authoritative identity; consulted when the stat
+  changed, so a ``touch`` re-hashes but does not re-lint;
+* ``modinfo`` — the serialized :class:`~simlint.project.ModuleInfo`,
+  letting phase 1 rebuild the whole-program model with zero parsing;
+* ``findings``/``suppressed`` — phase 2's per-file rule output.
+
+Two global keys guard correctness:
+
+* ``salt`` — a digest of the linter's own sources plus the config file,
+  so editing a rule (or ``simlint.toml``) invalidates everything;
+* per-entry ``interface`` — a digest of every project-visible function/
+  class signature.  Per-file findings may depend on *other* modules'
+  signatures (SL011 checks call sites against callee parameter
+  suffixes), so a signature change anywhere conservatively re-lints the
+  tree, while a body-only change re-lints just the edited file.
+
+Project-level rules (SL012/SL013) are never cached: they are cheap
+graph passes over the rebuilt model and must always see the current
+whole program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from simlint.engine import LintFinding
+from simlint.project import ModuleInfo
+
+__all__ = ["LintCache", "compute_salt"]
+
+CACHE_VERSION = 1
+
+
+def compute_salt(config_path: Path | str | None) -> str:
+    """Digest of the linter implementation + configuration."""
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_VERSION}".encode())
+    pkg = Path(__file__).resolve().parent
+    for src in sorted(pkg.glob("*.py")):
+        h.update(src.name.encode())
+        h.update(src.read_bytes())
+    if config_path is not None:
+        try:
+            h.update(Path(config_path).read_bytes())
+        except OSError:
+            pass
+    return h.hexdigest()
+
+
+class LintCache:
+    """One JSON document under ``<cache_dir>/cache.json``."""
+
+    def __init__(self, cache_dir: Path | str, salt: str) -> None:
+        self.path = Path(cache_dir) / "cache.json"
+        self.salt = salt
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if doc.get("salt") != self.salt:
+            return  # linter or config changed: start cold
+        entries = doc.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        doc = {"salt": self.salt, "files": self._entries}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # caching is best-effort; linting already succeeded
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def file_hash(data: bytes) -> str:
+        return hashlib.sha256(data).hexdigest()
+
+    def probe(self, path: Path, display_path: str) -> tuple[dict | None, str | None]:
+        """Look up one file.
+
+        Returns ``(entry, content_hash)``.  ``entry`` is the cache entry
+        when the file is byte-identical to the cached state (stat
+        fast-path, falling back to hashing), else ``None``.  The hash is
+        returned when it had to be computed, so the caller can reuse it.
+        """
+        key = str(path.resolve())
+        entry = self._entries.get(key)
+        if entry is None or entry.get("display") != display_path:
+            self.misses += 1
+            return None, None
+        try:
+            st = path.stat()
+        except OSError:
+            self.misses += 1
+            return None, None
+        # st_mtime_ns is an integer; exact equality is the point here.
+        if entry.get("mtime") == st.st_mtime_ns and entry.get("size") == st.st_size:  # simlint: disable=SL004
+            self.hits += 1
+            return entry, None
+        try:
+            digest = self.file_hash(path.read_bytes())
+        except OSError:
+            self.misses += 1
+            return None, None
+        if entry.get("sha256") == digest:
+            # Content unchanged behind a stat change (touch, checkout):
+            # refresh the stat so the next run takes the fast path.
+            entry["mtime"] = st.st_mtime_ns
+            entry["size"] = st.st_size
+            self.hits += 1
+            return entry, digest
+        self.misses += 1
+        return None, digest
+
+    def store(
+        self,
+        path: Path,
+        display_path: str,
+        data: bytes,
+        *,
+        modinfo: ModuleInfo | None,
+        digest: str | None = None,
+    ) -> dict:
+        """Create/replace the entry for one freshly parsed file."""
+        try:
+            st = path.stat()
+            mtime, size = st.st_mtime_ns, st.st_size
+        except OSError:
+            mtime, size = 0, len(data)
+        entry = {
+            "display": display_path,
+            "mtime": mtime,
+            "size": size,
+            "sha256": digest if digest is not None else self.file_hash(data),
+            "modinfo": modinfo.to_dict() if modinfo is not None else None,
+            "interface": None,
+            "findings": None,
+            "suppressed": {},
+        }
+        self._entries[str(path.resolve())] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_modinfo(entry: dict) -> ModuleInfo | None:
+        raw = entry.get("modinfo")
+        if raw is None:
+            return None
+        try:
+            return ModuleInfo.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def entry_findings(entry: dict, interface: str) -> list[LintFinding] | None:
+        """Cached per-file findings, only if computed under ``interface``."""
+        if entry.get("interface") != interface:
+            return None
+        raw = entry.get("findings")
+        if raw is None:
+            return None
+        try:
+            return [LintFinding(**f) for f in raw]
+        except TypeError:
+            return None
+
+    @staticmethod
+    def set_findings(
+        entry: dict,
+        interface: str,
+        findings: list[LintFinding],
+        suppressed: dict[str, int],
+    ) -> None:
+        entry["interface"] = interface
+        entry["findings"] = [f.to_dict() for f in findings]
+        entry["suppressed"] = dict(suppressed)
+
+    def prune(self, live_paths) -> None:
+        """Drop entries for files no longer part of the scan."""
+        live = {str(Path(p).resolve()) for p in live_paths}
+        self._entries = {k: v for k, v in self._entries.items() if k in live}

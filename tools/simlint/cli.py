@@ -1,8 +1,11 @@
 """simlint command line: ``python -m simlint [paths...]``.
 
-Exit status: 0 clean, 1 findings, 2 bad invocation.  ``--json`` swaps
-the human ``path:line:col: SLxxx message`` lines for a machine-readable
-document (used by CI annotations and the rule tests).
+Exit status: 0 clean (warn-severity findings alone stay 0), 1 on any
+error-severity finding, 2 bad invocation.  ``--json`` swaps the human
+``path:line:col: SLxxx message`` lines for a machine-readable document
+(used by CI annotations and the rule tests).  The incremental cache is
+on by default (``--no-cache`` to disable); ``--select``/``--ignore``
+runs bypass it automatically so partial rule sets never pollute it.
 """
 
 from __future__ import annotations
@@ -12,7 +15,9 @@ import json
 import sys
 from pathlib import Path
 
-from simlint.engine import DEFAULT_EXCLUDES, lint_paths
+from simlint.cache import LintCache, compute_salt
+from simlint.config import find_config_file, load_settings
+from simlint.engine import DEFAULT_EXCLUDES, lint_tree
 from simlint.rules import RULE_REGISTRY, default_rules
 
 __all__ = ["main", "build_parser"]
@@ -25,7 +30,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="simlint",
         description=(
             "Simulator-aware static analysis for the Tetris Write repo "
-            "(rules SL001-SL006; see docs/SIMLINT.md)."
+            "(rules SL001-SL013; see docs/SIMLINT.md)."
         ),
     )
     parser.add_argument(
@@ -42,12 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all; bypasses the cache)",
     )
     parser.add_argument(
         "--ignore",
         metavar="RULES",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule ids to skip (bypasses the cache)",
     )
     parser.add_argument(
         "--exclude",
@@ -56,6 +61,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEGMENT",
         help="extra path segment to exclude (repeatable); "
         f"defaults always excluded: {', '.join(DEFAULT_EXCLUDES)}",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the catalogue entry for one rule id and exit",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="FILE",
+        help="simlint.toml to use (default: found beside/above the first path)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="incremental-cache directory (default: [cache] dir in simlint.toml)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
@@ -83,35 +108,82 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule.id}  {rule.title}")
         return 0
 
-    rules = default_rules()
-    if args.select:
-        keep = _parse_rule_ids(args.select, parser)
-        rules = [r for r in rules if r.id in keep]
-    if args.ignore:
-        drop = _parse_rule_ids(args.ignore, parser)
-        rules = [r for r in rules if r.id not in drop]
+    config_path = (
+        Path(args.config) if args.config else find_config_file(list(args.paths))
+    )
+    if args.config and not Path(args.config).is_file():
+        parser.error(f"config file does not exist: {args.config}")
+
+    if args.explain:
+        from simlint.explain import explain_rule
+
+        rule_id = args.explain.strip().upper()
+        if rule_id not in RULE_REGISTRY:
+            parser.error(
+                f"unknown rule id: {rule_id}; "
+                f"known: {', '.join(sorted(RULE_REGISTRY))}"
+            )
+        print(explain_rule(rule_id, config_path=config_path))
+        return 0
+
+    rules = None  # None = full default set (cache-eligible)
+    if args.select or args.ignore:
+        active = default_rules()
+        if args.select:
+            keep = _parse_rule_ids(args.select, parser)
+            active = [r for r in active if r.id in keep]
+        if args.ignore:
+            drop = _parse_rule_ids(args.ignore, parser)
+            active = [r for r in active if r.id not in drop]
+        rules = active
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         parser.error(f"path(s) do not exist: {', '.join(missing)}")
 
+    settings = load_settings(config_path)
+
+    cache = None
+    if not args.no_cache and rules is None:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else None
+        if cache_dir is None:
+            anchor = config_path.parent if config_path is not None else Path.cwd()
+            cache_dir = anchor / settings.cache_dir
+        cache = LintCache(cache_dir, compute_salt(config_path))
+
     excludes = DEFAULT_EXCLUDES + tuple(args.exclude)
-    findings = lint_paths(args.paths, rules=rules, excludes=excludes)
+    run = lint_tree(
+        args.paths,
+        rules=rules,
+        excludes=excludes,
+        settings=settings,
+        cache=cache,
+    )
+    findings = run.findings
+    errors = run.errors
 
     if args.json:
         doc = {
             "findings": [f.to_dict() for f in findings],
             "count": len(findings),
-            "rules": sorted(r.id for r in rules),
+            "errors": len(errors),
+            "warnings": len(run.warnings),
+            "suppressed": dict(sorted(run.suppressed.items())),
+            "rules": sorted(
+                r.id for r in (rules if rules is not None else default_rules())
+            ),
             "paths": list(args.paths),
+            "files": run.files,
+            "cache_hits": run.cache_hits,
         }
         print(json.dumps(doc, indent=2))
     else:
         for f in findings:
             print(f.format())
         if findings:
-            print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
+            tally = f"{len(errors)} error(s), {len(run.warnings)} warning(s)"
+            print(f"simlint: {tally}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

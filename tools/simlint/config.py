@@ -1,0 +1,154 @@
+"""simlint.toml: the declared architecture contract and linter settings.
+
+The config file makes the *intended* architecture a checked artifact:
+the layer DAG that SL012 enforces, the API-drift document SL013 diffs
+against, severity overrides, and cache location all live in one
+machine-read place at the repo root instead of in reviewers' heads.
+
+Loading is tolerant by design: no file means defaults (per-file rules
+still run; the project-level rules that need a declared contract simply
+stay quiet), and a missing ``tomllib`` (Python < 3.11) downgrades the
+same way rather than crashing the linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+try:  # Python >= 3.11; the linter stays runnable without it.
+    import tomllib
+except ImportError:  # pragma: no cover - version-dependent
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["SimlintSettings", "load_settings", "find_config_file"]
+
+CONFIG_NAME = "simlint.toml"
+
+
+@dataclass
+class SimlintSettings:
+    """Parsed ``simlint.toml`` (all fields optional in the file)."""
+
+    #: path the settings were loaded from (None = defaults only)
+    source: Path | None = None
+    #: root package the architecture contract governs
+    root_package: str = "repro"
+    #: layer DAG, lowest first; each layer is a list of package prefixes
+    layers: list[list[str]] = field(default_factory=list)
+    #: modules exempt from layer mapping (exact module or glob)
+    layer_exempt: list[str] = field(default_factory=list)
+    #: extra sanctioned edges, each ``"importer -> imported-prefix"``
+    allowed_edges: list[tuple[str, str]] = field(default_factory=list)
+    #: modules that are entry points / intentionally unimported (globs)
+    orphan_ok: list[str] = field(default_factory=list)
+    #: API reference document SL013 cross-checks (repo-root relative)
+    api_doc: str = "docs/API.md"
+    #: fully qualified ``module.symbol`` names exempt from API drift
+    api_ignore: list[str] = field(default_factory=list)
+    #: severity overrides, rule id -> "error" | "warn"
+    severity: dict[str, str] = field(default_factory=dict)
+    #: incremental-cache directory (repo-root relative)
+    cache_dir: str = ".simlint_cache"
+
+    # ------------------------------------------------------------------
+    def layer_of(self, module: str) -> tuple[int, str] | None:
+        """(layer index, matched prefix) by longest prefix, or None."""
+        best: tuple[int, str] | None = None
+        for i, prefixes in enumerate(self.layers):
+            for p in prefixes:
+                if module == p or module.startswith(p + "."):
+                    if best is None or len(p) > len(best[1]):
+                        best = (i, p)
+        return best
+
+    def is_layer_exempt(self, module: str) -> bool:
+        return any(
+            module == pat or fnmatchcase(module, pat) for pat in self.layer_exempt
+        )
+
+    def edge_allowed(self, importer: str, imported: str) -> bool:
+        for src, dst in self.allowed_edges:
+            src_ok = importer == src or importer.startswith(src + ".")
+            dst_ok = imported == dst or imported.startswith(dst + ".")
+            if src_ok and dst_ok:
+                return True
+        return False
+
+    def is_orphan_ok(self, module: str) -> bool:
+        return any(
+            module == pat or fnmatchcase(module, pat) for pat in self.orphan_ok
+        )
+
+    def severity_for(self, rule: str, default: str) -> str:
+        return self.severity.get(rule, default)
+
+
+def find_config_file(paths=()) -> Path | None:
+    """Locate ``simlint.toml``: beside/above the first linted path, then cwd.
+
+    Walking up from the linted path keeps fixture mini-projects (which
+    carry their own contract) and out-of-tree invocations working; the
+    cwd fallback covers ``python -m simlint`` from the repo root.
+    """
+    candidates: list[Path] = []
+    for raw in paths:
+        p = Path(raw).resolve()
+        candidates.extend([p] if p.is_dir() else [p.parent])
+        break  # the first path anchors the search
+    candidates.append(Path.cwd())
+    seen = set()
+    for start in candidates:
+        node = start
+        while True:
+            if node in seen:
+                break
+            seen.add(node)
+            cfg = node / CONFIG_NAME
+            if cfg.is_file():
+                return cfg
+            if node.parent == node:
+                break
+            node = node.parent
+    return None
+
+
+def load_settings(config_path: Path | str | None) -> SimlintSettings:
+    """Parse one ``simlint.toml`` (or return defaults when absent)."""
+    if config_path is None or tomllib is None:
+        return SimlintSettings()
+    path = Path(config_path)
+    try:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return SimlintSettings()
+
+    settings = SimlintSettings(source=path)
+    project = data.get("project", {})
+    settings.root_package = str(project.get("root", settings.root_package))
+
+    layers = data.get("layers", {})
+    order = layers.get("order", [])
+    settings.layers = [
+        [str(p) for p in layer] for layer in order if isinstance(layer, list)
+    ]
+    settings.layer_exempt = [str(m) for m in layers.get("exempt", [])]
+    settings.orphan_ok = [str(m) for m in layers.get("orphan_ok", [])]
+    for edge in layers.get("allowed", []):
+        if "->" in str(edge):
+            src, _, dst = str(edge).partition("->")
+            settings.allowed_edges.append((src.strip(), dst.strip()))
+
+    api = data.get("api", {})
+    settings.api_doc = str(api.get("doc", settings.api_doc))
+    settings.api_ignore = [str(s) for s in api.get("ignore", [])]
+
+    severity = data.get("severity", {})
+    settings.severity = {
+        str(k).upper(): str(v) for k, v in severity.items() if v in ("error", "warn")
+    }
+
+    cache = data.get("cache", {})
+    settings.cache_dir = str(cache.get("dir", settings.cache_dir))
+    return settings

@@ -1,4 +1,4 @@
-"""simlint engine: file walking, parsing, suppression, rule dispatch.
+"""simlint engine: two-phase whole-program analysis.
 
 The engine owns everything that is not rule-specific:
 
@@ -10,31 +10,48 @@ The engine owns everything that is not rule-specific:
   import alias table used to resolve ``np.random.default_rng`` to its
   canonical ``numpy.random.default_rng`` form, and the suppression map
   parsed from ``# simlint: disable=SLxxx`` comments;
-* a single AST walk that dispatches each node to every rule interested
-  in that node type.
+* a single AST walk per file that dispatches each node to every rule
+  interested in that node type;
+* **phase 1 / phase 2 orchestration** (:func:`lint_tree`): phase 1
+  parses (or cache-loads) every file into the whole-program
+  :class:`~simlint.project.ProjectModel`; phase 2 runs the per-file
+  rules with that model in scope plus the project-level rules
+  (architecture contract, API drift) against it.
 
-Rules themselves live in :mod:`simlint.rules` and only look at nodes.
+Rules themselves live in :mod:`simlint.rules` and only look at nodes
+(or, for project rules, at the model).
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - circular-at-import type names only
+    from simlint.cache import LintCache
+    from simlint.config import SimlintSettings
+    from simlint.project import ProjectModel
 
 __all__ = [
     "LintFinding",
+    "LintRun",
     "ModuleContext",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "lint_tree",
     "iter_python_files",
     "DEFAULT_EXCLUDES",
+    "SEVERITIES",
 ]
+
+SEVERITIES = ("error", "warn")
 
 # Path *segments* (matched against every component of a file's path) that
 # are skipped by default.  ``fixtures/simlint`` holds the deliberately
@@ -62,9 +79,11 @@ class LintFinding:
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{tag} {self.message}"
 
     def to_dict(self) -> dict:
         return {
@@ -73,7 +92,28 @@ class LintFinding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
+
+
+@dataclass
+class LintRun:
+    """Aggregate result of a whole-tree lint (:func:`lint_tree`)."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    #: findings silenced by ``# simlint: disable`` comments, per rule id
+    suppressed: dict[str, int] = field(default_factory=dict)
+    files: int = 0
+    cache_hits: int = 0
+    project: "ProjectModel | None" = None
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity != "error"]
 
 
 @dataclass
@@ -87,6 +127,9 @@ class ModuleContext:
     aliases: dict[str, str] = field(default_factory=dict)
     line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     file_suppressions: set[str] = field(default_factory=set)
+    #: whole-program model; None when linting a lone file/snippet
+    project: "ProjectModel | None" = None
+    settings: "SimlintSettings | None" = None
 
     # ------------------------------------------------------------------
     def in_package(self, *prefixes: str) -> bool:
@@ -195,29 +238,48 @@ def _module_name(path: Path) -> str:
 # ----------------------------------------------------------------------
 # Linting entry points.
 # ----------------------------------------------------------------------
-def lint_source(
+def _apply_severity(
+    finding: LintFinding, settings: "SimlintSettings | None"
+) -> LintFinding:
+    if settings is None:
+        return finding
+    override = settings.severity_for(finding.rule, finding.severity)
+    if override != finding.severity:
+        return replace(finding, severity=override)
+    return finding
+
+
+def _lint_module(
     source: str,
     *,
-    path: str = "<string>",
-    module: str | None = None,
-    rules: Iterable | None = None,
-) -> list[LintFinding]:
-    """Lint one module's source text and return its findings."""
+    path: str,
+    module: str | None,
+    rules: Iterable | None,
+    tree: ast.AST | None = None,
+    project: "ProjectModel | None" = None,
+    settings: "SimlintSettings | None" = None,
+) -> tuple[list[LintFinding], dict[str, int]]:
+    """Run the per-file rules on one module: (findings, suppressed counts)."""
     from simlint.rules import default_rules
 
-    active = list(rules) if rules is not None else default_rules()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            LintFinding(
-                rule="SL000",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+    active = [
+        r
+        for r in (list(rules) if rules is not None else default_rules())
+        if not r.project_level
+    ]
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                LintFinding(
+                    rule="SL000",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ], {}
     per_line, per_file = _collect_suppressions(source)
     ctx = ModuleContext(
         path=path,
@@ -227,11 +289,13 @@ def lint_source(
         aliases=_collect_aliases(tree),
         line_suppressions=per_line,
         file_suppressions=per_file,
+        project=project,
+        settings=settings,
     )
 
     scoped = [r for r in active if r.applies_to(ctx)]
     if not scoped:
-        return []
+        return [], {}
     # One walk, dispatch by node type: each rule registers the node
     # classes it cares about so the hot loop stays a dict lookup.
     dispatch: dict[type, list] = {}
@@ -240,12 +304,36 @@ def lint_source(
             dispatch.setdefault(node_type, []).append(rule)
 
     findings: list[LintFinding] = []
+    suppressed: dict[str, int] = {}
     for node in ast.walk(tree):
         for rule in dispatch.get(type(node), ()):
             for f in rule.check(node, ctx):
-                if not ctx.suppressed(f.rule, f.line):
-                    findings.append(f)
+                if ctx.suppressed(f.rule, f.line):
+                    suppressed[f.rule] = suppressed.get(f.rule, 0) + 1
+                else:
+                    findings.append(_apply_severity(f, settings))
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings, suppressed
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Iterable | None = None,
+    project: "ProjectModel | None" = None,
+    settings: "SimlintSettings | None" = None,
+) -> list[LintFinding]:
+    """Lint one module's source text and return its findings."""
+    findings, _ = _lint_module(
+        source,
+        path=path,
+        module=module,
+        rules=rules,
+        project=project,
+        settings=settings,
+    )
     return findings
 
 
@@ -294,14 +382,198 @@ def iter_python_files(
             yield p
 
 
+def _interface_hash(project: "ProjectModel") -> str:
+    """Digest of every project-visible function/class signature.
+
+    Per-file findings can depend on other modules' parameter names
+    (SL011 checks call sites against callee suffixes), so cached
+    findings are only valid while this digest is unchanged.
+    """
+    h = hashlib.sha256()
+    for mod in sorted(project.modules):
+        info = project.modules[mod]
+        for name in sorted(info.symbols):
+            sym = info.symbols[name]
+            if sym.kind in ("class", "function"):
+                h.update(f"{mod}.{name}({','.join(sym.params)})".encode())
+    return h.hexdigest()
+
+
+def lint_tree(
+    paths: Iterable[Path | str],
+    *,
+    rules: Iterable | None = None,
+    excludes: tuple[str, ...] = DEFAULT_EXCLUDES,
+    settings: "SimlintSettings | None" = None,
+    cache: "LintCache | None" = None,
+) -> LintRun:
+    """Two-phase whole-program lint (the CLI's workhorse).
+
+    Phase 1 builds the :class:`~simlint.project.ProjectModel` for every
+    file under ``paths`` — from the incremental cache where file content
+    is unchanged, by parsing otherwise.  Phase 2 runs the per-file rules
+    (cached per file while the project interface digest holds) and then
+    the project-level rules against the assembled model.
+    """
+    from simlint.project import ProjectModel, build_module_info, module_name_for
+    from simlint.rules import default_rules
+
+    active = list(rules) if rules is not None else default_rules()
+    file_rules = [r for r in active if not r.project_level]
+    project_rules = [r for r in active if r.project_level]
+    # The cache stores findings for the *default* rule set only; a
+    # --select/--ignore run bypasses it rather than polluting it.
+    cache_usable = cache is not None and rules is None
+
+    run = LintRun(project=ProjectModel())
+    project = run.project
+    assert project is not None
+
+    @dataclass
+    class _FileState:
+        path: Path
+        display: str
+        entry: dict | None = None  # valid cache entry, if any
+        source: str | None = None
+        tree: ast.AST | None = None
+        module: str = ""
+        findings: list[LintFinding] = field(default_factory=list)
+        suppressed: dict[str, int] = field(default_factory=dict)
+        done: bool = False  # findings final (cache hit or SL000)
+
+    states: list[_FileState] = []
+
+    # ---- phase 1: assemble the project model -------------------------
+    for p in iter_python_files(paths, excludes=excludes):
+        st = _FileState(path=p, display=str(p))
+        states.append(st)
+        entry = digest = None
+        if cache_usable:
+            entry, digest = cache.probe(p, st.display)
+        if entry is not None:
+            st.entry = entry
+            info = cache.entry_modinfo(entry)
+            if info is not None:
+                st.module = info.module
+                project.add(info)
+                continue
+            # SL000 files cache with modinfo=None; findings still reusable.
+            st.module = module_name_for(p)
+            continue
+        try:
+            data = p.read_bytes()
+            st.source = data.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            st.findings = [
+                LintFinding(
+                    rule="SL000",
+                    path=st.display,
+                    line=1,
+                    col=0,
+                    message=f"unreadable: {exc}",
+                )
+            ]
+            st.done = True
+            continue
+        st.module = module_name_for(p)
+        per_line, per_file = _collect_suppressions(st.source)
+        info = build_module_info(
+            st.source,
+            path=st.display,
+            module=st.module,
+            line_suppressions=per_line,
+            file_suppressions=per_file,
+        )
+        if info is not None:
+            try:
+                st.tree = ast.parse(st.source, filename=st.display)
+            except SyntaxError:  # pragma: no cover - build_module_info parsed
+                pass
+            project.add(info)
+        if cache_usable:
+            st.entry = cache.store(
+                p, st.display, data, modinfo=info, digest=digest
+            )
+
+    interface = _interface_hash(project)
+
+    # ---- phase 2a: per-file rules ------------------------------------
+    for st in states:
+        if st.done:
+            continue
+        if st.entry is not None and st.source is None:
+            cached = cache.entry_findings(st.entry, interface) if cache_usable else None
+            if cached is not None:
+                st.findings = cached
+                st.suppressed = dict(st.entry.get("suppressed", {}))
+                st.done = True
+                continue
+            # Interface drifted (or findings never stored): re-lint.
+            try:
+                st.source = st.path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                st.findings = [
+                    LintFinding(
+                        rule="SL000",
+                        path=st.display,
+                        line=1,
+                        col=0,
+                        message=f"unreadable: {exc}",
+                    )
+                ]
+                st.done = True
+                continue
+        st.findings, st.suppressed = _lint_module(
+            st.source,
+            path=st.display,
+            module=st.module,
+            rules=file_rules,
+            tree=st.tree,
+            project=project,
+            settings=settings,
+        )
+        if cache_usable and st.entry is not None:
+            cache.set_findings(st.entry, interface, st.findings, st.suppressed)
+
+    for st in states:
+        run.findings.extend(st.findings)
+        for rule_id, n in st.suppressed.items():
+            run.suppressed[rule_id] = run.suppressed.get(rule_id, 0) + n
+    run.files = len(states)
+
+    # ---- phase 2b: project-level rules -------------------------------
+    by_path = {m.path: m for m in project.modules.values()}
+    for rule in project_rules:
+        for f in rule.check_project(project, settings):
+            info = by_path.get(f.path)
+            if info is not None and info.suppressed(f.rule, f.line):
+                run.suppressed[f.rule] = run.suppressed.get(f.rule, 0) + 1
+                continue
+            run.findings.append(_apply_severity(f, settings))
+
+    run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if cache_usable:
+        run.cache_hits = cache.hits
+        cache.prune(s.path for s in states)
+        cache.save()
+    return run
+
+
 def lint_paths(
     paths: Iterable[Path | str],
     *,
     rules: Iterable | None = None,
     excludes: tuple[str, ...] = DEFAULT_EXCLUDES,
+    settings: "SimlintSettings | None" = None,
 ) -> list[LintFinding]:
-    """Lint every Python file under ``paths`` (the CLI's workhorse)."""
-    findings: list[LintFinding] = []
-    for p in iter_python_files(paths, excludes=excludes):
-        findings.extend(lint_file(p, rules=rules))
-    return findings
+    """Lint every Python file under ``paths``; findings only.
+
+    Runs the full two-phase analysis (project rules included) with no
+    cache.  When ``settings`` is not given, a ``simlint.toml`` found
+    beside/above the first path configures the architecture contract.
+    """
+    if settings is None:
+        from simlint.config import find_config_file, load_settings
+
+        settings = load_settings(find_config_file(list(paths)))
+    return lint_tree(paths, rules=rules, excludes=excludes, settings=settings).findings

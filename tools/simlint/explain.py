@@ -1,0 +1,69 @@
+"""``simlint --explain SLxxx``: the rule catalogue, on demand.
+
+A finding in CI is only actionable if the rationale is one command
+away.  ``--explain`` renders, for one rule id:
+
+* the rule's identity line (id, title, default severity, scope);
+* its class docstring — the authoritative statement of what fires,
+  what does not, and the sanctioned escape hatch;
+* the matching row of the ``docs/SIMLINT.md`` catalogue table, when
+  the document can be located (beside ``simlint.toml`` or the cwd).
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+
+from simlint.rules import RULE_REGISTRY
+
+__all__ = ["explain_rule", "find_catalogue"]
+
+CATALOGUE = Path("docs") / "SIMLINT.md"
+
+
+def find_catalogue(config_path: Path | None) -> Path | None:
+    """Locate ``docs/SIMLINT.md`` beside the config file, else the cwd."""
+    roots = []
+    if config_path is not None:
+        roots.append(Path(config_path).resolve().parent)
+    roots.append(Path.cwd())
+    for root in roots:
+        candidate = root / CATALOGUE
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _catalogue_row(doc: Path, rule_id: str) -> str | None:
+    """The rule's row in the SIMLINT.md catalogue table, if present."""
+    try:
+        lines = doc.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return None
+    grabbed: list[str] = []
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith("|") and f"`{rule_id}`" in stripped:
+            grabbed.append(stripped)
+    return "\n".join(grabbed) if grabbed else None
+
+
+def explain_rule(rule_id: str, *, config_path: Path | None = None) -> str:
+    """Human-readable explanation of one rule (raises KeyError if unknown)."""
+    cls = RULE_REGISTRY[rule_id]
+    scope = "project-level (whole-program)" if cls.project_level else "per-file"
+    out = [
+        f"{cls.id} — {cls.title}",
+        f"severity: {cls.severity}    scope: {scope}",
+        "",
+    ]
+    doc = inspect.getdoc(cls)
+    if doc:
+        out.append(doc)
+    catalogue = find_catalogue(config_path)
+    if catalogue is not None:
+        row = _catalogue_row(catalogue, rule_id)
+        if row is not None:
+            out.extend(["", f"catalogue ({catalogue}):", row])
+    return "\n".join(out)

@@ -1,0 +1,732 @@
+"""simlint phase 1: the whole-program project model.
+
+Per-file AST scanning (:mod:`simlint.rules`) can enforce local
+contracts, but the contracts that matter most as the tree grows are
+*relational*: which package imports which, whether the public surface
+matches ``docs/API.md``, which signatures a call site must satisfy.
+This module builds the shared substrate those project-level rules run
+against:
+
+* :class:`ModuleInfo` — one file's contribution: its dotted module
+  name, import records (with ``TYPE_CHECKING`` / function-level
+  classification), top-level symbol table (classes, functions,
+  assignments, imports — each with a signature where applicable), the
+  literal ``__all__`` when present, and the suppression maps needed to
+  honour ``# simlint: disable=`` on project-level findings.
+* :class:`ProjectModel` — the modules keyed by dotted name, plus the
+  derived views: submodule-aware import resolution (``from repro.oracle
+  import analytic`` is an edge to the *submodule*, not the package),
+  the runtime import graph, cycle detection, re-export resolution
+  through ``__init__.py``, and the static public-API surface that
+  mirrors ``tools/gen_api_docs.py``.
+
+Everything here is pure and serializable: :meth:`ModuleInfo.to_dict` /
+:meth:`ModuleInfo.from_dict` round-trip exactly, which is what lets the
+incremental cache (:mod:`simlint.cache`) rebuild a whole-program model
+without re-parsing unchanged files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ImportRecord",
+    "SymbolInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_module_info",
+    "module_name_for",
+]
+
+
+# ----------------------------------------------------------------------
+# Data model.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement target, classified.
+
+    ``target`` is the raw dotted module named by the statement (relative
+    imports already resolved against the importing module).  For
+    ``from M import name`` the imported attribute names are kept in
+    ``names`` so the project can later decide whether ``name`` was a
+    submodule (an edge to ``M.name``) or a symbol (an edge to ``M``).
+    """
+
+    target: str
+    names: tuple[str, ...]
+    line: int
+    col: int
+    typing_only: bool  # under `if TYPE_CHECKING:` — not a runtime edge
+    function_level: bool  # inside a def — runtime edge, but lazy
+    is_from: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "names": list(self.names),
+            "line": self.line,
+            "col": self.col,
+            "typing_only": self.typing_only,
+            "function_level": self.function_level,
+            "is_from": self.is_from,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ImportRecord":
+        return cls(
+            target=d["target"],
+            names=tuple(d["names"]),
+            line=d["line"],
+            col=d["col"],
+            typing_only=d["typing_only"],
+            function_level=d["function_level"],
+            is_from=d["is_from"],
+        )
+
+
+@dataclass(frozen=True)
+class SymbolInfo:
+    """One top-level binding in a module.
+
+    ``kind`` is ``class`` / ``function`` / ``assign`` / ``import``.
+    ``params`` holds the parameter names of functions (and of class
+    ``__init__``-less dataclass-style field lists where detectable) so
+    the unit-flow rule can match argument units against parameter
+    suffixes across modules.  ``imported_from`` is the source module
+    for ``import`` kinds (``None`` when the import is external).
+    """
+
+    name: str
+    kind: str
+    line: int
+    params: tuple[str, ...] = ()
+    imported_from: str | None = None
+    imported_name: str | None = None
+    value_call: str | None = None  # `X = SomeClass(...)` records SomeClass
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "line": self.line,
+            "params": list(self.params),
+            "imported_from": self.imported_from,
+            "imported_name": self.imported_name,
+            "value_call": self.value_call,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SymbolInfo":
+        return cls(
+            name=d["name"],
+            kind=d["kind"],
+            line=d["line"],
+            params=tuple(d["params"]),
+            imported_from=d["imported_from"],
+            imported_name=d["imported_name"],
+            value_call=d.get("value_call"),
+        )
+
+
+@dataclass
+class ModuleInfo:
+    """Everything phase 2 needs to know about one parsed file."""
+
+    path: str
+    module: str
+    is_package: bool
+    imports: list[ImportRecord] = field(default_factory=list)
+    symbols: dict[str, SymbolInfo] = field(default_factory=dict)
+    all_names: list[str] | None = None  # literal __all__, when present
+    has_main_guard: bool = False
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_suppressions:
+            return True
+        return rule in self.line_suppressions.get(line, set())
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "is_package": self.is_package,
+            "imports": [r.to_dict() for r in self.imports],
+            "symbols": {n: s.to_dict() for n, s in self.symbols.items()},
+            "all_names": self.all_names,
+            "has_main_guard": self.has_main_guard,
+            "line_suppressions": {
+                str(k): sorted(v) for k, v in self.line_suppressions.items()
+            },
+            "file_suppressions": sorted(self.file_suppressions),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleInfo":
+        return cls(
+            path=d["path"],
+            module=d["module"],
+            is_package=d["is_package"],
+            imports=[ImportRecord.from_dict(r) for r in d["imports"]],
+            symbols={n: SymbolInfo.from_dict(s) for n, s in d["symbols"].items()},
+            all_names=d["all_names"],
+            has_main_guard=d["has_main_guard"],
+            line_suppressions={
+                int(k): set(v) for k, v in d["line_suppressions"].items()
+            },
+            file_suppressions=set(d["file_suppressions"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Module naming: prefer the on-disk package structure.
+# ----------------------------------------------------------------------
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the package structure on disk.
+
+    Climbs ancestors while they contain ``__init__.py`` so the name is
+    anchored at the outermost package — this handles fixture trees and
+    nested layouts the old ``src``-stripping heuristic could not.  Files
+    outside any package fall back to their stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:  # a stray __init__.py with no package parent
+        parts = [path.parent.name]
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# AST extraction.
+# ----------------------------------------------------------------------
+class _ImportCollector(ast.NodeVisitor):
+    """Collect classified import records for one module."""
+
+    def __init__(self, module_parts: list[str], is_package: bool) -> None:
+        # For relative-import resolution: the package the module can see.
+        self._pkg = module_parts if is_package else module_parts[:-1]
+        self.records: list[ImportRecord] = []
+        self._typing_depth = 0
+        self._fn_depth = 0
+
+    # -- structure ------------------------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        test_src = ast.dump(node.test)
+        if "TYPE_CHECKING" in test_src:
+            self._typing_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._typing_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    def visit_FunctionDef(self, node) -> None:
+        self._fn_depth += 1
+        self.generic_visit(node)
+        self._fn_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- imports --------------------------------------------------------
+    def _record(self, target: str, names: tuple[str, ...], node, is_from: bool):
+        self.records.append(
+            ImportRecord(
+                target=target,
+                names=names,
+                line=node.lineno,
+                col=node.col_offset,
+                typing_only=self._typing_depth > 0,
+                function_level=self._fn_depth > 0,
+                is_from=is_from,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._record(alias.name, (), node, is_from=False)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            base = self._pkg[: len(self._pkg) - (node.level - 1)]
+            if not base:
+                return  # relative import escaping the scanned tree
+            target = ".".join(base + ([node.module] if node.module else []))
+        else:
+            target = node.module or ""
+        if target:
+            names = tuple(a.name for a in node.names)
+            self._record(target, names, node, is_from=True)
+
+
+def _literal_all(tree: ast.Module) -> list[str] | None:
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return [e.value for e in value.elts]
+    return None
+
+
+def _function_params(node) -> tuple[str, ...]:
+    a = node.args
+    names = [p.arg for p in [*a.posonlyargs, *a.args]]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    names.extend(p.arg for p in a.kwonlyargs)
+    return tuple(names)
+
+
+def _class_field_params(node: ast.ClassDef) -> tuple[str, ...]:
+    """Constructor parameters of a class, best effort.
+
+    An explicit ``__init__`` wins; otherwise annotated class-level
+    fields are taken in order (the dataclass convention this repo uses
+    everywhere).
+    """
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == "__init__":
+                return _function_params(stmt)
+    fields: list[str] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not stmt.target.id.startswith("_"):
+                fields.append(stmt.target.id)
+    return tuple(fields)
+
+
+def _call_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name):
+            return f.id
+        if isinstance(f, ast.Attribute):
+            return f.attr
+    return None
+
+
+def _top_level_symbols(tree: ast.Module) -> dict[str, SymbolInfo]:
+    symbols: dict[str, SymbolInfo] = {}
+
+    def add(sym: SymbolInfo) -> None:
+        symbols[sym.name] = sym  # later bindings win, like runtime
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            add(
+                SymbolInfo(
+                    name=stmt.name,
+                    kind="class",
+                    line=stmt.lineno,
+                    params=_class_field_params(stmt),
+                )
+            )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add(
+                SymbolInfo(
+                    name=stmt.name,
+                    kind="function",
+                    line=stmt.lineno,
+                    params=_function_params(stmt),
+                )
+            )
+        elif isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    add(
+                        SymbolInfo(
+                            name=tgt.id,
+                            kind="assign",
+                            line=stmt.lineno,
+                            value_call=_call_name(stmt.value),
+                        )
+                    )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                add(
+                    SymbolInfo(
+                        name=stmt.target.id,
+                        kind="assign",
+                        line=stmt.lineno,
+                        value_call=_call_name(stmt.value),
+                    )
+                )
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                add(
+                    SymbolInfo(
+                        name=local,
+                        kind="import",
+                        line=stmt.lineno,
+                        imported_from=alias.name,
+                        imported_name=None,
+                    )
+                )
+        elif isinstance(stmt, ast.ImportFrom) and stmt.module and not stmt.level:
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                add(
+                    SymbolInfo(
+                        name=alias.asname or alias.name,
+                        kind="import",
+                        line=stmt.lineno,
+                        imported_from=stmt.module,
+                        imported_name=alias.name,
+                    )
+                )
+        elif isinstance(stmt, ast.ImportFrom) and stmt.level:
+            # Relative re-export (`from .x import Y`); target resolution
+            # happens at the project layer, record the raw pieces here.
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                add(
+                    SymbolInfo(
+                        name=alias.asname or alias.name,
+                        kind="import",
+                        line=stmt.lineno,
+                        imported_from="." * stmt.level + (stmt.module or ""),
+                        imported_name=alias.name,
+                    )
+                )
+    return symbols
+
+
+def _has_main_guard(tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.If):
+            src = ast.dump(stmt.test)
+            if "__name__" in src and "__main__" in src:
+                return True
+    return False
+
+
+def build_module_info(
+    source: str,
+    *,
+    path: str,
+    module: str | None = None,
+    line_suppressions: dict[int, set[str]] | None = None,
+    file_suppressions: set[str] | None = None,
+) -> ModuleInfo | None:
+    """Parse one file into its :class:`ModuleInfo` (``None`` on syntax error)."""
+    p = Path(path)
+    is_package = p.name == "__init__.py"
+    mod = module if module is not None else module_name_for(p)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+    parts = mod.split(".")
+    collector = _ImportCollector(parts, is_package)
+    collector.visit(tree)
+    # Relative re-exports recorded by _top_level_symbols carry a
+    # leading-dot prefix; resolve them against the module now that the
+    # dotted name is known.
+    symbols = _top_level_symbols(tree)
+    resolved: dict[str, SymbolInfo] = {}
+    pkg = parts if is_package else parts[:-1]
+    for name, sym in symbols.items():
+        if sym.kind == "import" and sym.imported_from and sym.imported_from.startswith("."):
+            level = len(sym.imported_from) - len(sym.imported_from.lstrip("."))
+            tail = sym.imported_from.lstrip(".")
+            base = pkg[: len(pkg) - (level - 1)]
+            if base:
+                target = ".".join(base + ([tail] if tail else []))
+                sym = SymbolInfo(
+                    name=sym.name,
+                    kind=sym.kind,
+                    line=sym.line,
+                    params=sym.params,
+                    imported_from=target,
+                    imported_name=sym.imported_name,
+                )
+        resolved[name] = sym
+    return ModuleInfo(
+        path=path,
+        module=mod,
+        is_package=is_package,
+        imports=collector.records,
+        symbols=resolved,
+        all_names=_literal_all(tree),
+        has_main_guard=_has_main_guard(tree),
+        line_suppressions=line_suppressions or {},
+        file_suppressions=file_suppressions or set(),
+    )
+
+
+# ----------------------------------------------------------------------
+# The whole-program model.
+# ----------------------------------------------------------------------
+class ProjectModel:
+    """Modules keyed by dotted name, with the derived relational views."""
+
+    def __init__(self, modules: dict[str, ModuleInfo] | None = None) -> None:
+        self.modules: dict[str, ModuleInfo] = dict(modules or {})
+
+    # -- construction ---------------------------------------------------
+    def add(self, info: ModuleInfo) -> None:
+        self.modules[info.module] = info
+
+    def __contains__(self, module: str) -> bool:
+        return module in self.modules
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    # -- import resolution ---------------------------------------------
+    def resolve_targets(self, record: ImportRecord) -> list[str]:
+        """Modules named by one import record, submodule-aware.
+
+        ``from pkg import name`` is an edge to ``pkg.name`` when that is
+        a module in the project (the package ``__init__`` merely
+        re-exports it); otherwise it is an edge to ``pkg`` itself.
+        Targets outside the project resolve to their deepest known
+        ancestor, or are dropped entirely when no ancestor is known
+        (external dependencies are not the project's concern).
+        """
+        out: list[str] = []
+        if record.is_from and record.names:
+            for name in record.names:
+                sub = f"{record.target}.{name}"
+                if sub in self.modules:
+                    out.append(sub)
+                else:
+                    out.append(record.target)
+        else:
+            out.append(record.target)
+        resolved = []
+        for target in out:
+            t = target
+            while t and t not in self.modules:
+                t = t.rpartition(".")[0]
+            if t:
+                resolved.append(t)
+        return sorted(set(resolved))
+
+    @staticmethod
+    def _is_ancestor(a: str, b: str) -> bool:
+        """True when ``a`` is ``b`` or a package containing ``b``."""
+        return a == b or b.startswith(a + ".")
+
+    def import_edges(
+        self,
+        *,
+        include_typing: bool = False,
+        include_function_level: bool = True,
+    ) -> dict[str, dict[str, ImportRecord]]:
+        """Adjacency map ``module -> {imported_module: first record}``.
+
+        Edges to a module's own ancestors are dropped: importing a
+        sibling submodule necessarily imports the shared parent package,
+        so those edges carry no architectural information and would make
+        every re-exporting ``__init__.py`` look like a cycle.
+        """
+        graph: dict[str, dict[str, ImportRecord]] = {}
+        for mod, info in self.modules.items():
+            edges = graph.setdefault(mod, {})
+            for rec in info.imports:
+                if rec.typing_only and not include_typing:
+                    continue
+                if rec.function_level and not include_function_level:
+                    continue
+                for target in self.resolve_targets(rec):
+                    if target == mod or self._is_ancestor(target, mod):
+                        continue
+                    if target not in edges:
+                        edges[target] = rec
+        return graph
+
+    # -- cycles ---------------------------------------------------------
+    def find_cycles(self) -> list[list[str]]:
+        """Strongly connected components (size > 1) of the runtime graph.
+
+        Function-level imports are excluded: deferring an import into
+        the using function is the sanctioned way to break a cycle, so
+        only module-top-level runtime imports can form one.
+        """
+        graph = {
+            m: sorted(t)
+            for m, t in self.import_edges(include_function_level=False).items()
+        }
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[list[str]] = []
+
+        for root in sorted(graph):
+            if root in index:
+                continue
+            # Iterative Tarjan: (node, iterator position) work stack.
+            work = [(root, 0)]
+            while work:
+                node, pi = work[-1]
+                if pi == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                succs = graph.get(node, [])
+                for i in range(pi, len(succs)):
+                    w = succs[i]
+                    if w not in index:
+                        work[-1] = (node, i + 1)
+                        work.append((w, 0))
+                        recurse = True
+                        break
+                    if w in on_stack:
+                        low[node] = min(low[node], index[w])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    if len(comp) > 1:
+                        sccs.append(sorted(comp))
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sorted(sccs)
+
+    # -- re-export resolution ------------------------------------------
+    def resolve_export(
+        self, module: str, name: str, *, _depth: int = 0
+    ) -> tuple[str, SymbolInfo] | None:
+        """Follow ``from X import Y`` chains to ``name``'s definition.
+
+        Returns ``(defining_module, SymbolInfo)`` for symbols defined in
+        the project, or ``None`` for unknown/external names.  Bounded to
+        keep accidental re-export loops from hanging the linter.
+        """
+        if _depth > 16 or module not in self.modules:
+            return None
+        info = self.modules[module]
+        sym = info.symbols.get(name)
+        if sym is None:
+            # Packages implicitly expose their submodules.
+            if f"{module}.{name}" in self.modules:
+                return None
+            return None
+        if sym.kind != "import":
+            return module, sym
+        src = sym.imported_from
+        if src is None:
+            return None
+        if sym.imported_name is None:
+            return None  # `import x.y as z` — a module, not a symbol
+        if src in self.modules:
+            return self.resolve_export(src, sym.imported_name, _depth=_depth + 1)
+        return None
+
+    def lookup(self, dotted: str) -> tuple[str, SymbolInfo] | None:
+        """Resolve a fully qualified ``pkg.mod.symbol`` name."""
+        module, _, name = dotted.rpartition(".")
+        while module and module not in self.modules:
+            name = module.rpartition(".")[2] + "." + name
+            module = module.rpartition(".")[0]
+        if not module or "." in name:
+            return None
+        return self.resolve_export(module, name)
+
+    # -- public API surface (mirrors tools/gen_api_docs.py) -------------
+    def public_api(self, module: str) -> list[tuple[str, SymbolInfo]] | None:
+        """The symbols ``gen_api_docs`` would document for ``module``.
+
+        Replicates the generator's filtering statically:
+
+        * with ``__all__``: every listed name bound at top level, except
+          names imported from elsewhere that resolve to a function or
+          class (those carry a foreign ``__module__`` at runtime);
+          imported *constants* have no ``__module__`` and are kept;
+        * without ``__all__``: only public classes and functions defined
+          in the module body, plus top-level instances of same-module
+          classes (their ``__module__`` is this module at runtime).
+        """
+        info = self.modules.get(module)
+        if info is None or info.is_package:
+            return None
+        out: list[tuple[str, SymbolInfo]] = []
+        if info.all_names is not None:
+            for name in info.all_names:
+                sym = info.symbols.get(name)
+                if sym is None:
+                    continue
+                if sym.kind == "import":
+                    resolved = (
+                        self.resolve_export(module, name)
+                        if sym.imported_name is not None
+                        else None
+                    )
+                    if resolved is not None and resolved[1].kind in (
+                        "class",
+                        "function",
+                    ):
+                        continue  # foreign __module__ at runtime
+                    if resolved is None and sym.imported_name is not None:
+                        # External import: classes/functions would be
+                        # filtered at runtime; we cannot tell, so skip —
+                        # an `[api] ignore` entry covers the exceptions.
+                        continue
+                out.append((name, sym))
+            return out
+        for name, sym in info.symbols.items():
+            if name.startswith("_"):
+                continue
+            if sym.kind in ("class", "function"):
+                out.append((name, sym))
+            elif sym.kind == "assign" and sym.value_call is not None:
+                target = info.symbols.get(sym.value_call)
+                if target is not None and target.kind == "class":
+                    out.append((name, sym))
+        out.sort(key=lambda pair: pair[1].line)
+        return out
+
+    # -- coverage -------------------------------------------------------
+    def covers_package(self, package: str) -> bool:
+        """True when every ``*.py`` file of ``package`` (as found on
+        disk next to its ``__init__``) is present in the model — the
+        precondition for whole-program rules like orphan detection and
+        API drift, which are meaningless on partial scans."""
+        info = self.modules.get(package)
+        if info is None or not info.is_package:
+            return False
+        root = Path(info.path).parent
+        present = {Path(m.path).resolve() for m in self.modules.values()}
+        for p in root.rglob("*.py"):
+            if "__pycache__" in p.parts:
+                continue
+            if p.resolve() not in present:
+                return False
+        return True

@@ -1,8 +1,11 @@
-"""simlint rules SL001–SL010, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL013, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
 ``check`` generator yielding :class:`~simlint.engine.LintFinding`.
+Project-level rules (``project_level = True``) instead implement
+``check_project`` against the whole-program
+:class:`~simlint.project.ProjectModel`.
 
 The rule set encodes the repo's simulator invariants (DESIGN.md §6,
 ``schemes/base.py`` conventions):
@@ -21,6 +24,18 @@ SL009  no fork-unsafe multiprocessing patterns (mutable module state
 SL010  oracle/simulator independence — the analytic oracle must not
        import production code, and production code must not import
        the oracle (``repro.cli`` excepted)
+SL011  unit-flow — intraprocedural dataflow over physical units
+       (``ns``, ``cycles``, ``bits``, ``pJ``, ``mA``, ...): mixed-unit
+       ``+``/``-``/comparisons, unit-mismatched arguments against
+       ``*_ns``/``*_pj`` parameters, and returns that contradict the
+       function's own suffix; ``X_PER_Y`` conversion constants are the
+       sanctioned escape hatch
+SL012  architecture contract — the layer DAG declared in
+       ``simlint.toml`` checked against the real import graph, plus
+       import cycles and orphan modules (project-level)
+SL013  API drift — ``docs/API.md`` cross-checked against the static
+       symbol table: documented-but-deleted and
+       public-but-undocumented symbols (project-level)
 ====== ==============================================================
 """
 
@@ -28,9 +43,14 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
 
 from simlint.engine import LintFinding, ModuleContext
+
+if TYPE_CHECKING:  # pragma: no cover - type names only
+    from simlint.config import SimlintSettings
+    from simlint.project import ProjectModel
 
 __all__ = [
     "LintRule",
@@ -46,6 +66,9 @@ __all__ = [
     "BarePrintRule",
     "ForkUnsafeWorkerRule",
     "OracleIndependenceRule",
+    "UnitFlowRule",
+    "ArchitectureContractRule",
+    "ApiDriftRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -57,6 +80,12 @@ class LintRule:
     id: str = ""
     title: str = ""
     node_types: tuple[type, ...] = ()
+    #: project-level rules run once against the whole-program model
+    #: (phase 2b) instead of per file; they implement ``check_project``.
+    project_level: bool = False
+    #: default severity of this rule's findings ("error" | "warn");
+    #: overridable per rule in ``simlint.toml`` ``[severity]``.
+    severity: str = "error"
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -70,13 +99,42 @@ class LintRule:
     def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[LintFinding]:
         raise NotImplementedError
 
-    def finding(self, node: ast.AST, ctx: ModuleContext, message: str) -> LintFinding:
+    def check_project(self, project, settings) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        node: ast.AST,
+        ctx: ModuleContext,
+        message: str,
+        *,
+        severity: str | None = None,
+    ) -> LintFinding:
         return LintFinding(
             rule=self.id,
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
+            severity=severity if severity is not None else self.severity,
+        )
+
+    def project_finding(
+        self,
+        *,
+        path: str,
+        line: int,
+        message: str,
+        col: int = 0,
+        severity: str | None = None,
+    ) -> LintFinding:
+        return LintFinding(
+            rule=self.id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity if severity is not None else self.severity,
         )
 
 
@@ -858,4 +916,656 @@ class OracleIndependenceRule(LintRule):
                     "scheme/simulator code deriving answers from the "
                     "oracle makes the differential cross-check a "
                     "tautology — only repro.cli may report oracle results",
+                )
+
+
+# ----------------------------------------------------------------------
+# SL011 — unit-flow: physical units tracked through dataflow.
+# ----------------------------------------------------------------------
+class UnitFlowRule(LintRule):
+    """Mixed physical units caught at lint time, before the DES runs.
+
+    Every latency, energy and current in this repo is a bare float;
+    Eq. 1-5 correctness hinges on never adding ``ns`` to ``cycles`` or
+    feeding a per-bit current into a chip-level ``*_pj`` parameter.
+    SL004/SL006 police *names*; this rule follows the *values*: units
+    are inferred from suffix conventions (``_ns``, ``_cycles``,
+    ``_bits``, ``_pj``, ``_ma``, ``_units``, ...) on variables,
+    attributes, parameters and call results, then propagated
+    intraprocedurally through assignments, arithmetic and returns.
+    Flagged:
+
+    * ``+``/``-``/comparisons whose two sides carry *different* known
+      units (``t_read_ns + t_cmd_cycles``);
+    * assigning/augmenting a ``*_ns`` (etc.) name from an expression
+      with a different known unit;
+    * call arguments whose known unit contradicts the parameter's
+      suffix — keyword arguments always, positional arguments when the
+      callee's signature is known (same module, or via the phase-1
+      project symbol table);
+    * ``return`` expressions that contradict the function's own suffix.
+
+    The escape hatch for deliberate conversions is a ``X_PER_Y``
+    constant (``NS_PER_CYCLE``, ``joules_per_unit``): multiplying or
+    dividing by one converts the unit instead of flagging.  Products of
+    two unit-bearing values (``current_ma * t_ns``) deliberately yield
+    an *unknown* unit — dimensional algebra is out of scope; the rule
+    only ever fires when both sides are confidently known.
+    """
+
+    id = "SL011"
+    title = "mixed physical units in dataflow"
+    node_types = (ast.Module,)
+
+    #: terminal-token -> canonical unit family
+    _SUFFIX_UNITS = {
+        "ns": "ns", "us": "us", "ms": "ms", "sec": "s", "seconds": "s",
+        "cycles": "cycles", "ticks": "cycles",
+        "bits": "bits", "bytes": "bytes",
+        "pj": "pJ", "nj": "nJ", "joules": "J",
+        "ma": "mA", "amps": "A",
+        "hz": "Hz", "khz": "kHz", "mhz": "MHz", "ghz": "GHz",
+        "units": "units",
+    }
+    #: tokens accepted on either side of ``_PER_`` in a conversion name
+    _CONV_TOKENS = {
+        "ns": "ns", "us": "us", "ms": "ms", "s": "s", "sec": "s",
+        "second": "s", "seconds": "s",
+        "cycle": "cycles", "cycles": "cycles",
+        "tick": "cycles", "ticks": "cycles",
+        "bit": "bits", "bits": "bits", "byte": "bytes", "bytes": "bytes",
+        "pj": "pJ", "nj": "nJ", "j": "J", "joule": "J", "joules": "J",
+        "ma": "mA", "amp": "A", "amps": "A",
+        "hz": "Hz", "khz": "kHz", "mhz": "MHz", "ghz": "GHz",
+        "unit": "units", "units": "units",
+    }
+    #: calls transparent to units (propagate their first argument)
+    _TRANSPARENT = frozenset(
+        {"int", "float", "abs", "round", "sum", "min", "max", "full"}
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    # -- unit vocabulary ------------------------------------------------
+    @classmethod
+    def _name_unit(cls, name: str) -> str | None:
+        tokens = name.lower().split("_")
+        if "per" in tokens:
+            return None  # conversion constants are not unit-bearing
+        return cls._SUFFIX_UNITS.get(tokens[-1])
+
+    @classmethod
+    def _conversion(cls, name: str) -> tuple[str, str | None] | None:
+        """(numerator unit, denominator unit) of an ``X_PER_Y`` name."""
+        tokens = name.lower().split("_")
+        if "per" not in tokens:
+            return None
+        i = tokens.index("per")
+        num = cls._CONV_TOKENS.get(tokens[i - 1]) if i > 0 else None
+        den = cls._CONV_TOKENS.get(tokens[i + 1]) if i + 1 < len(tokens) else None
+        if num is None:
+            return None
+        return num, den
+
+    @staticmethod
+    def _terminal(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    @staticmethod
+    def _target_key(node: ast.expr) -> str | None:
+        """Stable env key for a Name or dotted Attribute chain."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    @staticmethod
+    def _is_number(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        )
+
+    # -- callee signature lookup ---------------------------------------
+    def _callee_params(
+        self, func: ast.expr, ctx: ModuleContext, local_defs: dict
+    ) -> tuple[str, ...] | None:
+        if isinstance(func, ast.Name) and func.id in local_defs:
+            return local_defs[func.id]
+        dotted = ctx.resolve(func)
+        if dotted is None or ctx.project is None:
+            return None
+        hit = ctx.project.lookup(dotted)
+        if hit is None:
+            return None
+        _, sym = hit
+        return sym.params or None
+
+    # ------------------------------------------------------------------
+    def check(self, node: ast.Module, ctx: ModuleContext) -> Iterator[LintFinding]:
+        # Signatures of functions/classes defined in this module, for
+        # positional-argument checking without a project model.
+        local_defs: dict[str, tuple[str, ...]] = {}
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = stmt.args
+                names = [a.arg for a in [*args.posonlyargs, *args.args]]
+                if names and names[0] in ("self", "cls"):
+                    names = names[1:]
+                local_defs[stmt.name] = tuple(
+                    names + [a.arg for a in args.kwonlyargs]
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                fields = [
+                    s.target.id
+                    for s in stmt.body
+                    if isinstance(s, ast.AnnAssign)
+                    and isinstance(s.target, ast.Name)
+                    and not s.target.id.startswith("_")
+                ]
+                for s in stmt.body:
+                    if (
+                        isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and s.name == "__init__"
+                    ):
+                        a = s.args
+                        fields = [p.arg for p in [*a.posonlyargs, *a.args]][1:]
+                        fields += [p.arg for p in a.kwonlyargs]
+                        break
+                local_defs[stmt.name] = tuple(fields)
+
+        # Analyze module top level as one scope, then every function.
+        yield from self._check_scope(node.body, None, ctx, local_defs)
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(sub.body, sub, ctx, local_defs)
+
+    # ------------------------------------------------------------------
+    def _check_scope(
+        self, body, fn, ctx: ModuleContext, local_defs
+    ) -> Iterator[LintFinding]:
+        env: dict[str, str] = {}
+        findings: list[LintFinding] = []
+        if fn is not None:
+            args = fn.args
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                unit = self._name_unit(a.arg)
+                if unit:
+                    env[a.arg] = unit
+        fn_unit = self._name_unit(fn.name) if fn is not None else None
+
+        def unit_of(node: ast.expr) -> str | None:
+            if isinstance(node, ast.Name):
+                return env.get(node.id) or self._name_unit(node.id)
+            if isinstance(node, ast.Attribute):
+                key = self._target_key(node)
+                if key is not None and key in env:
+                    return env[key]
+                return self._name_unit(node.attr)
+            if isinstance(node, ast.Subscript):
+                return unit_of(node.value)
+            if isinstance(node, ast.UnaryOp):
+                return unit_of(node.operand)
+            if isinstance(node, ast.IfExp):
+                return unit_of(node.body) or unit_of(node.orelse)
+            if isinstance(node, ast.Call):
+                visit_call(node)
+                term = self._terminal(node.func)
+                if term is not None:
+                    if term in self._TRANSPARENT:
+                        for arg in node.args:
+                            u = unit_of(arg)
+                            if u:
+                                return u
+                        return None
+                    u = self._name_unit(term)
+                    if u:
+                        return u
+                return None
+            if isinstance(node, ast.BinOp):
+                return visit_binop(node)
+            if isinstance(node, ast.Compare):
+                visit_compare(node)
+                return None
+            return None
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(self.finding(node, ctx, message))
+
+        def visit_binop(node: ast.BinOp) -> str | None:
+            lu, ru = unit_of(node.left), unit_of(node.right)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                if lu and ru and lu != ru:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    flag(
+                        node,
+                        f"mixed units in `{op}`: left is {lu}, right is "
+                        f"{ru}; convert explicitly via an X_PER_Y "
+                        "constant",
+                    )
+                    # Poison the result so one seam flags once, not at
+                    # every enclosing operation up the expression tree.
+                    return None
+                return lu or ru
+            lconv = self._conversion(self._terminal(node.left) or "")
+            rconv = self._conversion(self._terminal(node.right) or "")
+            if isinstance(node.op, ast.Mult):
+                if rconv is not None and (lu is None or lu == rconv[1]):
+                    return rconv[0]
+                if lconv is not None and (ru is None or ru == lconv[1]):
+                    return lconv[0]
+                if lu and ru:
+                    return None  # dimensional product: out of scope
+                if lu and self._is_number(node.right):
+                    return lu
+                if ru and self._is_number(node.left):
+                    return ru
+                return None
+            if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+                if rconv is not None and (lu is None or lu == rconv[0]):
+                    return rconv[1]
+                if lu and ru:
+                    return None  # ratio or rate: out of scope
+                if lu and self._is_number(node.right):
+                    return lu
+                return None
+            if isinstance(node.op, ast.Mod):
+                return lu
+            return None
+
+        def visit_compare(node: ast.Compare) -> None:
+            operands = [node.left, *node.comparators]
+            units = [unit_of(o) for o in operands]
+            for (left, lu), (right, ru) in zip(
+                zip(operands, units), zip(operands[1:], units[1:])
+            ):
+                if lu and ru and lu != ru:
+                    flag(
+                        left,
+                        f"comparison mixes units: {lu} vs {ru}; convert "
+                        "explicitly via an X_PER_Y constant",
+                    )
+
+        def visit_call(node: ast.Call) -> None:
+            params = self._callee_params(node.func, ctx, local_defs)
+            callee = self._terminal(node.func) or "<call>"
+            if params:
+                for arg, param in zip(node.args, params):
+                    if isinstance(arg, ast.Starred):
+                        break
+                    pu = self._name_unit(param)
+                    au = unit_of(arg)
+                    if pu and au and au != pu:
+                        flag(
+                            arg,
+                            f"argument of unit {au} passed to parameter "
+                            f"{param!r} ({pu}) of {callee}()",
+                        )
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                pu = self._name_unit(kw.arg)
+                au = unit_of(kw.value)
+                if pu and au and au != pu:
+                    flag(
+                        kw.value,
+                        f"argument of unit {au} passed to parameter "
+                        f"{kw.arg!r} ({pu}) of {callee}()",
+                    )
+
+        def visit_stmt(stmt: ast.stmt) -> None:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                return  # nested scopes analyzed separately
+            if isinstance(stmt, ast.Assign):
+                value_unit = unit_of(stmt.value)
+                for tgt in stmt.targets:
+                    assign_to(tgt, value_unit, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                assign_to(stmt.target, unit_of(stmt.value), stmt)
+            elif isinstance(stmt, ast.AugAssign):
+                value_unit = unit_of(stmt.value)
+                target_unit = unit_of(stmt.target)
+                if (
+                    isinstance(stmt.op, (ast.Add, ast.Sub))
+                    and value_unit
+                    and target_unit
+                    and value_unit != target_unit
+                ):
+                    op = "+=" if isinstance(stmt.op, ast.Add) else "-="
+                    flag(
+                        stmt,
+                        f"`{op}` mixes units: target is {target_unit}, "
+                        f"value is {value_unit}",
+                    )
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    u = unit_of(stmt.value)
+                    if fn_unit and u and u != fn_unit:
+                        flag(
+                            stmt,
+                            f"{fn.name}() is suffixed {fn_unit} but "
+                            f"returns a {u} expression",
+                        )
+            elif isinstance(stmt, ast.Expr):
+                unit_of(stmt.value)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                unit_of(stmt.test)
+                for child in [*stmt.body, *stmt.orelse]:
+                    visit_stmt(child)
+            elif isinstance(stmt, ast.For):
+                unit_of(stmt.iter)
+                key = self._target_key(stmt.target)
+                iter_unit = unit_of(stmt.iter)
+                if key is not None and iter_unit:
+                    env[key] = iter_unit
+                for child in [*stmt.body, *stmt.orelse]:
+                    visit_stmt(child)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for child in stmt.body:
+                    visit_stmt(child)
+            elif isinstance(stmt, ast.Try):
+                for child in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                    visit_stmt(child)
+                for handler in stmt.handlers:
+                    for child in handler.body:
+                        visit_stmt(child)
+            elif isinstance(stmt, (ast.Assert,)):
+                unit_of(stmt.test)
+            elif isinstance(stmt, (ast.Raise,)):
+                if stmt.exc is not None:
+                    unit_of(stmt.exc)
+
+        def assign_to(tgt: ast.expr, value_unit: str | None, stmt: ast.stmt) -> None:
+            if isinstance(tgt, (ast.Tuple, ast.List)):
+                for elt in tgt.elts:
+                    assign_to(elt, None, stmt)
+                return
+            key = self._target_key(tgt)
+            term = self._terminal(tgt)
+            declared = self._name_unit(term) if term is not None else None
+            if declared and value_unit and value_unit != declared:
+                flag(
+                    stmt,
+                    f"assigning a {value_unit} expression to "
+                    f"{term!r} ({declared})",
+                )
+            if key is not None:
+                resolved = declared or value_unit
+                if resolved:
+                    env[key] = resolved
+
+        for stmt in body:
+            visit_stmt(stmt)
+        yield from findings
+
+
+# ----------------------------------------------------------------------
+# SL012 — architecture contract: declared layer DAG vs the import graph.
+# ----------------------------------------------------------------------
+class ArchitectureContractRule(LintRule):
+    """The layering in ``simlint.toml`` is enforced, not aspirational.
+
+    ``[layers] order`` declares the DAG (lowest first, e.g. ``util <
+    sim < pcm/core < schemes < memctrl < experiments < cli``).  Against
+    the real import graph from phase 1 this rule flags:
+
+    * **upward imports** — a module importing from a strictly higher
+      layer (``repro.pcm`` importing ``repro.schemes``); same-layer and
+      downward imports are fine, ``if TYPE_CHECKING:`` imports are
+      exempt (annotations are not architecture), and ``[layers]
+      allowed`` whitelists individual sanctioned edges;
+    * **unmapped modules** — anything under the root package that no
+      declared layer covers and ``exempt`` does not excuse: growing the
+      tree forces updating the contract;
+    * **import cycles** — strongly connected components in the
+      top-level (non-function, non-typing) import graph; function-level
+      imports are the sanctioned cycle break and are excluded;
+    * **orphan modules** (warn) — modules nothing imports, with no
+      ``__main__`` guard and no ``orphan_ok`` entry; only reported when
+      the scan covered the whole root package, so partial scans stay
+      quiet.
+    """
+
+    id = "SL012"
+    title = "architecture-contract violation (layers, cycles, orphans)"
+    project_level = True
+
+    def check_project(
+        self, project: "ProjectModel", settings: "SimlintSettings"
+    ) -> Iterator[LintFinding]:
+        if settings is None or not settings.layers:
+            return  # no declared contract, nothing to enforce
+        root = settings.root_package
+
+        governed = {
+            name: info
+            for name, info in project.modules.items()
+            if name == root or name.startswith(root + ".")
+        }
+
+        # -- unmapped modules ------------------------------------------
+        for name in sorted(governed):
+            if settings.is_layer_exempt(name):
+                continue
+            if settings.layer_of(name) is None:
+                yield self.project_finding(
+                    path=governed[name].path,
+                    line=1,
+                    message=(
+                        f"module {name!r} is not covered by any layer in "
+                        "simlint.toml [layers] order (add it to a layer "
+                        "or to exempt)"
+                    ),
+                )
+
+        # -- upward imports --------------------------------------------
+        for importer, info in sorted(governed.items()):
+            if settings.is_layer_exempt(importer):
+                continue
+            src_layer = settings.layer_of(importer)
+            if src_layer is None:
+                continue
+            for record in info.imports:
+                if record.typing_only:
+                    continue
+                for target in project.resolve_targets(record):
+                    if not (target == root or target.startswith(root + ".")):
+                        continue
+                    if settings.is_layer_exempt(target):
+                        continue
+                    if settings.edge_allowed(importer, target):
+                        continue
+                    dst_layer = settings.layer_of(target)
+                    if dst_layer is None:
+                        continue
+                    if dst_layer[0] > src_layer[0]:
+                        yield self.project_finding(
+                            path=info.path,
+                            line=record.line,
+                            col=record.col,
+                            message=(
+                                f"upward import: {importer} (layer "
+                                f"{src_layer[1]!r}) imports {target} "
+                                f"(higher layer {dst_layer[1]!r}); invert "
+                                "the dependency or whitelist the edge in "
+                                "simlint.toml [layers] allowed"
+                            ),
+                        )
+
+        # -- import cycles ---------------------------------------------
+        for cycle in project.find_cycles():
+            members = [m for m in cycle if m in governed]
+            if not members:
+                continue
+            anchor = governed[members[0]]
+            line = 1
+            for record in anchor.imports:
+                if record.typing_only or record.function_level:
+                    continue
+                if any(t in cycle for t in project.resolve_targets(record)):
+                    line = record.line
+                    break
+            yield self.project_finding(
+                path=anchor.path,
+                line=line,
+                message=(
+                    "import cycle: " + " -> ".join([*cycle, cycle[0]])
+                    + " (break it with a function-level import or by "
+                    "moving the shared piece down a layer)"
+                ),
+            )
+
+        # -- orphan modules (whole-tree scans only) --------------------
+        if not project.covers_package(root):
+            return
+        imported: set[str] = set()
+        for info in project.modules.values():
+            for record in info.imports:
+                imported.update(project.resolve_targets(record))
+        for name in sorted(governed):
+            info = governed[name]
+            if info.is_package:
+                continue  # packages exist for their children
+            if name in imported:
+                continue
+            if info.has_main_guard:
+                continue  # runnable entry point
+            if settings.is_orphan_ok(name) or settings.is_layer_exempt(name):
+                continue
+            yield self.project_finding(
+                path=info.path,
+                line=1,
+                severity="warn",
+                message=(
+                    f"orphan module: nothing imports {name} and it has no "
+                    "__main__ guard; delete it or add it to simlint.toml "
+                    "[layers] orphan_ok"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# SL013 — API drift: docs/API.md vs the static symbol table.
+# ----------------------------------------------------------------------
+class ApiDriftRule(LintRule):
+    """``docs/API.md`` must match the code it documents.
+
+    The reference is generated by ``tools/gen_api_docs.py``; this rule
+    replays the same public-surface computation *statically* from the
+    phase-1 symbol table (``__all__`` when present, else public
+    module-level defs plus instances of same-module classes) and diffs
+    it against the committed document:
+
+    * a documented symbol that no longer exists (or went private) —
+      flagged at its line in API.md;
+    * a public symbol the document omits — flagged at its def site.
+
+    Either way the fix is one command: re-run
+    ``PYTHONPATH=src python tools/gen_api_docs.py``.  ``[api] ignore``
+    in simlint.toml exempts individual ``module.symbol`` names.  The
+    rule only runs when the scan covered the whole root package, so
+    partial scans cannot see phantom deletions.
+    """
+
+    id = "SL013"
+    title = "API reference drift against docs/API.md"
+    project_level = True
+
+    _MOD_HEAD = re.compile(r"^## `([^`]+)`\s*$")
+    _SYM_HEAD = re.compile(r"^### `([A-Za-z_][A-Za-z0-9_]*)")
+
+    def check_project(
+        self, project: "ProjectModel", settings: "SimlintSettings"
+    ) -> Iterator[LintFinding]:
+        if settings is None or settings.source is None:
+            return
+        root = settings.root_package
+        if not project.covers_package(root):
+            return  # partial scan: the symbol table is incomplete
+        doc_path = settings.source.parent / settings.api_doc
+        try:
+            lines = doc_path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return  # no reference document, nothing to drift from
+        ignore = set(settings.api_ignore)
+
+        # Parse the document: module -> {symbol -> line}.
+        documented: dict[str, dict[str, int]] = {}
+        doc_mod_lines: dict[str, int] = {}
+        current: dict[str, int] | None = None
+        for lineno, text in enumerate(lines, start=1):
+            m = self._MOD_HEAD.match(text)
+            if m:
+                current = documented.setdefault(m.group(1), {})
+                doc_mod_lines.setdefault(m.group(1), lineno)
+                continue
+            m = self._SYM_HEAD.match(text)
+            if m and current is not None:
+                current.setdefault(m.group(1), lineno)
+
+        # Static public surface: non-package modules under the root.
+        actual: dict[str, dict[str, int]] = {}
+        for name, info in project.modules.items():
+            if not (name == root or name.startswith(root + ".")):
+                continue
+            if info.is_package:
+                continue
+            surface = project.public_api(name)
+            if surface:
+                actual[name] = {sym: s.line for sym, s in surface}
+
+        display_doc = str(settings.api_doc)
+
+        for mod in sorted(documented.keys() | actual.keys()):
+            doc_syms = documented.get(mod, {})
+            act_syms = actual.get(mod, {})
+            info = project.modules.get(mod)
+            # documented but gone
+            for sym in sorted(doc_syms.keys() - act_syms.keys()):
+                if f"{mod}.{sym}" in ignore:
+                    continue
+                yield self.project_finding(
+                    path=display_doc,
+                    line=doc_syms[sym],
+                    message=(
+                        f"documented symbol {mod}.{sym} no longer exists "
+                        "(or is no longer public); regenerate with "
+                        "`PYTHONPATH=src python tools/gen_api_docs.py`"
+                    ),
+                )
+            # public but undocumented
+            for sym in sorted(act_syms.keys() - doc_syms.keys()):
+                if f"{mod}.{sym}" in ignore:
+                    continue
+                yield self.project_finding(
+                    path=info.path if info is not None else display_doc,
+                    line=act_syms[sym],
+                    message=(
+                        f"public symbol {mod}.{sym} is missing from "
+                        f"{display_doc}; regenerate with "
+                        "`PYTHONPATH=src python tools/gen_api_docs.py`"
+                    ),
+                )
+            # whole module documented but gone
+            if mod not in actual and mod not in project.modules and not doc_syms:
+                if mod in ignore:
+                    continue
+                yield self.project_finding(
+                    path=display_doc,
+                    line=doc_mod_lines.get(mod, 1),
+                    message=(
+                        f"documented module {mod} no longer exists; "
+                        "regenerate with `PYTHONPATH=src python "
+                        "tools/gen_api_docs.py`"
+                    ),
                 )
