@@ -9,6 +9,11 @@ Three contracts from ISSUE 4, in one bench:
   5-scheme grid — asserted only on hosts with >= 4 cores (single-core
   CI runners physically cannot show it; the measured ratio is still
   reported in the emitted table).
+
+Since ISSUE 7 the pool is the supervised one (docs/RESILIENCE.md), so
+the bench also pins the zero-fault contract: a clean sweep takes zero
+retries/timeouts/worker-deaths/serial-fallbacks, and journaling every
+cell for --resume stays in the same wall-clock class as running bare.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import os
 from _bench_utils import SCHEMES, emit
 
 from repro.analysis.report import format_table
-from repro.parallel import ResultCache, SweepEngine
+from repro.parallel import ResultCache, SweepEngine, SweepJournal
 
 WORKLOADS = ("dedup", "vips", "canneal", "ferret")
 REQUESTS = 800
@@ -28,6 +33,20 @@ REQUESTS = 800
 
 def _rows_bytes(result) -> list[str]:
     return [json.dumps(dataclasses.asdict(r), sort_keys=True) for r in result.rows]
+
+
+def _assert_zero_fault(result, label: str) -> None:
+    s = result.stats
+    counters = {
+        "retries": s.retries,
+        "timeouts": s.timeouts,
+        "worker_deaths": s.worker_deaths,
+        "replacements": s.replacements,
+        "serial_cells": s.serial_cells,
+    }
+    assert not any(counters.values()), (
+        f"{label}: zero-fault sweep tripped the supervisor: {counters}"
+    )
 
 
 def test_sweep_scaling(tmp_path):
@@ -45,6 +64,17 @@ def test_sweep_scaling(tmp_path):
     assert _rows_bytes(parallel) == _rows_bytes(serial), (
         "workers=4 must be bit-identical to serial"
     )
+    _assert_zero_fault(parallel, "pool (workers=4)")
+
+    journaled = SweepEngine(
+        requests_per_core=REQUESTS, workers=4, cache=False,
+        journal=SweepJournal(tmp_path / "journal.jsonl"),
+    ).run(*grid)
+    journaled.raise_errors()
+    _assert_zero_fault(journaled, "journaled pool")
+    assert _rows_bytes(journaled) == _rows_bytes(serial), (
+        "journaling must not change the rows"
+    )
 
     store = tmp_path / "store"
     cold = SweepEngine(
@@ -61,12 +91,15 @@ def test_sweep_scaling(tmp_path):
 
     cells = serial.stats.cells
     speedup = serial.stats.wall_s / parallel.stats.wall_s
+    journal_speedup = serial.stats.wall_s / journaled.stats.wall_s
     warm_speedup = serial.stats.wall_s / warm.stats.wall_s
     rows = [
         ["serial (workers=1)", cells, serial.stats.wall_s,
          serial.stats.wall_s / cells, 1.0],
         ["pool (workers=4)", cells, parallel.stats.wall_s,
          parallel.stats.wall_s / cells, speedup],
+        ["journaled pool", cells, journaled.stats.wall_s,
+         journaled.stats.wall_s / cells, journal_speedup],
         ["warm cache", cells, warm.stats.wall_s,
          warm.stats.wall_s / cells, warm_speedup],
     ]

@@ -325,36 +325,91 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    import json
+def _print_cache_report(report: dict) -> None:
+    print(
+        format_table(
+            ["stat", "value"],
+            [
+                ["store", report["root"]],
+                ["entries", report["entries"]],
+                ["bytes", report["bytes"]],
+                ["current code version", report["current_code_version"]],
+                ["quarantined", report["quarantined"]],
+                *[
+                    [f"entries[{scheme}]", n]
+                    for scheme, n in report["by_scheme"].items()
+                ],
+            ],
+            title="Result cache report",
+        )
+    )
 
-    from repro.experiments.runner import BASELINE_SCHEME
-    from repro.parallel import ResultCache, SweepEngine, default_cache_dir
 
-    cache_root = args.cache_dir or default_cache_dir()
-    if args.stats:
-        report = ResultCache(cache_root).report()
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.parallel import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "verify":
+        rep = cache.verify()
         print(
             format_table(
                 ["stat", "value"],
                 [
-                    ["store", report["root"]],
-                    ["entries", report["entries"]],
-                    ["bytes", report["bytes"]],
-                    ["current code version", report["current_code_version"]],
-                    *[
-                        [f"entries[{scheme}]", n]
-                        for scheme, n in report["by_scheme"].items()
-                    ],
+                    ["store", rep["root"]],
+                    ["checked", rep["checked"]],
+                    ["ok", rep["ok"]],
+                    ["corrupt (quarantined this pass)", rep["corrupt"]],
+                    ["stale code version", rep["stale_salt"]],
+                    ["quarantine dir total", rep["quarantined"]],
                 ],
-                title="Result cache report",
+                title="Result cache integrity audit",
             )
         )
+        return 1 if rep["corrupt"] else 0
+    if args.action == "gc":
+        rep = cache.gc()
+        print(
+            f"gc {rep['root']}: removed {rep['removed_stale']} stale-salt "
+            f"entries, {rep['removed_quarantined']} quarantined files"
+        )
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+        return 0
+    _print_cache_report(cache.report())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.runner import BASELINE_SCHEME
+    from repro.parallel import (
+        ResultCache,
+        RetryPolicy,
+        SweepEngine,
+        default_cache_dir,
+    )
+
+    cache_root = Path(args.cache_dir or default_cache_dir())
+    if args.stats:
+        _print_cache_report(ResultCache(cache_root).report())
         return 0
     if args.clear_cache:
         removed = ResultCache(cache_root).clear()
         print(f"removed {removed} cache entries from {cache_root}")
         return 0
+
+    journal_path = None
+    if args.journal:
+        journal_path = Path(args.journal)
+    elif args.resume:
+        journal_path = cache_root / "sweep-journal.jsonl"
+    retry = RetryPolicy()
+    if args.max_retries is not None:
+        retry = RetryPolicy(max_retries=max(0, args.max_retries))
 
     schemes = tuple(dict.fromkeys([BASELINE_SCHEME, *args.schemes]))
     engine = SweepEngine(
@@ -363,8 +418,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=False if args.no_cache else None,
         cache_dir=args.cache_dir or None,
+        journal=journal_path,
+        retry=retry,
+        cell_deadline_s=args.cell_deadline,
     )
-    sweep = engine.run(schemes, tuple(args.workloads))
+    sweep = engine.run(schemes, tuple(args.workloads), resume=args.resume)
     base = {
         o.cell.workload: o.row
         for o in sweep.outcomes
@@ -383,7 +441,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 r.workload, r.scheme,
                 norm["read_latency"], norm["write_latency"],
                 norm["ipc_improvement"], norm["running_time"],
-                "hit" if o.cached else "ran",
+                "hit" if o.cached else ("resumed" if o.resumed else "ran"),
             ]
         )
     print(
@@ -397,9 +455,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     hit_pct = 100.0 * s.cache_hits / s.cells if s.cells else 0.0
     print(
         f"{s.cells} cells: {s.executed} executed, {s.cache_hits} cached "
-        f"({hit_pct:.0f}% hits), {s.errors} errors, "
+        f"({hit_pct:.0f}% hits), {s.resumed} resumed, {s.errors} errors, "
         f"{s.workers} workers, {s.wall_s:.2f}s"
     )
+    if s.retries or s.timeouts or s.worker_deaths or s.serial_cells:
+        print(
+            f"supervisor: {s.retries} retries, {s.timeouts} timeouts, "
+            f"{s.worker_deaths} worker deaths, {s.replacements} "
+            f"replacements, {s.serial_cells} serial-fallback cells"
+        )
     if args.json:
         import dataclasses
 
@@ -536,7 +600,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delete every cache entry instead of sweeping")
     p.add_argument("--json", default="",
                    help="also write rows + stats as JSON here")
+    p.add_argument("--journal", default="",
+                   help="checkpoint completed cells to this JSONL journal "
+                        "(default with --resume: <cache-root>/sweep-journal.jsonl)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay journaled cells instead of re-executing them "
+                        "(docs/RESILIENCE.md)")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="per-cell retry budget beyond the first attempt")
+    p.add_argument("--cell-deadline", type=float, default=None,
+                   help="per-cell wall-clock deadline in seconds "
+                        "(0 disables; default scales with --requests)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "cache", help="result-cache maintenance (docs/RESILIENCE.md)"
+    )
+    p.add_argument("action", choices=["stats", "verify", "gc", "clear"],
+                   help="stats: store report; verify: integrity audit "
+                        "(quarantines corrupt entries); gc: drop stale + "
+                        "quarantined entries; clear: delete everything")
+    p.add_argument("--cache-dir", default="",
+                   help="result-cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/tetris-write/results)")
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("diagram", help="chip-level timing diagram (Fig 4)")
     p.add_argument("--seed", type=int, default=20160816)

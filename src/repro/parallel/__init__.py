@@ -1,14 +1,22 @@
-"""Parallel experiment infrastructure: sweep fan-out + result caching.
+"""Parallel experiment infrastructure: supervised fan-out + durability.
 
 Public surface:
 
 * :class:`~repro.parallel.engine.SweepEngine` — fan the (scheme x
-  workload x seed x config-variant) grid over a process pool, with
-  deterministic seeding and structured failure capture.
-* :func:`~repro.parallel.engine.parallel_map` — ordered fail-fast pool
-  map for the smaller analytical sweeps.
+  workload x seed x config-variant) grid over supervised worker
+  processes, with deterministic seeding, structured failure capture,
+  and checkpoint/resume.
+* :class:`~repro.parallel.supervisor.WorkerSupervisor` — the supervised
+  pool itself: per-task deadlines, worker-death detection, bounded
+  deterministic retry, quarantine, and serial fallback
+  (``docs/RESILIENCE.md``).
+* :class:`~repro.parallel.journal.SweepJournal` — append-only fsync'd
+  completion log enabling ``run(resume=True)`` after a crash.
+* :func:`~repro.parallel.engine.parallel_map` — ordered fail-fast
+  supervised map for the smaller analytical sweeps.
 * :class:`~repro.parallel.resultcache.ResultCache` — content-addressed
-  on-disk store keyed by (config, trace, scheme, code-version salt).
+  on-disk store keyed by (config, trace, scheme, code-version salt),
+  with per-entry digests and quarantine of corrupt entries.
 """
 
 from repro.parallel.engine import (
@@ -23,12 +31,22 @@ from repro.parallel.engine import (
     derive_cell_seeds,
     parallel_map,
 )
+from repro.parallel.journal import SweepJournal, journal_cell_key
 from repro.parallel.resultcache import (
     CacheStats,
     ResultCache,
     cache_disabled_by_env,
     code_salt,
     default_cache_dir,
+    row_digest,
+)
+from repro.parallel.supervisor import (
+    RetryPolicy,
+    TaskFailure,
+    TaskReport,
+    WorkerSupervisor,
+    WorkerTaskError,
+    retry_jitter,
 )
 
 __all__ = [
@@ -36,15 +54,24 @@ __all__ = [
     "CellError",
     "CellOutcome",
     "ResultCache",
+    "RetryPolicy",
     "SweepCell",
     "SweepCellError",
     "SweepEngine",
+    "SweepJournal",
     "SweepResult",
     "SweepStats",
+    "TaskFailure",
+    "TaskReport",
+    "WorkerSupervisor",
+    "WorkerTaskError",
     "cache_disabled_by_env",
     "code_salt",
     "default_cache_dir",
     "default_workers",
     "derive_cell_seeds",
+    "journal_cell_key",
     "parallel_map",
+    "retry_jitter",
+    "row_digest",
 ]

@@ -5,48 +5,60 @@ full-system DES runs — a (scheme x workload x seed x config-variant)
 product where no cell reads another cell's output.  That shape is
 embarrassingly parallel, and :class:`SweepEngine` exploits it:
 
-* **Multiprocess fan-out** — cells are distributed over a
-  ``multiprocessing`` pool with chunked dynamic dispatch (idle workers
-  steal the next chunk), so wall-clock scales with cores instead of one
-  Python interpreter.
+* **Supervised multiprocess fan-out** — cells are distributed over the
+  :class:`~repro.parallel.supervisor.WorkerSupervisor`'s worker pool
+  (idle workers steal the next cell), which adds per-cell deadlines,
+  worker-death detection, bounded retry with deterministic backoff, and
+  serial fallback when process isolation keeps failing
+  (``docs/RESILIENCE.md``) on top of plain parallelism.
 * **Determinism** — each cell's seed is a pure function of the grid
   coordinates (``SeedSequence``-derived for replicated-seed studies),
   never of worker identity or completion order, and rows are reassembled
-  in grid order; a ``workers=N`` sweep is bit-identical to ``workers=1``.
+  in grid order; a ``workers=N`` sweep is bit-identical to ``workers=1``,
+  and a zero-fault supervised run is bit-identical to an unsupervised
+  one.
 * **Per-worker trace reuse** — a worker generates each workload's trace
   once (bounded ``lru_cache``) and reuses it for every scheme cell it
   services, instead of regenerating per cell.
 * **Result caching** — cells are content-addressed in the on-disk
   :class:`~repro.parallel.resultcache.ResultCache`; hits skip trace
   generation and the DES entirely.
+* **Checkpoint / resume** — with a :class:`~repro.parallel.journal.
+  SweepJournal` attached, every completed cell is durably journaled;
+  ``run(resume=True)`` replays journaled cells without re-executing
+  them, so a crashed sweep continues where it died.
 * **Structured failure capture** — a crashed cell becomes a
-  :class:`CellError` row carrying the traceback; the rest of the grid
-  completes.  Legacy callers that want fail-fast semantics use
-  :meth:`SweepResult.raise_errors`.
+  :class:`CellError` row carrying the traceback plus its ``attempts``
+  and ``last_signal``; the rest of the grid completes.  Legacy callers
+  that want fail-fast semantics use :meth:`SweepResult.raise_errors`.
 
 :func:`parallel_map` is the small sibling used by the ablation and
-crossover sweeps: an ordered, fail-fast process-pool map that degrades
-to a plain loop at ``workers=1``.
+crossover sweeps: an ordered, fail-fast supervised map that degrades to
+a plain loop at ``workers=1``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import dataclasses
 import os
+import signal as _signal
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
 
 from repro.config import SystemConfig, default_config
+from repro.parallel.journal import SweepJournal, journal_cell_key
 from repro.parallel.resultcache import (
     ResultCache,
     cache_disabled_by_env,
+    code_salt,
     default_cache_dir,
 )
+from repro.parallel.supervisor import RetryPolicy, WorkerSupervisor, WorkerTaskError
 from repro.trace.record import Trace
 from repro.trace.workloads import WORKLOAD_NAMES
 
@@ -99,7 +111,13 @@ class SweepCell:
 
 @dataclass(frozen=True)
 class CellError:
-    """Structured capture of one crashed cell (the sweep survives)."""
+    """Structured capture of one failed cell (the sweep survives).
+
+    ``attempts`` counts every execution the supervisor charged to the
+    cell (1 for an unsupervised / serial failure); ``last_signal`` names
+    the final failure mode — ``"exception"``, ``"timeout"``, or the
+    worker's ``"exit:<code>"``.
+    """
 
     workload: str
     scheme: str
@@ -108,34 +126,54 @@ class CellError:
     error_type: str
     message: str
     traceback_text: str
+    attempts: int = 1
+    last_signal: str = ""
 
     def format(self) -> str:
+        suffix = ""
+        if self.attempts > 1 or self.last_signal:
+            suffix = (
+                f" [attempts={self.attempts}"
+                + (f", {self.last_signal}" if self.last_signal else "")
+                + "]"
+            )
         return (
             f"[{self.variant}] {self.workload} x {self.scheme} "
-            f"(seed {self.seed}): {self.error_type}: {self.message}"
+            f"(seed {self.seed}): {self.error_type}: {self.message}{suffix}"
         )
 
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """One cell's terminal state: a result row or an error, maybe cached."""
+    """One cell's terminal state: a result row or an error, maybe replayed."""
 
     cell: SweepCell
     row: object | None = None          # ExperimentResult on success
     error: CellError | None = None
     cached: bool = False
+    resumed: bool = False              # replayed from the sweep journal
 
 
 class SweepCellError(RuntimeError):
-    """Raised by :meth:`SweepResult.raise_errors` for fail-fast callers."""
+    """Raised by :meth:`SweepResult.raise_errors` for fail-fast callers.
+
+    The exception message is a one-line-per-cell summary (attempt counts
+    included); the full tracebacks stay available on :attr:`errors` /
+    :attr:`tracebacks` instead of flooding the terminal N times over.
+    """
 
     def __init__(self, errors: list[CellError]) -> None:
         self.errors = errors
-        first = errors[0]
+        lines = "\n".join(f"  {e.format()}" for e in errors)
         super().__init__(
-            f"{len(errors)} sweep cell(s) failed; first: {first.format()}\n"
-            f"{first.traceback_text}"
+            f"{len(errors)} sweep cell(s) failed:\n{lines}\n"
+            "(full tracebacks on the exception's .tracebacks attribute)"
         )
+
+    @property
+    def tracebacks(self) -> list[str]:
+        """Full per-cell tracebacks, in :attr:`errors` order."""
+        return [e.traceback_text for e in self.errors]
 
 
 @dataclass
@@ -146,9 +184,16 @@ class SweepStats:
     executed: int = 0       # cells that actually ran the DES
     cache_hits: int = 0
     cache_stores: int = 0
+    resumed: int = 0        # cells replayed from the sweep journal
     errors: int = 0
     workers: int = 1
     wall_s: float = 0.0
+    # Supervisor accounting (all zero on a fault-free run).
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    replacements: int = 0
+    serial_cells: int = 0   # cells drained by the serial fallback
 
     def to_dict(self) -> dict:
         return {
@@ -156,9 +201,15 @@ class SweepStats:
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "cache_stores": self.cache_stores,
+            "resumed": self.resumed,
             "errors": self.errors,
             "workers": self.workers,
             "wall_s": self.wall_s,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "replacements": self.replacements,
+            "serial_cells": self.serial_cells,
         }
 
 
@@ -235,8 +286,34 @@ def _execute_cell(trace: Trace, workload: str, scheme: str, config: SystemConfig
     )
 
 
+def _chaos_inject(workload: str, scheme: str) -> None:
+    """Deterministic fault injection for the chaos suite (off by default).
+
+    ``REPRO_CHAOS_KILL_ONCE=<flag-file>:<workload>:<scheme>`` SIGKILLs
+    the process servicing that cell — once: the flag file is consumed
+    *before* the kill, so the supervisor's retry runs clean.
+    ``REPRO_CHAOS_HANG=<workload>:<scheme>:<seconds>`` sleeps the cell
+    on every attempt, tripping the supervisor deadline.  Both gates are
+    unset in production; the cost of the check is two env lookups.
+    """
+    spec = os.environ.get("REPRO_CHAOS_KILL_ONCE", "")
+    if spec:
+        flag, w, s = spec.rsplit(":", 2)
+        if w == workload and s == scheme:
+            try:
+                os.unlink(flag)
+            except OSError:
+                return  # flag already consumed: this attempt runs clean
+            os.kill(os.getpid(), _signal.SIGKILL)
+    spec = os.environ.get("REPRO_CHAOS_HANG", "")
+    if spec:
+        w, s, seconds = spec.rsplit(":", 2)
+        if w == workload and s == scheme:
+            time.sleep(float(seconds))
+
+
 def _run_cell(payload: tuple):
-    """Pool task: run one cell, returning ``(idx, row | CellError)``.
+    """Supervised task: run one cell, returning ``(idx, row | CellError)``.
 
     The broad except is the structured-failure boundary: the exception is
     converted into a :class:`CellError` row (type, message, traceback)
@@ -245,6 +322,7 @@ def _run_cell(payload: tuple):
     """
     idx, workload, scheme, seed, variant, requests_per_core, config_json, trace = payload
     try:
+        _chaos_inject(workload, scheme)
         config = _config_from_json(config_json)
         if trace is None:
             trace = _trace_for(
@@ -261,6 +339,11 @@ def _run_cell(payload: tuple):
             message=str(exc),
             traceback_text=traceback.format_exc(),
         )
+
+
+def _cell_retry_signal(value) -> str | None:
+    """Supervisor value classifier: CellError rows are retryable failures."""
+    return "exception" if isinstance(value[1], CellError) else None
 
 
 # ----------------------------------------------------------------------
@@ -297,6 +380,18 @@ class SweepEngine:
         Optional pre-built traces (``{workload: Trace}``); matching
         workloads skip synthetic generation and are content-fingerprinted
         for cache keying.
+    journal:
+        Optional sweep checkpoint: a :class:`SweepJournal`, or a path to
+        create one at.  Every completed cell is durably appended;
+        ``run(resume=True)`` replays journaled cells without
+        re-executing them.
+    retry:
+        :class:`RetryPolicy` for the worker supervisor (defaults shared
+        with ``docs/RESILIENCE.md``).
+    cell_deadline_s:
+        Per-cell wall-clock deadline override.  ``None`` (default)
+        scales the deadline by trace size via the policy
+        (:meth:`RetryPolicy.deadline_s`); ``0`` disables deadlines.
     """
 
     def __init__(
@@ -310,6 +405,9 @@ class SweepEngine:
         cache: object | None = None,
         cache_dir: str | Path | None = None,
         traces: dict[str, Trace] | None = None,
+        journal: SweepJournal | str | Path | None = None,
+        retry: RetryPolicy | None = None,
+        cell_deadline_s: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -320,6 +418,13 @@ class SweepEngine:
         self.workers = int(workers)
         self.traces = dict(traces) if traces else {}
         self.cache = self._resolve_cache(cache, cache_dir)
+        if journal is None or isinstance(journal, SweepJournal):
+            self.journal = journal
+        else:
+            self.journal = SweepJournal(journal)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.cell_deadline_s = cell_deadline_s
+        self.supervisor: WorkerSupervisor | None = None  # last run's, if any
 
     @staticmethod
     def _resolve_cache(cache, cache_dir) -> ResultCache | None:
@@ -372,6 +477,28 @@ class SweepEngine:
             f"{config.cpu.num_cores}:{cell.seed}"
         )
 
+    def _journal_key(self, cell: SweepCell, config_json: str) -> str:
+        salt = self.cache.salt if self.cache is not None else code_salt()
+        return journal_cell_key(
+            config_json=config_json,
+            trace_key=self._trace_key(cell, self.variants[cell.variant]),
+            scheme=cell.scheme,
+            salt=salt,
+        )
+
+    def _journal_append(self, key: str, cell: SweepCell, row_dict: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                key,
+                row_dict,
+                meta={
+                    "scheme": cell.scheme,
+                    "workload": cell.workload,
+                    "seed": cell.seed,
+                    "variant": cell.variant,
+                },
+            )
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -379,18 +506,46 @@ class SweepEngine:
         workloads: tuple[str, ...] = WORKLOAD_NAMES,
         *,
         seeds: int | tuple[int, ...] | None = None,
+        resume: bool = False,
     ) -> SweepResult:
-        """Run the grid and return outcomes in grid order."""
+        """Run the grid and return outcomes in grid order.
+
+        With ``resume=True`` (requires a journal) cells already recorded
+        in the journal are replayed from it — zero re-execution — and
+        the reassembled grid is byte-identical to an uninterrupted run.
+        """
+        from repro.experiments.runner import ExperimentResult
+
         start = time.perf_counter()
+        self.supervisor = None
         cells = self.grid(tuple(schemes), tuple(workloads), seeds=seeds)
         config_json = {
             name: cfg.canonical_json() for name, cfg in self.variants.items()
         }
+        journaled: dict[str, dict] = {}
+        if resume:
+            if self.journal is None:
+                raise ValueError("resume=True requires a journal")
+            journaled = self.journal.load()
 
         outcomes: dict[int, CellOutcome] = {}
         pending: list[tuple] = []       # worker payloads for cache misses
-        pending_keys: dict[int, str | None] = {}
+        pending_keys: dict[int, tuple[str | None, str | None]] = {}
+        resumed = 0
         for idx, cell in enumerate(cells):
+            jkey = (
+                self._journal_key(cell, config_json[cell.variant])
+                if self.journal is not None
+                else None
+            )
+            if jkey is not None and resume and jkey in journaled:
+                outcomes[idx] = CellOutcome(
+                    cell,
+                    row=ExperimentResult(**journaled[jkey]),
+                    resumed=True,
+                )
+                resumed += 1
+                continue
             key = None
             if self.cache is not None:
                 key = self.cache.cell_key(
@@ -400,13 +555,13 @@ class SweepEngine:
                 )
                 row_dict = self.cache.get(key)
                 if row_dict is not None:
-                    from repro.experiments.runner import ExperimentResult
-
                     outcomes[idx] = CellOutcome(
                         cell, row=ExperimentResult(**row_dict), cached=True
                     )
+                    if jkey is not None:
+                        self._journal_append(jkey, cell, row_dict)
                     continue
-            pending_keys[idx] = key
+            pending_keys[idx] = (key, jkey)
             pending.append(
                 (
                     idx,
@@ -426,13 +581,12 @@ class SweepEngine:
                 outcomes[idx] = CellOutcome(cell, error=result)
             else:
                 outcomes[idx] = CellOutcome(cell, row=result)
-                key = pending_keys[idx]
+                key, jkey = pending_keys[idx]
+                row_dict = dataclasses.asdict(result)
                 if self.cache is not None and key is not None:
-                    import dataclasses
-
                     self.cache.put(
                         key,
-                        dataclasses.asdict(result),
+                        row_dict,
                         meta={
                             "scheme": cell.scheme,
                             "workload": cell.workload,
@@ -441,29 +595,46 @@ class SweepEngine:
                             "salt": self.cache.salt,
                         },
                     )
+                if jkey is not None:
+                    self._journal_append(jkey, cell, row_dict)
 
         ordered = [outcomes[i] for i in range(len(cells))]
+        sup = self.supervisor
+        counts = sup.counts() if sup is not None else {}
         stats = SweepStats(
             cells=len(cells),
             executed=len(pending),
             cache_hits=self.cache.stats.hits if self.cache else 0,
             cache_stores=self.cache.stats.stores if self.cache else 0,
+            resumed=resumed,
             errors=sum(1 for o in ordered if o.error is not None),
             workers=self.workers,
             wall_s=time.perf_counter() - start,
+            retries=counts.get("retries", 0),
+            timeouts=counts.get("timeouts", 0),
+            worker_deaths=counts.get("worker_deaths", 0),
+            replacements=counts.get("replacements", 0),
+            serial_cells=counts.get("serial_tasks", 0),
         )
         return SweepResult(outcomes=ordered, stats=stats)
 
     # ------------------------------------------------------------------
+    def _cell_deadline(self) -> float | None:
+        """Effective per-cell deadline (seconds), or None when disabled."""
+        if self.cell_deadline_s is not None:
+            return self.cell_deadline_s if self.cell_deadline_s > 0 else None
+        return self.retry.deadline_s(self.requests_per_core)
+
     def _execute(self, payloads: list[tuple]):
         """Yield ``(idx, row-or-error)`` for every payload.
 
         Serial mode runs the exact same ``_run_cell`` per payload, so
-        parallel and serial cells traverse identical code.  Parallel mode
-        uses chunked ``imap_unordered`` — completed workers pull the next
-        chunk off the shared queue (work stealing), and chunks follow the
-        grid's workload-major order so a worker's trace cache keeps
-        hitting within a chunk.
+        parallel and serial cells traverse identical code.  Parallel
+        mode hands the payloads to a :class:`WorkerSupervisor`: idle
+        workers steal the next cell (payloads follow the grid's
+        workload-major order, so a worker's trace cache keeps hitting),
+        and hung / killed / crashing cells are retried, quarantined, or
+        drained serially per ``docs/RESILIENCE.md``.
         """
         if not payloads:
             return
@@ -472,24 +643,82 @@ class SweepEngine:
             for payload in payloads:
                 yield _run_cell(payload)
             return
-        chunksize = max(1, -(-len(payloads) // (workers * 4)))
-        with multiprocessing.Pool(processes=workers) as pool:
-            yield from pool.imap_unordered(_run_cell, payloads, chunksize=chunksize)
+        deadline_s = self._cell_deadline()
+        self.supervisor = WorkerSupervisor(
+            _run_cell,
+            workers=workers,
+            policy=self.retry,
+            deadline_for=(lambda payload: deadline_s),
+            retry_value_signal=_cell_retry_signal,
+            name="sweep",
+        )
+        for report in self.supervisor.run((p[0], p) for p in payloads):
+            if report.failure is not None:
+                # The cell never produced a value: synthesize the error
+                # row from the payload coordinates.
+                payload = next(p for p in payloads if p[0] == report.task_id)
+                yield report.task_id, CellError(
+                    workload=payload[1],
+                    scheme=payload[2],
+                    seed=payload[3],
+                    variant=payload[4],
+                    error_type=report.failure.error_type,
+                    message=report.failure.message,
+                    traceback_text=report.failure.traceback_text,
+                    attempts=report.attempts,
+                    last_signal=report.last_signal,
+                )
+                continue
+            idx, result = report.value
+            if isinstance(result, CellError) and (
+                report.attempts > 1 or report.last_signal
+            ):
+                result = dataclasses.replace(
+                    result,
+                    attempts=report.attempts,
+                    last_signal=report.last_signal or "exception",
+                )
+            yield idx, result
 
 
 # ----------------------------------------------------------------------
 # Ordered fail-fast map for the ablation / crossover sweeps.
 # ----------------------------------------------------------------------
+def _map_task(payload: tuple):
+    """Supervised task for :func:`parallel_map`: ``(fn, item) -> fn(item)``."""
+    fn, item = payload
+    return fn(item)
+
+
 def parallel_map(fn, items, *, workers: int = 1, chunksize: int = 1) -> list:
     """Map ``fn`` over ``items`` preserving order, optionally in a pool.
 
     Unlike :class:`SweepEngine`, failures propagate immediately (the
     ablation sweeps are small and their points are not independent
-    experiment artifacts worth salvaging).  ``fn`` and every item must be
-    picklable when ``workers > 1``.
+    experiment artifacts worth salvaging): a task exception is re-raised
+    in the parent, and a worker death raises
+    :class:`~repro.parallel.supervisor.WorkerTaskError`.  ``fn`` and
+    every item must be picklable when ``workers > 1``.  ``chunksize``
+    is accepted for backward compatibility; dispatch is per item.
     """
     items = list(items)
+    if not items:
+        return []
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with multiprocessing.Pool(processes=min(workers, len(items))) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    supervisor = WorkerSupervisor(
+        _map_task,
+        workers=min(workers, len(items)),
+        policy=RetryPolicy(max_retries=0),
+        name="map",
+    )
+    results: list = [None] * len(items)
+    for report in supervisor.run(
+        (i, (fn, item)) for i, item in enumerate(items)
+    ):
+        if report.failure is not None:
+            if isinstance(report.value, BaseException):
+                raise report.value
+            raise WorkerTaskError(report.failure)
+        results[report.task_id] = report.value
+    return results

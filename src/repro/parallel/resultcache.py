@@ -20,9 +20,15 @@ invocation without touching the DES.  The key design points:
 * **Opt-outs** — ``REPRO_NO_CACHE`` (any non-empty value) disables the
   cache globally; ``REPRO_CACHE_DIR`` moves the store; callers can pass
   an explicit directory or ``cache=False``.
+* **Integrity** — every entry embeds a SHA-256 digest of its row
+  payload; :meth:`ResultCache.get` re-hashes on read and a mismatched
+  or unparseable entry is *quarantined* (moved to ``<root>/quarantine/``
+  for inspection, counted in :attr:`CacheStats.corrupt`) instead of
+  silently re-missing forever.  :meth:`ResultCache.verify` audits the
+  whole store; :meth:`ResultCache.gc` drops stale-salt and quarantined
+  entries (``tetris-write cache verify`` / ``gc``).
 
-Corrupt or unreadable entries are treated as misses and overwritten,
-never raised.
+Corrupt or unreadable entries are treated as misses, never raised.
 """
 
 from __future__ import annotations
@@ -42,11 +48,22 @@ __all__ = [
     "cache_disabled_by_env",
     "code_salt",
     "default_cache_dir",
+    "row_digest",
 ]
 
 # Bump when the entry layout (not the simulated semantics — the code
-# salt covers those) changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+# salt covers those) changes incompatibly.  v2 added the mandatory
+# per-entry payload digest.
+CACHE_FORMAT_VERSION = 2
+
+QUARANTINE_DIR = "quarantine"
+
+
+def row_digest(row: dict) -> str:
+    """Canonical SHA-256 of one row payload (the per-entry checksum)."""
+    return hashlib.sha256(
+        json.dumps(row, sort_keys=True).encode("utf-8")
+    ).hexdigest()
 
 
 def cache_disabled_by_env() -> bool:
@@ -90,6 +107,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0    # entries quarantined on read (digest/format bad)
 
     def hit_rate(self) -> float:
         looked = self.hits + self.misses
@@ -100,6 +118,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate(),
         }
 
@@ -147,20 +166,53 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """Return the cached row dict for ``key``, or None on a miss.
 
-        Unreadable and format-mismatched entries count as misses.
+        An entry that exists but fails validation — unparseable JSON,
+        wrong format version, or a payload that no longer matches its
+        embedded digest (torn write, bit rot, manual edit) — is
+        quarantined rather than left in place: silently re-missing on
+        every lookup hides the corruption forever, while quarantining
+        surfaces it in ``tetris-write cache verify`` and lets the next
+        store land clean.
         """
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except ValueError:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            self._quarantine(path)
+            return None
+        except OSError:
             self.stats.misses += 1
             return None
-        if entry.get("version") != CACHE_FORMAT_VERSION or "row" not in entry:
+        if not self._entry_valid(entry):
             self.stats.misses += 1
+            self.stats.corrupt += 1
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         return entry["row"]
+
+    @staticmethod
+    def _entry_valid(entry) -> bool:
+        """Structural + integrity validation of one parsed entry."""
+        return (
+            isinstance(entry, dict)
+            and entry.get("version") == CACHE_FORMAT_VERSION
+            and isinstance(entry.get("row"), dict)
+            and entry.get("sha256") == row_digest(entry["row"])
+        )
+
+    def _quarantine(self, path: Path) -> bool:
+        """Move a bad entry into ``<root>/quarantine/`` (best effort)."""
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            return False
+        return True
 
     def put(self, key: str, row: dict, *, meta: dict | None = None) -> None:
         """Atomically persist one cell's row (tmp file + rename)."""
@@ -171,6 +223,7 @@ class ResultCache:
             "key": key,
             "meta": meta or {},
             "row": row,
+            "sha256": row_digest(row),
         }
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
@@ -197,6 +250,13 @@ class ResultCache:
             return []
         return sorted(self.root.glob("??/*.json"))
 
+    def quarantined(self) -> list[Path]:
+        """Entries previously moved aside by integrity checks."""
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.is_dir():
+            return []
+        return sorted(p for p in qdir.iterdir() if p.is_file())
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
@@ -207,6 +267,76 @@ class ResultCache:
             except OSError:
                 continue
         return removed
+
+    def verify(self) -> dict:
+        """Audit every entry: re-parse, re-hash, quarantine what fails.
+
+        Returns a summary dict — ``checked`` entries scanned, ``ok``
+        passing structural + digest validation, ``corrupt`` moved to
+        quarantine this pass, ``stale_salt`` valid entries written by a
+        different code version (unreachable under the current salt;
+        reclaim with :meth:`gc`), and the total ``quarantined`` count.
+        """
+        checked = ok = corrupt = stale = 0
+        for path in self.entries():
+            checked += 1
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, ValueError):
+                corrupt += self._quarantine(path)
+                continue
+            if not self._entry_valid(entry):
+                corrupt += self._quarantine(path)
+                continue
+            ok += 1
+            if entry.get("meta", {}).get("salt", "") != self.salt:
+                stale += 1
+        return {
+            "root": str(self.root),
+            "checked": checked,
+            "ok": ok,
+            "corrupt": corrupt,
+            "stale_salt": stale,
+            "quarantined": len(self.quarantined()),
+        }
+
+    def gc(self) -> dict:
+        """Reclaim dead weight: stale-salt entries and quarantined files.
+
+        Stale-salt entries were written by a different code version;
+        their keys can never be looked up under the current salt, so
+        they only cost disk.  Corrupt entries already moved aside by
+        :meth:`get`/:meth:`verify` are deleted for good.
+        """
+        removed_stale = 0
+        for path in self.entries():
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, ValueError):
+                continue  # verify()'s job, not gc's
+            if (
+                isinstance(entry, dict)
+                and entry.get("meta", {}).get("salt", "") != self.salt
+            ):
+                try:
+                    path.unlink()
+                    removed_stale += 1
+                except OSError:
+                    continue
+        removed_quarantined = 0
+        for path in self.quarantined():
+            try:
+                path.unlink()
+                removed_quarantined += 1
+            except OSError:
+                continue
+        return {
+            "root": str(self.root),
+            "removed_stale": removed_stale,
+            "removed_quarantined": removed_quarantined,
+        }
 
     def report(self) -> dict:
         """Store-wide summary for ``tetris-write sweep --stats``."""
@@ -231,4 +361,5 @@ class ResultCache:
             "bytes": total_bytes,
             "by_scheme": dict(sorted(by_scheme.items())),
             "current_code_version": current_salt,
+            "quarantined": len(self.quarantined()),
         }

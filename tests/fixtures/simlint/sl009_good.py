@@ -1,12 +1,15 @@
-"""Fork-safe pool usage SL009 accepts.
+"""Fork-safe pool usage SL009 accepts (and SL014-sanctioned fan-out).
 
 Workers are top-level (picklable under spawn), per-process memoization
 goes through ``functools.lru_cache`` on a pure function instead of a
-module-level dict, and module-level state that workers read is immutable.
+module-level dict, module-level state that workers read is immutable,
+and dispatch goes through the supervised ``parallel_map`` rather than a
+bare ``multiprocessing.Pool``.
 """
 
-import multiprocessing
 from functools import lru_cache, partial
+
+from repro.parallel.engine import parallel_map
 
 LIMIT = 8  # immutable module constant: safe to read from any process
 
@@ -27,9 +30,8 @@ def offset_worker(x, offset):
 
 
 def run():
-    with multiprocessing.Pool(2) as pool:
-        a = pool.map(worker, range(LIMIT))
-        b = pool.map(partial(offset_worker, offset=2), range(LIMIT))
+    a = parallel_map(worker, range(LIMIT), workers=2)
+    b = parallel_map(partial(offset_worker, offset=2), range(LIMIT), workers=2)
     return a + b
 
 

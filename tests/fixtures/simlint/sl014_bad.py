@@ -1,0 +1,27 @@
+"""Bare multiprocessing pools SL014 must flag.
+
+Every one of these bypasses the WorkerSupervisor: no per-cell deadline,
+no worker-death detection, no retry/quarantine, no serial fallback.
+"""
+
+import multiprocessing
+from multiprocessing import get_context
+
+
+def run_cell(payload):
+    return payload * 2
+
+
+def sweep_with_bare_pool(payloads):
+    with multiprocessing.Pool(4) as pool:                  # SL014: bare Pool
+        rows = list(pool.imap_unordered(run_cell, payloads))  # SL014: imap
+        extra = pool.map_async(run_cell, payloads)         # SL014: map_async
+    return rows, extra
+
+
+def sweep_with_context_pool(payloads):
+    pool = get_context("spawn").Pool(2)                    # SL014: ctx Pool
+    try:
+        return pool.starmap(run_cell, [(p,) for p in payloads])  # SL014
+    finally:
+        pool.terminate()

@@ -1,0 +1,25 @@
+"""Supervised parallelism SL014 endorses.
+
+All fan-out goes through the sanctioned layer: WorkerSupervisor (or the
+SweepEngine / parallel_map wrappers built on it), which supplies
+deadlines, death detection, retry, quarantine, and serial fallback.
+"""
+
+from repro.parallel.engine import parallel_map
+from repro.parallel.supervisor import RetryPolicy, WorkerSupervisor
+
+
+def run_cell(payload):
+    return payload * 2
+
+
+def sweep_supervised(payloads):
+    supervisor = WorkerSupervisor(
+        run_cell, workers=2, policy=RetryPolicy(max_retries=1)
+    )
+    reports = supervisor.run(enumerate(payloads))
+    return sorted((r.task_id, r.value) for r in reports)
+
+
+def map_supervised(items):
+    return parallel_map(run_cell, items, workers=2)

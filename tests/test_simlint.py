@@ -51,6 +51,7 @@ FIXTURE_MATRIX = [
     ("SL009", "repro.parallel.fixture", 5),
     ("SL010", "repro.oracle.analytic", 5),
     ("SL011", "repro.core.fixture", 8),
+    ("SL014", "repro.experiments.fixture", 5),
 ]
 
 # Project-level rules lint a directory mini-project (with its own
@@ -159,6 +160,17 @@ def test_sl010_flags_both_import_directions():
     )
     # The CLI may report oracle results.
     assert "SL010" not in rules_fired(lint_source(src, module="repro.cli"))
+
+
+def test_sl014_exempts_cli_and_the_supervisor_module():
+    src = (FIXTURES / "sl014_bad.py").read_text()
+    assert "SL014" in rules_fired(lint_source(src, module="repro.parallel.engine"))
+    assert "SL014" not in rules_fired(lint_source(src, module="repro.cli"))
+    assert "SL014" not in rules_fired(
+        lint_source(src, module="repro.parallel.supervisor")
+    )
+    assert "SL014" not in rules_fired(lint_source(src, module="tests.helpers"))
+    assert "SL014" not in rules_fired(lint_source(src, module="benchmarks.bench_x"))
 
 
 def test_sl009_quiet_without_pool_submissions():
@@ -270,13 +282,13 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_thirteen():
+def test_cli_list_rules_names_all_fourteen():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
     assert listed == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008", "SL009", "SL010", "SL011", "SL012", "SL013",
+        "SL008", "SL009", "SL010", "SL011", "SL012", "SL013", "SL014",
     }
 
 

@@ -16,7 +16,7 @@ against it.  An incremental cache (``.simlint_cache/``) keeps warm runs
 under a second; ``simlint.toml`` at the repo root declares the layer
 DAG and other contract settings.
 
-See ``docs/SIMLINT.md`` for the rule catalogue (SL001-SL013) and the
+See ``docs/SIMLINT.md`` for the rule catalogue (SL001-SL014) and the
 ``# simlint: disable=SLxxx`` suppression syntax.
 """
 

@@ -1,4 +1,4 @@
-"""simlint rules SL001–SL013, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL014, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
@@ -36,6 +36,10 @@ SL012  architecture contract — the layer DAG declared in
 SL013  API drift — ``docs/API.md`` cross-checked against the static
        symbol table: documented-but-deleted and
        public-but-undocumented symbols (project-level)
+SL014  supervised parallelism — no bare ``multiprocessing.Pool`` /
+       ``imap``-family dispatch in ``repro.*``; sweeps must go through
+       ``repro.parallel.supervisor.WorkerSupervisor`` (``repro.cli``
+       and the supervisor itself exempt)
 ====== ==============================================================
 """
 
@@ -69,6 +73,7 @@ __all__ = [
     "UnitFlowRule",
     "ArchitectureContractRule",
     "ApiDriftRule",
+    "UnsupervisedPoolRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -1569,3 +1574,90 @@ class ApiDriftRule(LintRule):
                         "tools/gen_api_docs.py`"
                     ),
                 )
+
+
+# ----------------------------------------------------------------------
+# SL014 — supervised parallelism: no bare pools in repro.*.
+# ----------------------------------------------------------------------
+class UnsupervisedPoolRule(LintRule):
+    """Bare ``multiprocessing`` pools bypass the sweep supervisor.
+
+    ISSUE 7 replaced ``Pool.imap_unordered`` fan-out with
+    :class:`repro.parallel.supervisor.WorkerSupervisor`, which adds the
+    properties every ``repro`` sweep now relies on: per-cell deadlines
+    (a hung worker cannot stall a grid forever), worker-death detection
+    and retry (a SIGKILLed worker costs one retry, not a lost cell),
+    deterministic backoff, quarantine into structured error rows, and a
+    serial fallback instead of an aborted grid.  A bare
+    ``multiprocessing.Pool`` (or a direct ``imap``-family dispatch on
+    one) silently opts back out of all of that — correct-looking code
+    that hangs or aborts exactly when a sweep is big enough to matter.
+
+    Route parallel work through :class:`WorkerSupervisor`,
+    :class:`~repro.parallel.engine.SweepEngine`, or
+    :func:`~repro.parallel.engine.parallel_map`.  Exempt: ``repro.cli``
+    (thin command wrappers) and the supervisor module itself (the one
+    sanctioned owner of worker processes).
+    """
+
+    id = "SL014"
+    title = "bare multiprocessing pool bypasses the worker supervisor"
+    node_types = (ast.Call,)
+
+    _POOL_CONSTRUCTORS = frozenset(
+        {
+            "multiprocessing.Pool",
+            "multiprocessing.pool.Pool",
+            "multiprocessing.pool.ThreadPool",
+            "multiprocessing.dummy.Pool",
+            "concurrent.futures.ProcessPoolExecutor",
+        }
+    )
+    # Multiprocessing-specific dispatch spellings: unambiguous no matter
+    # what the receiver is called.
+    _POOL_ONLY_METHODS = frozenset(
+        {"imap", "imap_unordered", "map_async", "starmap", "starmap_async",
+         "apply_async"}
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return (
+            ctx.in_package("repro")
+            and not ctx.in_package("repro.cli")
+            and ctx.module != "repro.parallel.supervisor"
+        )
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[LintFinding]:
+        resolved = ctx.resolve(node.func)
+        if resolved in self._POOL_CONSTRUCTORS:
+            yield self.finding(
+                node,
+                ctx,
+                f"{resolved} bypasses the worker supervisor: no deadlines, "
+                "no death detection, no retry; use "
+                "repro.parallel.WorkerSupervisor / SweepEngine / "
+                "parallel_map instead",
+            )
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        if attr == "Pool" and resolved is None:
+            # get_context().Pool(...), ctx.Pool(...): the constructor
+            # reached through a context object rather than the module.
+            yield self.finding(
+                node,
+                ctx,
+                "pool constructed from a multiprocessing context bypasses "
+                "the worker supervisor; use repro.parallel.WorkerSupervisor "
+                "/ SweepEngine / parallel_map instead",
+            )
+        elif attr in self._POOL_ONLY_METHODS:
+            yield self.finding(
+                node,
+                ctx,
+                f".{attr}() dispatches tasks on a bare pool, outside the "
+                "supervisor's deadline/retry/quarantine state machine; use "
+                "repro.parallel.WorkerSupervisor / SweepEngine / "
+                "parallel_map instead",
+            )
