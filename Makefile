@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint verify oracle bench bench-quick faults trace all
+.PHONY: test lint verify oracle bench bench-quick bench-service faults trace all
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,9 @@ bench:           ## paper-figure benches (prints + writes benchmarks/out/)
 
 bench-quick:     ## pinned small sweep -> BENCH_sweep.json perf baseline
 	$(PYTHON) benchmarks/quick_sweep.py
+
+bench-service:   ## pinned two-tenant server run -> BENCH_service.json
+	$(PYTHON) benchmarks/bench_service.py
 
 faults:          ## fault-injection smoke: tests at 1e-3 + overhead bench
 	REPRO_VERIFY=1 REPRO_FAULT_RATE=1e-3 $(PYTHON) -m pytest -x -q tests/test_faults.py

@@ -478,6 +478,303 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if sweep.errors else 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.parallel import SweepJournal, default_cache_dir
+    from repro.parallel.resultcache import code_salt
+
+    path = Path(args.journal) if args.journal else (
+        Path(args.cache_dir or default_cache_dir()) / "sweep-journal.jsonl"
+    )
+    journal = SweepJournal(path)
+    if args.action == "compact":
+        keep = {code_salt()} if args.prune_stale else None
+        dropped = journal.compact(keep_salts=keep)
+        print(
+            f"compacted {path}: dropped {dropped} line(s) "
+            f"({len(journal)} records kept"
+            + (", stale-salt records pruned)" if args.prune_stale else ")")
+        )
+        return 0
+    st = journal.stats()
+    current = code_salt()
+    salt_rows = [
+        [f"salt[{i}]", s + (" (current code)" if s == current else " (STALE)")]
+        for i, s in enumerate(st["salts"])
+    ]
+    print(
+        format_table(
+            ["stat", "value"],
+            [
+                ["journal", st["path"]],
+                ["records", st["records"]],
+                ["lines", st["lines"]],
+                ["corrupt lines", st["corrupt_lines"]],
+                ["duplicate lines", st["duplicate_lines"]],
+                ["bytes", st["bytes"]],
+                *salt_rows,
+            ],
+            title="Sweep journal report",
+        )
+    )
+    if st["corrupt_lines"] or st["duplicate_lines"]:
+        print(
+            f"hint: `tetris-write journal compact` drops the "
+            f"{st['corrupt_lines']} corrupt + {st['duplicate_lines']} "
+            f"duplicate line(s) atomically"
+        )
+    if any(s != current for s in st["salts"]):
+        print(
+            "hint: journal holds records from other code versions; "
+            "`tetris-write journal compact --prune-stale` removes them"
+        )
+    return 0
+
+
+def _grid_from_args(args: argparse.Namespace) -> dict:
+    return {
+        "schemes": list(args.schemes),
+        "workloads": list(args.workloads),
+        "requests_per_core": args.requests,
+        "seed": args.seed,
+    }
+
+
+def _print_service_error(exc) -> None:
+    retry = (
+        f" (retry after {exc.retry_after_s:g}s)"
+        if exc.retry_after_s is not None
+        else ""
+    )
+    print(f"service error [{exc.code}]: {exc.message}{retry}")
+
+
+def _print_job_reply(reply: dict) -> None:
+    print(
+        f"job {reply.get('job')} [{reply.get('tenant', '-')}]: "
+        f"{reply.get('state')} — {reply.get('done', 0)}/{reply.get('total', 0)} "
+        f"done, {reply.get('failed', 0)} failed, "
+        f"{reply.get('cached', 0)} cached, "
+        f"{reply.get('deduped', 0)} deduped"
+        + (
+            f", eta {reply['eta_s']:g}s"
+            if reply.get("eta_s") and reply.get("state") == "running"
+            else ""
+        )
+    )
+
+
+def _maybe_json(args: argparse.Namespace, payload: dict) -> None:
+    if getattr(args, "json", ""):
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+
+def _service_client(args: argparse.Namespace):
+    """Connected client, or ``None`` when no endpoint is configured."""
+    from repro.service import ServiceClient, endpoint_from_env
+
+    endpoint = getattr(args, "endpoint", "") or endpoint_from_env()
+    if not endpoint:
+        return None
+    return ServiceClient(endpoint, tenant=getattr(args, "tenant", "default"))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ProtocolError
+
+    if args.drain:
+        client = _service_client(args)
+        if client is None:
+            print("no endpoint: pass --endpoint or set REPRO_SERVICE")
+            return 2
+        try:
+            reply = client.drain()
+        except ProtocolError as exc:
+            _print_service_error(exc)
+            return 1
+        except OSError as exc:
+            print(f"cannot reach service at {client.endpoint}: {exc}")
+            return 2
+        print(
+            f"draining: {reply.get('jobs_pending', 0)} job(s), "
+            f"{reply.get('cells_pending', 0)} cell(s) still in flight; "
+            "new submits now get a structured retry-after rejection"
+        )
+        return 0
+    return asyncio.run(_serve_async(args))
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.parallel import ResultCache
+    from repro.service import SweepService, parse_endpoint
+
+    socket_path, host, port = args.socket, args.host, args.port
+    if args.endpoint and not socket_path:
+        try:
+            kind, addr = parse_endpoint(args.endpoint)
+        except ValueError as exc:
+            print(exc)
+            return 2
+        if kind == "unix":
+            socket_path = addr
+        else:
+            host, port = addr
+    service = SweepService(
+        state_dir=args.state_dir,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        workers=args.workers,
+        max_queued_cells=args.max_queued,
+        quantum=args.quantum,
+        fsync=not args.no_fsync,
+    )
+    if socket_path:
+        server = await service.serve_unix(socket_path)
+        where = f"unix:{socket_path}"
+    else:
+        server = await service.serve_tcp(host, port)
+        where = f"tcp:{host}:{port}"
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    print(
+        f"tetris-write service on {where} "
+        f"(state {service.state_dir}, {service.scheduler.workers} workers, "
+        f"{len(service.jobs)} job(s) recovered)"
+    )
+    drained = asyncio.ensure_future(service.drained.wait())
+    stopped = asyncio.ensure_future(stop.wait())
+    try:
+        await asyncio.wait(
+            {drained, stopped}, return_when=asyncio.FIRST_COMPLETED
+        )
+    finally:
+        for fut in (drained, stopped):
+            fut.cancel()
+        server.close()
+        await server.wait_closed()
+        await service.shutdown()
+    print("service stopped" + (" (drained)" if service.drained.is_set() else ""))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ProtocolError, run_inprocess
+
+    grid = _grid_from_args(args)
+    client = _service_client(args)
+    if client is None:
+        reply = run_inprocess(
+            grid,
+            tenant=args.tenant,
+            cache_dir=args.cache_dir or None,
+            workers=args.workers,
+        )
+        print("no service endpoint: executed in process (degraded mode)")
+        _print_job_reply(reply)
+        _maybe_json(args, reply)
+        return 1 if reply.get("failed") else 0
+    try:
+        reply = client.submit(grid)
+        _print_job_reply(reply)
+        if args.watch and reply.get("state") not in ("done", "cancelled"):
+            for event in client.watch(reply["job"]):
+                if event.get("event") == "progress":
+                    _print_job_reply(event)
+            reply = client.status(reply["job"])
+            _print_job_reply(reply)
+        _maybe_json(args, reply)
+        return 1 if reply.get("failed") else 0
+    except ProtocolError as exc:
+        _print_service_error(exc)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach service at {client.endpoint}: {exc}")
+        return 2
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ProtocolError
+
+    client = _service_client(args)
+    if client is None:
+        print("no endpoint: pass --endpoint or set REPRO_SERVICE")
+        return 2
+    try:
+        reply = client.status(args.job or None)
+    except ProtocolError as exc:
+        _print_service_error(exc)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach service at {client.endpoint}: {exc}")
+        return 2
+    if args.job:
+        _print_job_reply(reply)
+    else:
+        print(
+            f"service: draining={reply.get('draining')} "
+            f"workers={reply.get('workers')} "
+            f"counters={reply.get('counters')}"
+        )
+        for job_id, snap in sorted(reply.get("jobs", {}).items()):
+            _print_job_reply(snap)
+    _maybe_json(args, reply)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.service import ProtocolError
+
+    client = _service_client(args)
+    if client is None:
+        print("no endpoint: pass --endpoint or set REPRO_SERVICE")
+        return 2
+    try:
+        last = None
+        for event in client.watch(args.job):
+            _print_job_reply(event)
+            last = event
+    except ProtocolError as exc:
+        _print_service_error(exc)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach service at {client.endpoint}: {exc}")
+        return 2
+    if last is not None:
+        _maybe_json(args, last)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ProtocolError
+
+    client = _service_client(args)
+    if client is None:
+        print("no endpoint: pass --endpoint or set REPRO_SERVICE")
+        return 2
+    try:
+        reply = client.cancel(args.job)
+    except ProtocolError as exc:
+        _print_service_error(exc)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach service at {client.endpoint}: {exc}")
+        return 2
+    _print_job_reply(reply)
+    _maybe_json(args, reply)
+    return 0
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     import json
 
@@ -612,6 +909,90 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-cell wall-clock deadline in seconds "
                         "(0 disables; default scales with --requests)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "journal", help="sweep-journal maintenance (docs/RESILIENCE.md)"
+    )
+    p.add_argument("action", choices=["stats", "compact"],
+                   help="stats: rows / torn lines / code salts; compact: "
+                        "atomically drop corrupt + duplicate lines")
+    p.add_argument("--journal", default="",
+                   help="journal path (default: <cache-root>/sweep-journal.jsonl)")
+    p.add_argument("--cache-dir", default="",
+                   help="cache root used for the default journal path")
+    p.add_argument("--prune-stale", action="store_true",
+                   help="with compact: also drop records journaled under "
+                        "other code versions (StaleJournalError remedy)")
+    p.set_defaults(fn=_cmd_journal)
+
+    def service_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--endpoint", default="",
+                       help="service endpoint, e.g. unix:/run/tw.sock or "
+                            "tcp:127.0.0.1:7733 (default: REPRO_SERVICE)")
+        p.add_argument("--tenant", default="default",
+                       help="tenant name for admission + fair queueing")
+        p.add_argument("--json", default="",
+                       help="also write the final reply as JSON here")
+
+    p = sub.add_parser(
+        "serve", help="run the sweep job server (docs/SERVICE.md)"
+    )
+    p.add_argument("--socket", default="",
+                   help="serve on this unix socket path")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind host (when no --socket)")
+    p.add_argument("--port", type=int, default=7733,
+                   help="TCP bind port (when no --socket)")
+    p.add_argument("--state-dir", default=".tetris-service",
+                   help="job + cell journals and default cache location")
+    p.add_argument("--cache-dir", default="",
+                   help="shared result-cache root (default: <state-dir>/cache)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="supervised worker processes for cell execution")
+    p.add_argument("--max-queued", type=int, default=512,
+                   help="admission limit: queued cells per tenant")
+    p.add_argument("--quantum", type=float, default=1.0,
+                   help="deficit-round-robin quantum (cells per round)")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip per-record journal fsync (tests only)")
+    p.add_argument("--drain", action="store_true",
+                   help="tell the running server (at --endpoint / "
+                        "REPRO_SERVICE) to finish in-flight cells and "
+                        "reject new submits with retry-after")
+    p.add_argument("--endpoint", default="",
+                   help="bind address (unix:PATH or tcp:HOST:PORT); "
+                        "with --drain, the endpoint to drain")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a grid to the service (docs/SERVICE.md)"
+    )
+    common(p)
+    p.add_argument("--schemes", nargs="+", default=list(COMPARED_SCHEMES))
+    p.add_argument("--watch", action="store_true",
+                   help="stream progress until the job finishes")
+    p.add_argument("--workers", type=int, default=1,
+                   help="workers for degraded in-process execution")
+    p.add_argument("--cache-dir", default="",
+                   help="cache root for degraded in-process execution")
+    service_common(p)
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("status", help="service / job status (docs/SERVICE.md)")
+    p.add_argument("job", nargs="?", default="",
+                   help="job ID (omit for a whole-server summary)")
+    service_common(p)
+    p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser("watch", help="stream job progress (docs/SERVICE.md)")
+    p.add_argument("job", help="job ID to watch")
+    service_common(p)
+    p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser("cancel", help="cancel a queued job (docs/SERVICE.md)")
+    p.add_argument("job", help="job ID to cancel")
+    service_common(p)
+    p.set_defaults(fn=_cmd_cancel)
 
     p = sub.add_parser(
         "cache", help="result-cache maintenance (docs/RESILIENCE.md)"

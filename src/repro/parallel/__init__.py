@@ -31,7 +31,11 @@ from repro.parallel.engine import (
     derive_cell_seeds,
     parallel_map,
 )
-from repro.parallel.journal import SweepJournal, journal_cell_key
+from repro.parallel.journal import (
+    StaleJournalError,
+    SweepJournal,
+    journal_cell_key,
+)
 from repro.parallel.resultcache import (
     CacheStats,
     ResultCache,
@@ -54,6 +58,7 @@ __all__ = [
     "CellError",
     "CellOutcome",
     "ResultCache",
+    "StaleJournalError",
     "RetryPolicy",
     "SweepCell",
     "SweepCellError",

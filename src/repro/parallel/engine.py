@@ -51,7 +51,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import SystemConfig, default_config
-from repro.parallel.journal import SweepJournal, journal_cell_key
+from repro.parallel.journal import (
+    StaleJournalError,
+    SweepJournal,
+    journal_cell_key,
+)
 from repro.parallel.resultcache import (
     ResultCache,
     cache_disabled_by_env,
@@ -65,6 +69,7 @@ from repro.trace.workloads import WORKLOAD_NAMES
 __all__ = [
     "CellError",
     "CellOutcome",
+    "PlannedCell",
     "SweepCell",
     "SweepCellError",
     "SweepEngine",
@@ -72,6 +77,7 @@ __all__ = [
     "SweepStats",
     "default_workers",
     "derive_cell_seeds",
+    "execute_cell_payload",
     "parallel_map",
 ]
 
@@ -152,6 +158,24 @@ class CellOutcome:
     error: CellError | None = None
     cached: bool = False
     resumed: bool = False              # replayed from the sweep journal
+
+
+@dataclass(frozen=True)
+class PlannedCell:
+    """One grid cell fully resolved for execution or content addressing.
+
+    Produced by :meth:`SweepEngine.plan`; the ``payload`` is exactly
+    what :func:`execute_cell_payload` (and the worker pool) consumes,
+    and the keys are the same content addresses :meth:`SweepEngine.run`
+    uses — so an external scheduler (``repro.service``) that plans via
+    the engine dedups and caches identically to a serial run.
+    """
+
+    index: int
+    cell: SweepCell
+    payload: tuple
+    cache_key: str | None      # None when the engine has no cache
+    journal_key: str           # code-salted journal content address
 
 
 class SweepCellError(RuntimeError):
@@ -341,6 +365,17 @@ def _run_cell(payload: tuple):
         )
 
 
+def execute_cell_payload(payload: tuple):
+    """Execute one :class:`PlannedCell` payload -> ``(idx, row | CellError)``.
+
+    Public, picklable entry point for external executors (the sweep
+    service's worker pool): running a planned payload here traverses
+    exactly the code a serial :meth:`SweepEngine.run` would, so the
+    resulting rows are byte-identical.
+    """
+    return _run_cell(payload)
+
+
 def _cell_retry_signal(value) -> str | None:
     """Supervisor value classifier: CellError rows are retryable failures."""
     return "exception" if isinstance(value[1], CellError) else None
@@ -477,13 +512,16 @@ class SweepEngine:
             f"{config.cpu.num_cores}:{cell.seed}"
         )
 
+    def _salt(self) -> str:
+        """Code-version salt shared by cache and journal addressing."""
+        return self.cache.salt if self.cache is not None else code_salt()
+
     def _journal_key(self, cell: SweepCell, config_json: str) -> str:
-        salt = self.cache.salt if self.cache is not None else code_salt()
         return journal_cell_key(
             config_json=config_json,
             trace_key=self._trace_key(cell, self.variants[cell.variant]),
             scheme=cell.scheme,
-            salt=salt,
+            salt=self._salt(),
         )
 
     def _journal_append(self, key: str, cell: SweepCell, row_dict: dict) -> None:
@@ -496,8 +534,63 @@ class SweepEngine:
                     "workload": cell.workload,
                     "seed": cell.seed,
                     "variant": cell.variant,
+                    # Stamping the salt lets a later resume distinguish
+                    # "journal from other sources" (StaleJournalError)
+                    # from "journal for a different grid".
+                    "salt": self._salt(),
                 },
             )
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        schemes: tuple[str, ...],
+        workloads: tuple[str, ...] = WORKLOAD_NAMES,
+        *,
+        seeds: int | tuple[int, ...] | None = None,
+    ) -> list[PlannedCell]:
+        """Resolve the grid into executable, content-addressed cells.
+
+        Each :class:`PlannedCell` carries the worker payload plus the
+        cache and journal keys :meth:`run` itself would compute, in grid
+        order.  The sweep service plans through this method so its
+        dedup, caching, and results are bit-identical to a serial run.
+        """
+        cells = self.grid(tuple(schemes), tuple(workloads), seeds=seeds)
+        config_json = {
+            name: cfg.canonical_json() for name, cfg in self.variants.items()
+        }
+        planned: list[PlannedCell] = []
+        for idx, cell in enumerate(cells):
+            cfg = config_json[cell.variant]
+            cache_key = (
+                self.cache.cell_key(
+                    config_json=cfg,
+                    trace_key=self._trace_key(cell, self.variants[cell.variant]),
+                    scheme=cell.scheme,
+                )
+                if self.cache is not None
+                else None
+            )
+            planned.append(
+                PlannedCell(
+                    index=idx,
+                    cell=cell,
+                    payload=(
+                        idx,
+                        cell.workload,
+                        cell.scheme,
+                        cell.seed,
+                        cell.variant,
+                        self.requests_per_core,
+                        cfg,
+                        self.traces.get(cell.workload),
+                    ),
+                    cache_key=cache_key,
+                    journal_key=self._journal_key(cell, cfg),
+                )
+            )
+        return planned
 
     # ------------------------------------------------------------------
     def run(
@@ -518,10 +611,8 @@ class SweepEngine:
 
         start = time.perf_counter()
         self.supervisor = None
-        cells = self.grid(tuple(schemes), tuple(workloads), seeds=seeds)
-        config_json = {
-            name: cfg.canonical_json() for name, cfg in self.variants.items()
-        }
+        planned = self.plan(tuple(schemes), tuple(workloads), seeds=seeds)
+        cells = [pc.cell for pc in planned]
         journaled: dict[str, dict] = {}
         if resume:
             if self.journal is None:
@@ -532,13 +623,9 @@ class SweepEngine:
         pending: list[tuple] = []       # worker payloads for cache misses
         pending_keys: dict[int, tuple[str | None, str | None]] = {}
         resumed = 0
-        for idx, cell in enumerate(cells):
-            jkey = (
-                self._journal_key(cell, config_json[cell.variant])
-                if self.journal is not None
-                else None
-            )
-            if jkey is not None and resume and jkey in journaled:
+        for pc in planned:
+            idx, cell, jkey = pc.index, pc.cell, pc.journal_key
+            if resume and jkey in journaled:
                 outcomes[idx] = CellOutcome(
                     cell,
                     row=ExperimentResult(**journaled[jkey]),
@@ -546,33 +633,33 @@ class SweepEngine:
                 )
                 resumed += 1
                 continue
-            key = None
-            if self.cache is not None:
-                key = self.cache.cell_key(
-                    config_json=config_json[cell.variant],
-                    trace_key=self._trace_key(cell, self.variants[cell.variant]),
-                    scheme=cell.scheme,
-                )
-                row_dict = self.cache.get(key)
+            if pc.cache_key is not None:
+                row_dict = self.cache.get(pc.cache_key)
                 if row_dict is not None:
                     outcomes[idx] = CellOutcome(
                         cell, row=ExperimentResult(**row_dict), cached=True
                     )
-                    if jkey is not None:
-                        self._journal_append(jkey, cell, row_dict)
+                    self._journal_append(jkey, cell, row_dict)
                     continue
-            pending_keys[idx] = (key, jkey)
-            pending.append(
-                (
-                    idx,
-                    cell.workload,
-                    cell.scheme,
-                    cell.seed,
-                    cell.variant,
-                    self.requests_per_core,
-                    config_json[cell.variant],
-                    self.traces.get(cell.workload),
-                )
+            pending_keys[idx] = (pc.cache_key, jkey)
+            pending.append(pc.payload)
+
+        if (
+            resume
+            and journaled
+            and planned
+            and resumed == 0
+            and self.journal.salts
+            and self._salt() not in self.journal.salts
+        ):
+            # Journal keys embed the code salt: after a source change
+            # every lookup would miss and the "resume" would silently
+            # re-execute the whole grid.  Fail loudly instead.
+            raise StaleJournalError(
+                f"stale journal (code changed); re-run without --resume "
+                f"or compact: {self.journal.path} was written under code "
+                f"salt(s) {sorted(self.journal.salts)} but the current "
+                f"sources hash to {self._salt()}"
             )
 
         for idx, result in self._execute(pending):

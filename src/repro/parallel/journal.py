@@ -35,11 +35,22 @@ from pathlib import Path
 
 __all__ = [
     "JOURNAL_FORMAT_VERSION",
+    "StaleJournalError",
     "SweepJournal",
     "journal_cell_key",
 ]
 
 JOURNAL_FORMAT_VERSION = 1
+
+
+class StaleJournalError(RuntimeError):
+    """A resume found a journal written under a different code salt.
+
+    Journal keys embed the code-version salt, so after any simulator
+    source change *every* lookup misses — silently re-executing the
+    whole grid while claiming to resume.  Raising makes the staleness
+    explicit; the caller chooses between a fresh run and compaction.
+    """
 
 
 def journal_cell_key(
@@ -69,6 +80,12 @@ class SweepJournal:
         self.appended = 0
         self.skipped_duplicates = 0
         self._seen: set[str] = set()
+        #: per-key meta of the last :meth:`load` (preserved by compact)
+        self.meta: dict[str, dict] = {}
+        #: code salts stamped in loaded/appended record meta — the
+        #: resume path uses these to tell "different grid" apart from
+        #: "journal written by different sources" (StaleJournalError)
+        self.salts: set[str] = set()
 
     # ------------------------------------------------------------------
     def load(self) -> dict[str, dict]:
@@ -102,6 +119,12 @@ class SweepJournal:
                 self.corrupt_lines += 1
                 continue
             rows[record["key"]] = record["row"]
+            meta = record.get("meta")
+            if isinstance(meta, dict):
+                self.meta[record["key"]] = meta
+                salt = meta.get("salt")
+                if isinstance(salt, str) and salt:
+                    self.salts.add(salt)
         self._seen.update(rows)
         return rows
 
@@ -138,20 +161,37 @@ class SweepJournal:
             return False
         self._seen.add(key)
         self.appended += 1
+        if meta:
+            self.meta[key] = dict(meta)
+            salt = meta.get("salt")
+            if isinstance(salt, str) and salt:
+                self.salts.add(salt)
         return True
 
     # ------------------------------------------------------------------
-    def compact(self) -> int:
+    def compact(self, *, keep_salts: set[str] | None = None) -> int:
         """Atomically rewrite the journal keeping only valid records.
 
         Returns the number of lines dropped (corrupt tails, duplicate
         keys).  The rewrite lands via ``os.replace`` so a crash during
         compaction leaves either the old or the new segment, never a
         torn one.
+
+        ``keep_salts`` additionally prunes records stamped with a code
+        salt outside the given set — records a resume under the current
+        sources could never match (the ``StaleJournalError`` remedy).
+        Unstamped records (pre-salt journals) are always kept.
         """
         rows = self.load()
         if not self.path.exists():
             return 0
+        if keep_salts is not None:
+            rows = {
+                key: row
+                for key, row in rows.items()
+                if self.meta.get(key, {}).get("salt") in keep_salts
+                or not self.meta.get(key, {}).get("salt")
+            }
         raw_lines = [
             ln
             for ln in self.path.read_text(encoding="utf-8").splitlines()
@@ -167,7 +207,7 @@ class SweepJournal:
                     fh.write(
                         json.dumps(
                             {"v": JOURNAL_FORMAT_VERSION, "key": key,
-                             "meta": {}, "row": row},
+                             "meta": self.meta.get(key, {}), "row": row},
                             sort_keys=True,
                         )
                         + "\n"
@@ -183,7 +223,49 @@ class SweepJournal:
                 pass  # best-effort cleanup of the temp segment
             return 0
         self.corrupt_lines = 0
+        # Rebuild the in-memory indexes to mirror the rewritten file, so
+        # a pruned key can be re-appended in this same process.
+        self._seen = set(rows)
+        self.meta = {k: v for k, v in self.meta.items() if k in rows}
+        self.salts = {
+            s
+            for m in self.meta.values()
+            if isinstance(s := m.get("salt"), str) and s
+        }
         return max(0, dropped)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One maintenance snapshot for ``tetris-write journal stats``.
+
+        Calls :meth:`load` so the numbers reflect the on-disk file, not
+        just what this process appended.
+        """
+        rows = self.load()
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        raw_lines = 0
+        try:
+            raw_lines = sum(
+                1
+                for ln in self.path.read_text(encoding="utf-8").splitlines()
+                if ln.strip()
+            )
+        except OSError:
+            pass
+        return {
+            "path": str(self.path),
+            "records": len(rows),
+            "lines": raw_lines,
+            "corrupt_lines": self.corrupt_lines,
+            "duplicate_lines": max(
+                0, raw_lines - self.corrupt_lines - len(rows)
+            ),
+            "bytes": size,
+            "salts": sorted(self.salts),
+        }
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

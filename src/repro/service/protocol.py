@@ -1,0 +1,187 @@
+"""Wire protocol of the sweep service: newline-delimited JSON frames.
+
+One frame is one JSON object on one line (``docs/SERVICE.md``).  Every
+frame carries ``"v": PROTOCOL_VERSION``; requests add a ``"verb"`` and
+responses either ``"ok": true`` plus verb-specific fields or
+``"ok": false`` plus a structured ``"error"`` object::
+
+    {"v": 1, "verb": "submit", "tenant": "alice", "grid": {...}}
+    {"v": 1, "ok": true, "job": "j1f3c...", "cells": 8}
+    {"v": 1, "ok": false,
+     "error": {"code": "admission-rejected",
+               "message": "tenant queue full", "retry_after_s": 1.5}}
+
+Design rules:
+
+* **Bounded frames** — a frame larger than :data:`MAX_FRAME_BYTES` is a
+  protocol violation (``frame-too-large``); the server answers with a
+  structured error and closes, because an over-long line means the
+  stream can no longer be trusted to be line-synchronized.
+* **Structured errors, never tracebacks** — every failure a client can
+  cause maps to a stable ``code`` from :data:`ERROR_CODES`; admission
+  and drain rejections carry ``retry_after_s`` so well-behaved clients
+  back off instead of hammering.
+* **Versioned** — a frame with the wrong ``v`` is rejected with
+  ``bad-version`` rather than mis-parsed, so protocol evolution is a
+  version bump, not a silent drift.
+
+This module is pure data (encode/decode/validate); it owns no sockets,
+so both the asyncio server and the synchronous client share it.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "ERROR_CODES",
+    "E_ADMISSION",
+    "E_BAD_FRAME",
+    "E_BAD_GRID",
+    "E_BAD_VERSION",
+    "E_DRAINING",
+    "E_FRAME_TOO_LARGE",
+    "E_INTERNAL",
+    "E_UNKNOWN_JOB",
+    "E_UNKNOWN_VERB",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "VERBS",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "ok_frame",
+    "request_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame ceiling in both directions.  Grid specs are small
+#: (names + ints); anything near this size is hostile or corrupt.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Verbs the server dispatches; anything else is ``unknown-verb``.
+VERBS = frozenset({"submit", "status", "watch", "cancel", "drain", "ping"})
+
+# Stable error codes (docs/SERVICE.md).  Clients switch on these, never
+# on message text.
+E_BAD_FRAME = "bad-frame"
+E_FRAME_TOO_LARGE = "frame-too-large"
+E_BAD_VERSION = "bad-version"
+E_UNKNOWN_VERB = "unknown-verb"
+E_BAD_GRID = "bad-grid"
+E_ADMISSION = "admission-rejected"
+E_DRAINING = "draining"
+E_UNKNOWN_JOB = "unknown-job"
+E_INTERNAL = "internal"
+
+ERROR_CODES = frozenset(
+    {
+        E_BAD_FRAME,
+        E_FRAME_TOO_LARGE,
+        E_BAD_VERSION,
+        E_UNKNOWN_VERB,
+        E_BAD_GRID,
+        E_ADMISSION,
+        E_DRAINING,
+        E_UNKNOWN_JOB,
+        E_INTERNAL,
+    }
+)
+
+
+class ProtocolError(Exception):
+    """A structured, client-visible protocol failure.
+
+    Raising one anywhere in a request handler turns into exactly one
+    error frame on the wire; ``retry_after_s`` (admission / draining
+    rejections) tells the client when resubmitting may succeed.
+    """
+
+    def __init__(
+        self, code: str, message: str, *, retry_after_s: float | None = None
+    ) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code: {code!r}")
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+    def to_frame(self) -> dict:
+        return error_frame(
+            self.code, self.message, retry_after_s=self.retry_after_s
+        )
+
+
+# ----------------------------------------------------------------------
+# Frame construction.
+# ----------------------------------------------------------------------
+def request_frame(verb: str, **fields) -> dict:
+    """A versioned request frame for ``verb``."""
+    return {"v": PROTOCOL_VERSION, "verb": verb, **fields}
+
+
+def ok_frame(**fields) -> dict:
+    """A versioned success response."""
+    return {"v": PROTOCOL_VERSION, "ok": True, **fields}
+
+
+def error_frame(
+    code: str, message: str, *, retry_after_s: float | None = None
+) -> dict:
+    """A versioned structured-error response."""
+    error: dict = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = float(retry_after_s)
+    return {"v": PROTOCOL_VERSION, "ok": False, "error": error}
+
+
+# ----------------------------------------------------------------------
+# Encode / decode.
+# ----------------------------------------------------------------------
+def encode_frame(frame: dict) -> bytes:
+    """Serialize one frame to its wire line (canonical key order)."""
+    line = (
+        json.dumps(frame, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        + b"\n"
+    )
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            E_FRAME_TOO_LARGE,
+            f"encoded frame is {len(line)} bytes "
+            f"(limit {MAX_FRAME_BYTES})",
+        )
+    return line
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse and validate one wire line into a frame dict.
+
+    Raises :class:`ProtocolError` (``bad-frame`` / ``frame-too-large`` /
+    ``bad-version``) on anything malformed; never lets a parse error
+    escape raw.
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            E_FRAME_TOO_LARGE,
+            f"frame is {len(line)} bytes (limit {MAX_FRAME_BYTES})",
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(E_BAD_FRAME, f"not a JSON line: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            E_BAD_FRAME, f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    if frame.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_BAD_VERSION,
+            f"protocol version {frame.get('v')!r} unsupported "
+            f"(speak v{PROTOCOL_VERSION})",
+        )
+    return frame

@@ -1,0 +1,30 @@
+"""Blocking calls inside ``async def`` that SL015 must flag.
+
+Every one of these parks the shared service event loop, freezing
+admission, watch streams, and draining for every tenant at once.
+"""
+
+import os
+import select
+import socket
+import subprocess
+import time
+
+
+async def handle_request(writer):
+    time.sleep(0.5)                                 # SL015: time.sleep
+    proc = subprocess.run(["sync"], check=False)    # SL015: subprocess.run
+    return proc.returncode
+
+
+async def persist_row(path, row):
+    with open(path, "a") as fh:                     # SL015: bare open
+        fh.write(row)
+        os.fsync(fh.fileno())                       # SL015: os.fsync
+    return path
+
+
+async def poll_upstream(host, port):
+    sock = socket.create_connection((host, port))   # SL015: sync connect
+    ready, _, _ = select.select([sock], [], [], 1)  # SL015: select.select
+    return bool(ready)

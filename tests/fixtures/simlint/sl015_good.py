@@ -1,0 +1,41 @@
+"""Async-hygiene patterns SL015 must accept.
+
+Blocking work routed off the event loop (executor threads, asyncio
+natives) and sync helpers that merely *contain* blocking calls are all
+fine — the loop itself never waits on them.
+"""
+
+import asyncio
+import os
+import time
+
+
+def _persist_row(path, row):
+    # Sync helper: blocking I/O is fine here, it runs on an executor.
+    with open(path, "a") as fh:
+        fh.write(row)
+        os.fsync(fh.fileno())
+
+
+async def handle_request(path, row):
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, _persist_row, path, row)
+    await asyncio.sleep(0.01)
+
+
+async def retry_with_backoff(attempt):
+    # Nested def: executes on whatever thread calls it, not this
+    # coroutine's await chain.
+    def backoff_s():
+        time.sleep(0)  # noqa: the nested body is out of SL015 scope
+        return 0.1 * attempt
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, backoff_s)
+
+
+async def open_stream(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.close()
+    await writer.wait_closed()
+    return reader

@@ -70,3 +70,90 @@ class TestCommands:
             "--workload", "dedup",
         ]) == 0
         assert "mean units" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    """The service verbs degrade gracefully without a server."""
+
+    def test_submit_degrades_to_in_process(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        code = main([
+            "submit", "--schemes", "dcw", "--workloads", "swaptions",
+            "--requests", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded mode" in out
+        assert "1/1 done" in out
+
+    def test_submit_json_artifact(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        artifact = tmp_path / "job.json"
+        code = main([
+            "submit", "--schemes", "dcw", "--workloads", "swaptions",
+            "--requests", "100", "--json", str(artifact),
+        ])
+        assert code == 0
+        reply = json.loads(artifact.read_text())
+        assert reply["state"] == "done"
+        assert len(reply["rows"]) == 1
+        assert reply["rows"][0]["scheme"] == "dcw"
+
+    @pytest.mark.parametrize("argv", [["status"], ["watch", "j0"], ["cancel", "j0"]])
+    def test_query_verbs_require_an_endpoint(self, argv, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        assert main(argv) == 2
+        assert "no endpoint" in capsys.readouterr().out
+
+    def test_unreachable_endpoint_is_a_clean_failure(self, capsys, tmp_path):
+        code = main([
+            "status", "--endpoint", f"unix:{tmp_path}/nope.sock",
+        ])
+        assert code == 2
+        assert "cannot reach service" in capsys.readouterr().out
+
+    def test_drain_requires_an_endpoint(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        assert main(["serve", "--drain"]) == 2
+        assert "no endpoint" in capsys.readouterr().out
+
+    def test_serve_binds_the_endpoint_flag(self, tmp_path):
+        """``serve --endpoint unix:PATH`` binds that socket (regression:
+        the flag was drain-only and serving fell back to the TCP default),
+        and a drain-triggered exit is clean — rc 0, no tracebacks."""
+        import json as _json
+        import os
+        import socket
+        import subprocess
+        import sys
+        import time
+
+        sock = tmp_path / "tw.sock"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--endpoint", f"unix:{sock}",
+             "--state-dir", str(tmp_path / "state"), "--no-fsync"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not sock.exists():
+                assert proc.poll() is None, proc.stdout.read()
+                assert time.monotonic() < deadline, "server never bound"
+                time.sleep(0.05)
+            with socket.socket(socket.AF_UNIX) as s:
+                s.connect(str(sock))
+                s.sendall(b'{"v": 1, "verb": "drain"}\n')
+                reply = _json.loads(s.makefile().readline())
+            assert reply["ok"] is True
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert f"unix:{sock}" in out
+        assert "Traceback" not in out

@@ -1,0 +1,473 @@
+"""Sweep service: tenancy, fairness, dedup, drain, and crash resume.
+
+The load-bearing guarantees (ISSUE 8):
+
+* two tenants submitting overlapping grids execute each unique cell
+  exactly once, and every job's rows are byte-identical to a serial
+  ``SweepEngine.run()`` of the same grid;
+* deficit round robin bounds inter-tenant unfairness by the quantum —
+  a big grid cannot starve a small one;
+* admission control rejects queue overflow with a structured
+  ``admission-rejected`` error carrying ``retry_after_s``, without
+  affecting other tenants;
+* ``drain`` finishes in-flight jobs and answers new submits with a
+  structured ``draining`` + ``retry_after_s`` rejection;
+* a server killed mid-job resumes from its journals re-executing zero
+  completed cells.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.parallel import ResultCache, SweepEngine
+from repro.service import GridSpec, ProtocolError, SweepService, job_id_for
+from repro.service.jobs import Job, JobStore
+from repro.service.protocol import (
+    E_ADMISSION,
+    E_DRAINING,
+    decode_frame,
+    encode_frame,
+    request_frame,
+)
+from repro.service.scheduler import CellWork, Scheduler
+
+REQUESTS = 60
+
+# Overlap: the tetris x vips cell appears in both grids.
+GRID_A = {
+    "schemes": ["dcw", "tetris"],
+    "workloads": ["dedup", "vips"],
+    "requests_per_core": REQUESTS,
+}
+GRID_B = {
+    "schemes": ["tetris"],
+    "workloads": ["vips", "ferret"],
+    "requests_per_core": REQUESTS,
+}
+GRID_SMALL = {
+    "schemes": ["dcw"],
+    "workloads": ["swaptions"],
+    "requests_per_core": REQUESTS,
+}
+
+
+def serial_row_bytes(grid: dict) -> list[str]:
+    """Canonical row serialization of a serial engine run of ``grid``."""
+    import dataclasses
+
+    spec = GridSpec.from_dict(grid)
+    res = SweepEngine(
+        requests_per_core=spec.requests_per_core,
+        root_seed=spec.seed,
+        workers=1,
+        cache=False,
+    ).run(spec.schemes, spec.workloads)
+    res.raise_errors()
+    return [json.dumps(dataclasses.asdict(r), sort_keys=True) for r in res.rows]
+
+
+def row_bytes(rows: list[dict]) -> list[str]:
+    return [json.dumps(r, sort_keys=True) for r in rows]
+
+
+async def make_service(tmp_path, **kw) -> SweepService:
+    kw.setdefault("cache", ResultCache(tmp_path / "cache"))
+    svc = SweepService(state_dir=tmp_path / "state", fsync=False, **kw)
+    await svc.start()
+    return svc
+
+
+async def rpc(sock_path, frame: dict) -> dict:
+    """One request frame over a fresh unix connection; one checked reply."""
+    reader, writer = await asyncio.open_unix_connection(str(sock_path))
+    writer.write(encode_frame(frame))
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    await writer.wait_closed()
+    return decode_frame(line)
+
+
+def submit_frame(tenant: str, grid: dict) -> dict:
+    return request_frame("submit", tenant=tenant, grid=grid)
+
+
+def slow_cells(monkeypatch, delay_s: float = 0.05):
+    """Patch cell execution with a floor latency (deterministic races)."""
+    import repro.service.scheduler as sched_mod
+
+    orig = sched_mod.execute_cell_payload
+
+    def slow(payload):
+        time.sleep(delay_s)
+        return orig(payload)
+
+    monkeypatch.setattr(sched_mod, "execute_cell_payload", slow)
+
+
+# ----------------------------------------------------------------------
+# Exactly-once execution + byte-identity across overlapping tenants.
+# ----------------------------------------------------------------------
+def test_two_tenants_overlap_exactly_once_and_byte_identical(tmp_path):
+    async def run():
+        svc = await make_service(tmp_path)
+        server = await svc.serve_unix(tmp_path / "s.sock")
+        try:
+            ra, rb = await asyncio.gather(
+                rpc(tmp_path / "s.sock", submit_frame("alice", GRID_A)),
+                rpc(tmp_path / "s.sock", submit_frame("bob", GRID_B)),
+            )
+            assert ra["ok"] and rb["ok"]
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            sa = await rpc(
+                tmp_path / "s.sock", request_frame("status", job=ra["job"])
+            )
+            sb = await rpc(
+                tmp_path / "s.sock", request_frame("status", job=rb["job"])
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.shutdown()
+        return svc, sa, sb
+
+    svc, sa, sb = asyncio.run(run())
+    assert sa["state"] == "done" and sb["state"] == "done"
+    assert not sa["errors"] and not sb["errors"]
+    # 4 + 2 cells with one overlap: exactly 5 unique executions, and the
+    # shared cell was served to its second tenant by dedup or cache.
+    counters = svc.scheduler.counter_values()
+    assert counters["cells_executed"] == 5
+    assert counters.get("cells_failed", 0) == 0
+    jobs = list(svc.jobs.values())
+    assert sum(j.executed_cells for j in jobs) == 5
+    assert sum(j.cached_cells + j.deduped_cells for j in jobs) == 1
+    # Every unique cell journaled exactly once.
+    assert len(svc.cell_journal.load()) == 5
+    # Rows byte-identical to a serial engine run of each grid.
+    assert row_bytes(sa["rows"]) == serial_row_bytes(GRID_A)
+    assert row_bytes(sb["rows"]) == serial_row_bytes(GRID_B)
+
+
+def test_workers_gt1_supervised_batch_byte_identical(tmp_path):
+    async def run():
+        svc = await make_service(tmp_path, workers=2)
+        try:
+            reply = await svc._dispatch(submit_frame("alice", GRID_A), None)
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 180)
+            return await svc._dispatch(
+                request_frame("status", job=reply["job"]), None
+            )
+        finally:
+            await svc.shutdown()
+
+    status = asyncio.run(run())
+    assert status["state"] == "done" and not status["errors"]
+    assert row_bytes(status["rows"]) == serial_row_bytes(GRID_A)
+
+
+# ----------------------------------------------------------------------
+# DRR fairness bound.
+# ----------------------------------------------------------------------
+def _queued(key: str, tenant: str) -> CellWork:
+    return CellWork(key=key, cache_key=None, payload=(0,), tenant=tenant)
+
+
+def test_drr_bounds_unfairness_by_the_quantum():
+    from repro.service.scheduler import TenantState
+
+    sched = Scheduler(cache=None, cell_journal=None, workers=1, quantum=1.0)
+    sched.tenants["big"] = TenantState("big")
+    sched.tenants["small"] = TenantState("small")
+    for i in range(8):
+        sched.tenants["big"].queue.append(_queued(f"b{i}", "big"))
+    for i in range(2):
+        sched.tenants["small"].queue.append(_queued(f"s{i}", "small"))
+    sched._active.extend(["big", "small"])
+
+    picks = [sched._select_batch(1)[0].tenant for _ in range(10)]
+    # While both tenants are backlogged, service alternates: the small
+    # tenant's 2 cells are done within the first 4 selections (within
+    # quantum=1 of equal share), despite an 8-cell backlog ahead of it.
+    assert picks[:4].count("small") == 2
+    assert picks[4:] == ["big"] * 6
+    assert all(not ts.queue for ts in sched.tenants.values())
+
+
+def test_drr_quantum_weights_throughput():
+    from repro.service.scheduler import TenantState
+
+    sched = Scheduler(cache=None, cell_journal=None, workers=1, quantum=0.5)
+    sched.tenants["a"] = TenantState("a")
+    sched.tenants["b"] = TenantState("b")
+    for i in range(6):
+        sched.tenants["a"].queue.append(_queued(f"a{i}", "a"))
+        sched.tenants["b"].queue.append(_queued(f"b{i}", "b"))
+    sched._active.extend(["a", "b"])
+    picks = [sched._select_batch(1)[0].tenant for _ in range(12)]
+    # Equal-quantum tenants stay within one cell of each other at every
+    # prefix of the service order.
+    for cut in range(1, 13):
+        served = picks[:cut]
+        assert abs(served.count("a") - served.count("b")) <= 1
+
+
+# ----------------------------------------------------------------------
+# Admission control.
+# ----------------------------------------------------------------------
+def test_admission_rejects_overflow_with_retry_after(tmp_path):
+    async def run():
+        svc = await make_service(tmp_path, max_queued_cells=2)
+        try:
+            with pytest.raises(ProtocolError) as excinfo:
+                await svc._dispatch(submit_frame("greedy", GRID_A), None)
+            # The rejected tenant left no partial state behind.
+            assert not svc.jobs
+            assert not svc.scheduler.inflight
+            # Another tenant's small submit is unaffected.
+            ok = await svc._dispatch(submit_frame("modest", GRID_SMALL), None)
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            return excinfo.value, ok
+        finally:
+            await svc.shutdown()
+
+    exc, ok = asyncio.run(run())
+    assert exc.code == E_ADMISSION
+    assert isinstance(exc.retry_after_s, float) and exc.retry_after_s >= 0.0
+    assert "limit 2" in exc.message
+    assert ok["ok"]
+
+
+# ----------------------------------------------------------------------
+# Drain: finish in-flight, reject new work with structured retry-after.
+# ----------------------------------------------------------------------
+def test_drain_finishes_inflight_and_rejects_new_submits(tmp_path, monkeypatch):
+    slow_cells(monkeypatch)
+
+    async def run():
+        svc = await make_service(tmp_path)
+        try:
+            accepted = await svc._dispatch(submit_frame("alice", GRID_A), None)
+            drain = await svc._dispatch(request_frame("drain"), None)
+            assert drain["draining"] is True
+            assert drain["jobs_pending"] == 1
+            with pytest.raises(ProtocolError) as excinfo:
+                await svc._dispatch(submit_frame("bob", GRID_B), None)
+            await asyncio.wait_for(svc.drained.wait(), 120)
+            status = await svc._dispatch(
+                request_frame("status", job=accepted["job"]), None
+            )
+            return excinfo.value, status
+        finally:
+            await svc.shutdown()
+
+    exc, status = asyncio.run(run())
+    assert exc.code == E_DRAINING
+    assert isinstance(exc.retry_after_s, float) and exc.retry_after_s >= 1.0
+    # The in-flight job finished completely and correctly.
+    assert status["state"] == "done" and not status["errors"]
+    assert row_bytes(status["rows"]) == serial_row_bytes(GRID_A)
+
+
+# ----------------------------------------------------------------------
+# Crash resume: zero re-execution of journaled cells.
+# ----------------------------------------------------------------------
+def test_restart_resumes_finished_job_with_zero_reexecution(tmp_path):
+    async def crash_run():
+        # A server that dies before the fire-and-forget "done" marker
+        # lands: the job journal says pending, the cell journal has all
+        # completions.
+        svc = await make_service(tmp_path)
+        svc.store.record_done = lambda job_id: None
+        try:
+            reply = await svc._dispatch(submit_frame("alice", GRID_A), None)
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            return reply["job"]
+        finally:
+            await svc.shutdown()
+
+    async def restart_run():
+        svc = await make_service(tmp_path)
+        try:
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            return svc, dict(svc.jobs)
+        finally:
+            await svc.shutdown()
+
+    job_id = asyncio.run(crash_run())
+    svc2, jobs = asyncio.run(restart_run())
+    assert list(jobs) == [job_id]
+    job = jobs[job_id]
+    assert job.state == "done"
+    counters = svc2.scheduler.counter_values()
+    assert counters.get("cells_executed", 0) == 0  # zero re-execution
+    assert counters["cells_cached"] == 4
+    assert row_bytes(job.ordered_rows()) == serial_row_bytes(GRID_A)
+
+
+def test_restart_resumes_partial_job_executing_only_missing_cells(tmp_path):
+    spec_full = GridSpec.from_dict(GRID_A)
+    cache = ResultCache(tmp_path / "cache")
+    state = tmp_path / "state"
+    state.mkdir()
+
+    async def resume():
+        svc = SweepService(
+            state_dir=state, cache=ResultCache(tmp_path / "cache"), fsync=False
+        )
+        await svc.start()
+        try:
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            return svc, dict(svc.jobs)
+        finally:
+            await svc.shutdown()
+
+    async def seed_half():
+        # First life of the server: the dcw half of the grid completes,
+        # then the process dies with the full 2x2 job accepted (its
+        # "submitted" marker journaled) but never planned.
+        svc = SweepService(state_dir=state, cache=cache, fsync=False)
+        await svc.start()
+        half = dict(GRID_A, schemes=["dcw"])
+        try:
+            await svc._dispatch(submit_frame("alice", half), None)
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+        finally:
+            await svc.shutdown()
+        job = Job(
+            job_id=job_id_for("alice", spec_full, svc.salt),
+            tenant="alice",
+            spec=spec_full,
+            planned=[],
+        )
+        JobStore(state / "jobs.jsonl", fsync=False).record_submitted(job)
+        return job.job_id
+
+    job_id = asyncio.run(seed_half())
+    svc2, jobs = asyncio.run(resume())
+    full_job = jobs[job_id]
+    assert full_job.state == "done"
+    # Only the two tetris cells were missing; the two dcw cells resumed
+    # from the journal without re-execution.
+    counters = svc2.scheduler.counter_values()
+    assert counters["cells_executed"] == 2
+    assert full_job.cached_cells == 2
+    assert row_bytes(full_job.ordered_rows()) == serial_row_bytes(GRID_A)
+
+
+# ----------------------------------------------------------------------
+# Idempotent resubmission, cancel, and watch streaming.
+# ----------------------------------------------------------------------
+def test_resubmitting_the_same_grid_is_idempotent(tmp_path):
+    async def run():
+        svc = await make_service(tmp_path)
+        try:
+            first = await svc._dispatch(submit_frame("alice", GRID_SMALL), None)
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            second = await svc._dispatch(submit_frame("alice", GRID_SMALL), None)
+            return svc, first, second
+        finally:
+            await svc.shutdown()
+
+    svc, first, second = asyncio.run(run())
+    assert second["job"] == first["job"]
+    assert second["resubmitted"] is True
+    assert second["state"] == "done"
+    assert svc.scheduler.counter_values()["cells_executed"] == 1
+
+
+def test_cancel_withdraws_queued_cells_and_streams_terminal_event(
+    tmp_path, monkeypatch
+):
+    slow_cells(monkeypatch)
+
+    async def run():
+        svc = await make_service(tmp_path)
+        try:
+            accepted = await svc._dispatch(submit_frame("alice", GRID_A), None)
+            cancelled = await svc._dispatch(
+                request_frame("cancel", job=accepted["job"]), None
+            )
+            status = await svc._dispatch(
+                request_frame("status", job=accepted["job"]), None
+            )
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            return svc, cancelled, status
+        finally:
+            await svc.shutdown()
+
+    svc, cancelled, status = asyncio.run(run())
+    assert cancelled["state"] == "cancelled"
+    assert cancelled["cancelled_cells"] >= 1
+    assert status["state"] == "cancelled"
+    assert svc.scheduler.counter_values()["jobs_cancelled"] == 1
+    # Cancel is terminal: a later completion of an executing cell must
+    # not flip the job back.
+    assert svc.jobs[cancelled["job"]].state == "cancelled"
+
+
+def test_watch_streams_progress_to_done(tmp_path, monkeypatch):
+    slow_cells(monkeypatch)
+
+    async def run():
+        svc = await make_service(tmp_path)
+        server = await svc.serve_unix(tmp_path / "w.sock")
+        try:
+            accepted = await rpc(
+                tmp_path / "w.sock", submit_frame("alice", GRID_SMALL)
+            )
+            reader, writer = await asyncio.open_unix_connection(
+                str(tmp_path / "w.sock")
+            )
+            writer.write(
+                encode_frame(request_frame("watch", job=accepted["job"]))
+            )
+            await writer.drain()
+            events = []
+            while True:
+                frame = decode_frame(await reader.readline())
+                events.append(frame)
+                if frame.get("state") in ("done", "cancelled"):
+                    break
+            writer.close()
+            await writer.wait_closed()
+            status = await rpc(
+                tmp_path / "w.sock", request_frame("status", job=accepted["job"])
+            )
+            return events, status
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.shutdown()
+
+    events, status = asyncio.run(run())
+    assert events[0]["event"] == "snapshot"
+    assert events[-1]["event"] == "done"
+    assert events[-1]["state"] == "done"
+    dones = [e["done"] for e in events if e.get("event") != "snapshot"]
+    assert dones == sorted(dones)  # progress is monotone
+    assert all("counters" in e for e in events[1:])
+    assert row_bytes(status["rows"]) == serial_row_bytes(GRID_SMALL)
+
+
+def test_status_summary_reports_tenants_and_counters(tmp_path):
+    async def run():
+        svc = await make_service(tmp_path)
+        try:
+            await svc._dispatch(submit_frame("alice", GRID_SMALL), None)
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            return await svc._dispatch(request_frame("status"), None)
+        finally:
+            await svc.shutdown()
+
+    summary = asyncio.run(run())
+    assert summary["draining"] is False
+    assert summary["workers"] == 1
+    assert len(summary["jobs"]) == 1
+    assert summary["counters"]["jobs_done"] == 1
+    assert "alice" in summary["tenants"]

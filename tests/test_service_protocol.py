@@ -1,0 +1,337 @@
+"""Service protocol robustness: the server must never die from input.
+
+Satellite (c) of ISSUE 8: malformed frames, truncated frames, oversized
+frames, unknown verbs, and mid-stream disconnects each produce either a
+structured error frame or a clean close — and none of them affect other
+tenants' jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.parallel import ResultCache
+from repro.service import SweepService
+from repro.service.client import parse_endpoint
+from repro.service.jobs import MAX_GRID_CELLS, GridSpec
+from repro.service.protocol import (
+    E_BAD_FRAME,
+    E_BAD_GRID,
+    E_BAD_VERSION,
+    E_FRAME_TOO_LARGE,
+    E_UNKNOWN_JOB,
+    E_UNKNOWN_VERB,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    request_frame,
+)
+
+GRID = {"schemes": ["dcw"], "workloads": ["swaptions"], "requests_per_core": 60}
+
+
+# ----------------------------------------------------------------------
+# Pure frame-layer units (no server).
+# ----------------------------------------------------------------------
+class TestFrames:
+    def test_roundtrip(self):
+        frame = request_frame("ping", extra=1)
+        assert decode_frame(encode_frame(frame)) == frame
+        assert frame["v"] == PROTOCOL_VERSION
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError) as e:
+            decode_frame(b"{not json}\n")
+        assert e.value.code == E_BAD_FRAME
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as e:
+            decode_frame(b"[1, 2, 3]\n")
+        assert e.value.code == E_BAD_FRAME
+
+    def test_decode_rejects_missing_version(self):
+        with pytest.raises(ProtocolError) as e:
+            decode_frame(b'{"verb": "ping"}\n')
+        assert e.value.code == E_BAD_VERSION
+
+    def test_decode_rejects_future_version(self):
+        with pytest.raises(ProtocolError) as e:
+            decode_frame(b'{"v": 99, "verb": "ping"}\n')
+        assert e.value.code == E_BAD_VERSION
+
+    def test_decode_rejects_oversized_line(self):
+        line = json.dumps({"v": 1, "pad": "x" * MAX_FRAME_BYTES}).encode()
+        with pytest.raises(ProtocolError) as e:
+            decode_frame(line)
+        assert e.value.code == E_FRAME_TOO_LARGE
+
+    def test_encode_rejects_oversized_frame(self):
+        with pytest.raises(ProtocolError) as e:
+            encode_frame(ok_frame(pad="x" * MAX_FRAME_BYTES))
+        assert e.value.code == E_FRAME_TOO_LARGE
+
+    def test_error_frame_carries_retry_after(self):
+        frame = error_frame("draining", "later", retry_after_s=2.5)
+        assert frame["error"]["retry_after_s"] == 2.5
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no-such-code", "boom")
+
+
+class TestEndpoints:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("unix:/run/tw.sock", ("unix", "/run/tw.sock")),
+            ("/run/tw.sock", ("unix", "/run/tw.sock")),
+            ("./tw.sock", ("unix", "./tw.sock")),
+            ("tcp:127.0.0.1:7733", ("tcp", ("127.0.0.1", 7733))),
+            ("localhost:7733", ("tcp", ("localhost", 7733))),
+        ],
+    )
+    def test_parse(self, spec, expected):
+        assert parse_endpoint(spec) == expected
+
+    @pytest.mark.parametrize("spec", ["", "tcp:nohost", "just-words"])
+    def test_parse_rejects(self, spec):
+        with pytest.raises(ValueError):
+            parse_endpoint(spec)
+
+
+class TestGridValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ProtocolError) as e:
+            GridSpec.from_dict(dict(GRID, schemes=["warp-drive"]))
+        assert e.value.code == E_BAD_GRID
+        assert "warp-drive" in e.value.message
+
+    def test_unknown_workload(self):
+        with pytest.raises(ProtocolError) as e:
+            GridSpec.from_dict(dict(GRID, workloads=["quake"]))
+        assert e.value.code == E_BAD_GRID
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            None,
+            [],
+            {},
+            {"schemes": [], "workloads": ["vips"]},
+            {"schemes": ["dcw"], "workloads": []},
+            {"schemes": ["dcw"], "workloads": ["vips"], "seed": -1},
+            {"schemes": ["dcw"], "workloads": ["vips"], "requests_per_core": 0},
+            {"schemes": ["dcw"], "workloads": ["vips"], "requests_per_core": True},
+            {"schemes": ["dcw"], "workloads": ["vips"], "typo_field": 1},
+        ],
+    )
+    def test_malformed_grids(self, doc):
+        with pytest.raises(ProtocolError) as e:
+            GridSpec.from_dict(doc)
+        assert e.value.code == E_BAD_GRID
+
+    def test_oversized_grid(self):
+        doc = {"schemes": ["dcw"] * 70, "workloads": ["vips"] * 70}
+        with pytest.raises(ProtocolError) as e:
+            GridSpec.from_dict(doc)
+        assert e.value.code == E_BAD_GRID
+        assert str(MAX_GRID_CELLS) in e.value.message
+
+
+# ----------------------------------------------------------------------
+# Live-socket abuse: structured error or clean close, never a crash.
+# ----------------------------------------------------------------------
+async def start(tmp_path):
+    svc = SweepService(
+        state_dir=tmp_path / "state",
+        cache=ResultCache(tmp_path / "cache"),
+        fsync=False,
+    )
+    server = await svc.serve_unix(tmp_path / "p.sock")
+    return svc, server
+
+
+async def finish(svc, server):
+    server.close()
+    await server.wait_closed()
+    await svc.shutdown()
+
+
+async def raw_exchange(sock_path, payload: bytes, n_replies: int = 1):
+    """Write raw bytes, read up to ``n_replies`` reply lines, then EOF."""
+    reader, writer = await asyncio.open_unix_connection(str(sock_path))
+    writer.write(payload)
+    await writer.drain()
+    replies = []
+    for _ in range(n_replies):
+        line = await asyncio.wait_for(reader.readline(), 30)
+        if not line:
+            break
+        replies.append(json.loads(line))
+    writer.close()
+    await writer.wait_closed()
+    return replies
+
+
+def error_code(frame: dict) -> str:
+    assert frame["ok"] is False
+    return frame["error"]["code"]
+
+
+def test_malformed_frame_gets_error_and_connection_survives(tmp_path):
+    async def run():
+        svc, server = await start(tmp_path)
+        try:
+            ping = encode_frame(request_frame("ping"))
+            replies = await raw_exchange(
+                tmp_path / "p.sock", b"this is not json\n" + ping, n_replies=2
+            )
+        finally:
+            await finish(svc, server)
+        return replies
+
+    replies = asyncio.run(run())
+    assert error_code(replies[0]) == E_BAD_FRAME
+    assert replies[1]["ok"] and replies[1]["pong"]  # same connection
+
+
+def test_bad_version_and_unknown_verb_are_structured_errors(tmp_path):
+    async def run():
+        svc, server = await start(tmp_path)
+        try:
+            r1 = await raw_exchange(tmp_path / "p.sock", b'{"verb": "ping"}\n')
+            r2 = await raw_exchange(
+                tmp_path / "p.sock", encode_frame({"v": 1, "verb": "explode"})
+            )
+            r3 = await raw_exchange(
+                tmp_path / "p.sock", encode_frame({"v": 1, "verb": 7})
+            )
+        finally:
+            await finish(svc, server)
+        return r1, r2, r3
+
+    r1, r2, r3 = asyncio.run(run())
+    assert error_code(r1[0]) == E_BAD_VERSION
+    assert error_code(r2[0]) == E_UNKNOWN_VERB
+    assert error_code(r3[0]) == E_UNKNOWN_VERB
+
+
+def test_oversized_frame_errors_then_closes(tmp_path):
+    async def run():
+        svc, server = await start(tmp_path)
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                str(tmp_path / "p.sock")
+            )
+            writer.write(b"x" * (MAX_FRAME_BYTES + 1024) + b"\n")
+            await writer.drain()
+            reply = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            eof = await asyncio.wait_for(reader.readline(), 30)
+            writer.close()
+            await writer.wait_closed()
+            # The server is still alive for new connections.
+            after = await raw_exchange(
+                tmp_path / "p.sock", encode_frame(request_frame("ping"))
+            )
+        finally:
+            await finish(svc, server)
+        return reply, eof, after
+
+    reply, eof, after = asyncio.run(run())
+    assert error_code(reply) == E_FRAME_TOO_LARGE
+    assert eof == b""  # clean close after the error frame
+    assert after[0]["pong"]
+
+
+def test_truncated_frame_then_disconnect_leaves_server_healthy(tmp_path):
+    async def run():
+        svc, server = await start(tmp_path)
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                str(tmp_path / "p.sock")
+            )
+            writer.write(b'{"v": 1, "verb": "sub')  # no newline: torn frame
+            await writer.drain()
+            writer.close()  # abrupt disconnect mid-frame
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+            after = await raw_exchange(
+                tmp_path / "p.sock", encode_frame(request_frame("ping"))
+            )
+        finally:
+            await finish(svc, server)
+        return after
+
+    after = asyncio.run(run())
+    assert after[0]["pong"]
+
+
+def test_unknown_job_is_a_structured_error(tmp_path):
+    async def run():
+        svc, server = await start(tmp_path)
+        try:
+            out = []
+            for verb in ("status", "watch", "cancel"):
+                r = await raw_exchange(
+                    tmp_path / "p.sock",
+                    encode_frame(request_frame(verb, job="j0000000000000000")),
+                )
+                out.append(r[0])
+        finally:
+            await finish(svc, server)
+        return out
+
+    for reply in asyncio.run(run()):
+        assert error_code(reply) == E_UNKNOWN_JOB
+
+
+def test_abuse_does_not_affect_another_tenants_job(tmp_path):
+    async def run():
+        svc, server = await start(tmp_path)
+        try:
+            submit = encode_frame(
+                request_frame("submit", tenant="victim", grid=GRID)
+            )
+            accepted = (await raw_exchange(tmp_path / "p.sock", submit))[0]
+            # Attacker hammers the server with garbage while the
+            # victim's job runs.
+            for payload in (
+                b"\x00\xff\xfe garbage\n",
+                b'{"v": 1, "verb": "nope"}\n',
+                b'{"v": 1}\n',
+                b'{"v": 1, "verb": "submit", "grid": {"schemes": 1}}\n',
+            ):
+                await raw_exchange(tmp_path / "p.sock", payload)
+            # Mid-watch disconnect on the victim's own job.
+            reader, writer = await asyncio.open_unix_connection(
+                str(tmp_path / "p.sock")
+            )
+            writer.write(
+                encode_frame(request_frame("watch", job=accepted["job"]))
+            )
+            await writer.drain()
+            await asyncio.wait_for(reader.readline(), 30)  # snapshot
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.wait_for(svc.scheduler.wait_idle(), 120)
+            status = (
+                await raw_exchange(
+                    tmp_path / "p.sock",
+                    encode_frame(request_frame("status", job=accepted["job"])),
+                )
+            )[0]
+        finally:
+            await finish(svc, server)
+        return status
+
+    status = asyncio.run(run())
+    assert status["state"] == "done"
+    assert status["done"] == status["total"] == 1
+    assert not status["errors"]

@@ -52,6 +52,7 @@ FIXTURE_MATRIX = [
     ("SL010", "repro.oracle.analytic", 5),
     ("SL011", "repro.core.fixture", 8),
     ("SL014", "repro.experiments.fixture", 5),
+    ("SL015", "repro.service.fixture", 6),
 ]
 
 # Project-level rules lint a directory mini-project (with its own
@@ -173,6 +174,30 @@ def test_sl014_exempts_cli_and_the_supervisor_module():
     assert "SL014" not in rules_fired(lint_source(src, module="benchmarks.bench_x"))
 
 
+def test_sl015_scoped_to_the_service_package():
+    src = (FIXTURES / "sl015_bad.py").read_text()
+    assert "SL015" in rules_fired(lint_source(src, module="repro.service.server"))
+    # Blocking calls in sync code elsewhere are other rules' business.
+    assert "SL015" not in rules_fired(lint_source(src, module="repro.parallel.engine"))
+    assert "SL015" not in rules_fired(lint_source(src, module="repro.cli"))
+    assert "SL015" not in rules_fired(lint_source(src, module="tests.helpers"))
+
+
+def test_sl015_ignores_nested_defs_and_sync_functions():
+    src = (
+        "import time\n"
+        "def sync_helper():\n"
+        "    time.sleep(1)\n"  # sync function: out of scope
+        "async def dispatch():\n"
+        "    def backoff():\n"
+        "        time.sleep(1)\n"  # nested def: runs off-loop
+        "    return backoff\n"
+    )
+    assert "SL015" not in rules_fired(lint_source(src, module="repro.service.x"))
+    src_bad = "import time\nasync def dispatch():\n    time.sleep(1)\n"
+    assert "SL015" in rules_fired(lint_source(src_bad, module="repro.service.x"))
+
+
 def test_sl009_quiet_without_pool_submissions():
     # Module-level mutable state alone is not a finding — only when a
     # pool worker consumes it.
@@ -282,13 +307,14 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_fourteen():
+def test_cli_list_rules_names_all_fifteen():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
     assert listed == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
         "SL008", "SL009", "SL010", "SL011", "SL012", "SL013", "SL014",
+        "SL015",
     }
 
 

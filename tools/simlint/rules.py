@@ -1,4 +1,4 @@
-"""simlint rules SL001–SL014, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL015, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
@@ -40,6 +40,10 @@ SL014  supervised parallelism — no bare ``multiprocessing.Pool`` /
        ``imap``-family dispatch in ``repro.*``; sweeps must go through
        ``repro.parallel.supervisor.WorkerSupervisor`` (``repro.cli``
        and the supervisor itself exempt)
+SL015  async hygiene — no blocking calls (``time.sleep``,
+       ``subprocess.*``, sync socket/select waits, ``os.fsync``, bare
+       ``open``) inside ``async def`` in ``repro.service``; blocking
+       work goes through ``loop.run_in_executor``
 ====== ==============================================================
 """
 
@@ -74,6 +78,7 @@ __all__ = [
     "ArchitectureContractRule",
     "ApiDriftRule",
     "UnsupervisedPoolRule",
+    "BlockingAsyncCallRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -1661,3 +1666,90 @@ class UnsupervisedPoolRule(LintRule):
                 "repro.parallel.WorkerSupervisor / SweepEngine / "
                 "parallel_map instead",
             )
+
+
+# ----------------------------------------------------------------------
+# SL015 — async hygiene: no blocking calls on the service event loop.
+# ----------------------------------------------------------------------
+class BlockingAsyncCallRule(LintRule):
+    """Blocking calls inside ``async def`` stall every tenant at once.
+
+    ``repro.service`` runs one asyncio event loop for *all* tenants: the
+    accept loop, every connection handler, every ``watch`` stream, and
+    the dispatch loop share it.  A single blocking call inside an
+    ``async def`` — ``time.sleep``, a ``subprocess`` wait, a sync socket
+    connect, ``select.select``, ``os.fsync``, a bare ``open()`` — parks
+    the whole loop, so one tenant's slow disk or dead peer freezes
+    admission, progress streaming, and draining for everyone.  That is
+    exactly the isolation the service exists to provide.
+
+    Blocking work belongs off-loop: ``await asyncio.sleep`` for delays,
+    ``loop.run_in_executor`` for file/cache/journal I/O (the pattern
+    every ``repro.service`` module already uses), and asyncio-native
+    stream APIs for sockets.  Sync helpers *called through* an executor
+    are fine — the rule only looks inside ``async def`` bodies and does
+    not descend into nested ``def``/``lambda`` (those run wherever they
+    are invoked, typically on an executor thread).
+    """
+
+    id = "SL015"
+    title = "blocking call inside async def stalls the service event loop"
+    node_types = (ast.AsyncFunctionDef,)
+
+    _BLOCKED_CALLS = {
+        "time.sleep": "await asyncio.sleep(...) instead",
+        "subprocess.run": "run it via loop.run_in_executor or "
+        "asyncio.create_subprocess_exec",
+        "subprocess.call": "use asyncio.create_subprocess_exec",
+        "subprocess.check_call": "use asyncio.create_subprocess_exec",
+        "subprocess.check_output": "use asyncio.create_subprocess_exec",
+        "subprocess.Popen": "use asyncio.create_subprocess_exec",
+        "socket.create_connection": "use asyncio.open_connection",
+        "select.select": "await the streams instead of polling them",
+        "os.fsync": "fsync via loop.run_in_executor (journal writes "
+        "already do)",
+    }
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro.service")
+
+    @staticmethod
+    def _body_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+        """Calls lexically on this coroutine's own execution path.
+
+        Nested ``def``/``async def``/``lambda`` bodies are skipped: they
+        execute wherever they are *called* (an executor thread, another
+        task), not on this coroutine's await chain.  Nested async defs
+        are still checked — the engine dispatches them as their own
+        ``AsyncFunctionDef`` nodes.
+        """
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(
+        self, node: ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> Iterator[LintFinding]:
+        for call in self._body_calls(node):
+            resolved = ctx.resolve(call.func)
+            hint = self._BLOCKED_CALLS.get(resolved or "")
+            if hint is not None:
+                yield self.finding(
+                    call,
+                    ctx,
+                    f"{resolved}() blocks the shared event loop inside "
+                    f"async def {node.name}; {hint}",
+                )
+            elif isinstance(call.func, ast.Name) and call.func.id == "open":
+                yield self.finding(
+                    call,
+                    ctx,
+                    f"open() blocks the shared event loop inside async "
+                    f"def {node.name}; do file I/O in a sync helper via "
+                    "loop.run_in_executor",
+                )
