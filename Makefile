@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint verify oracle bench bench-quick bench-service faults trace all
+.PHONY: test lint verify oracle bench bench-quick bench-fastpath bench-service faults trace all
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -21,8 +21,11 @@ oracle:          ## differential + metamorphic oracle run (docs/ORACLE.md)
 bench:           ## paper-figure benches (prints + writes benchmarks/out/)
 	$(PYTHON) -m pytest benchmarks/ -q
 
-bench-quick:     ## pinned small sweep -> BENCH_sweep.json perf baseline
+bench-quick:     ## full Fig 11-14 grid, DES + fastpath -> BENCH_sweep.json
 	$(PYTHON) benchmarks/quick_sweep.py
+
+bench-fastpath:  ## fastpath/vector speedup gates -> BENCH_fastpath.json
+	$(PYTHON) benchmarks/bench_fastpath.py
 
 bench-service:   ## pinned two-tenant server run -> BENCH_service.json
 	$(PYTHON) benchmarks/bench_service.py

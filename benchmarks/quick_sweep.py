@@ -1,11 +1,25 @@
-"""``make bench-quick``: a pinned small sweep -> ``BENCH_sweep.json``.
+"""``make bench-quick``: the full Fig 11-14 grid -> ``BENCH_sweep.json``.
 
-Emits a machine-readable perf baseline so future PRs have a trajectory
-to compare against: wall-clock per cell, DES events per second (the
-hot-path metric the Event/LRU tuning moves), and the warm-run cache hit
-rate.  The grid is pinned (workloads, schemes, requests, seed) so the
-numbers are comparable across commits; the cache store is a throwaway
-temp directory so results never alias the user's store.
+Runs the paper's full comparison grid (all eight PARSEC workloads x the
+baseline + four compared schemes) twice through one shared result store:
+
+1. **DES phase** — ``fastpath="off"``: every cell goes through the
+   discrete-event simulator.  This is the reference wall clock and the
+   source of the DES events/s hot-path metric.
+2. **Fastpath phase** — ``fastpath="auto"``: the oracle-certified
+   analytic lane prices every in-envelope cell; the seeded differential
+   recheck re-runs a sample of them through the DES.  The shared store
+   means those recheck rows are cache hits from phase 1, so the phase
+   wall clock is the analytic lane's own cost.
+
+The emitted ``BENCH_sweep.json`` carries the per-lane breakdown and the
+headline ``speedup_vs_des`` ratio; the process exits non-zero if the
+fastpath misses the >= 10x contract, any recheck sample diverges, or a
+cell falls out of the envelope at the paper's operating point.
+
+The grid is pinned (workloads, schemes, requests, seed) so the numbers
+are comparable across commits; the cache store is a throwaway temp
+directory so results never alias the user's store.
 
 Run from the repo root::
 
@@ -21,30 +35,37 @@ import tempfile
 from pathlib import Path
 
 from repro.parallel import ResultCache, SweepEngine, code_salt
+from repro.schemes import COMPARED_SCHEMES
+from repro.trace.workloads import WORKLOAD_NAMES
 
 # Pinned grid — change it and the baseline stops being comparable.
-WORKLOADS = ("dedup", "vips")
-SCHEMES = ("dcw", "three_stage", "tetris")
-REQUESTS = 600
+WORKLOADS = tuple(WORKLOAD_NAMES)
+SCHEMES = ("dcw",) + tuple(COMPARED_SCHEMES)
+REQUESTS = 4000
 SEED = 20160816
-WORKERS = 2
+WORKERS = 1
+
+MIN_SPEEDUP = 10.0
 
 
 def main(out_path: str = "BENCH_sweep.json") -> int:
     with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
         store = Path(tmp) / "store"
-        cold = SweepEngine(
+        cert = Path(tmp) / "certificate.json"
+        des = SweepEngine(
             requests_per_core=REQUESTS, root_seed=SEED, workers=WORKERS,
-            cache=ResultCache(store),
+            cache=ResultCache(store), fastpath="off",
         ).run(SCHEMES, WORKLOADS)
-        cold.raise_errors()
-        warm = SweepEngine(
+        des.raise_errors()
+        fast = SweepEngine(
             requests_per_core=REQUESTS, root_seed=SEED, workers=WORKERS,
-            cache=ResultCache(store),
+            cache=ResultCache(store), fastpath="auto",
+            certificate_path=cert,
         ).run(SCHEMES, WORKLOADS)
-        warm.raise_errors()
+        fast.raise_errors()
 
-    total_events = sum(r.events for r in cold.rows)
+    total_events = sum(r.events for r in des.rows)
+    speedup = des.stats.wall_s / fast.stats.wall_s
     doc = {
         "grid": {
             "workloads": list(WORKLOADS),
@@ -55,32 +76,52 @@ def main(out_path: str = "BENCH_sweep.json") -> int:
         },
         "host": {"cpu_count": os.cpu_count()},
         "code_version": code_salt()[:16],
-        "cells": cold.stats.cells,
-        "cold": {
-            "wall_s": round(cold.stats.wall_s, 4),
-            "wall_s_per_cell": round(cold.stats.wall_s / cold.stats.cells, 4),
+        "cells": des.stats.cells,
+        "des": {
+            "wall_s": round(des.stats.wall_s, 4),
+            "wall_s_per_cell": round(des.stats.wall_s / des.stats.cells, 4),
             "des_events": total_events,
-            "events_per_sec": round(total_events / cold.stats.wall_s, 1),
+            "events_per_sec": round(total_events / des.stats.wall_s, 1),
         },
-        "warm": {
-            "wall_s": round(warm.stats.wall_s, 4),
-            "cache_hit_rate": round(
-                warm.stats.cache_hits / warm.stats.cells, 4
+        "fastpath": {
+            "wall_s": round(fast.stats.wall_s, 4),
+            "wall_s_per_cell": round(
+                fast.stats.wall_s / fast.stats.cells, 4
             ),
-            "des_invocations": warm.stats.executed,
+            "lanes": {
+                "fastpath": fast.stats.fastpath_cells,
+                "des": fast.stats.des_cells,
+            },
+            "recheck_samples": fast.stats.recheck_samples,
+            "recheck_divergences": fast.stats.recheck_divergences,
+            "speedup_vs_des": round(speedup, 2),
         },
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {out_path}: "
-          f"{doc['cold']['wall_s_per_cell']}s/cell cold, "
-          f"{doc['cold']['events_per_sec']:,.0f} events/s, "
-          f"warm hit rate {doc['warm']['cache_hit_rate']:.0%}")
-    if warm.stats.executed != 0:
-        print("ERROR: warm re-run invoked the DES", file=sys.stderr)
-        return 1
-    return 0
+          f"DES {doc['des']['wall_s']}s "
+          f"({doc['des']['events_per_sec']:,.0f} events/s), "
+          f"fastpath {doc['fastpath']['wall_s']}s "
+          f"({doc['fastpath']['lanes']['fastpath']}/{doc['cells']} cells "
+          f"analytic, {doc['fastpath']['recheck_samples']} rechecked, "
+          f"{doc['fastpath']['recheck_divergences']} divergences) "
+          f"-> {speedup:.1f}x")
+    failed = False
+    if fast.stats.fastpath_cells != fast.stats.cells:
+        print("ERROR: auto mode left cells outside the envelope at the "
+              "paper's operating point", file=sys.stderr)
+        failed = True
+    if fast.stats.recheck_divergences != 0:
+        print("ERROR: differential recheck diverged from the DES",
+              file=sys.stderr)
+        failed = True
+    if speedup < MIN_SPEEDUP:
+        print(f"ERROR: fastpath speedup {speedup:.1f}x is below the "
+              f"{MIN_SPEEDUP:.0f}x contract", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -339,6 +339,10 @@ def _print_cache_report(report: dict) -> None:
                     [f"entries[{scheme}]", n]
                     for scheme, n in report["by_scheme"].items()
                 ],
+                *[
+                    [f"lane[{lane}]", n]
+                    for lane, n in report.get("by_lane", {}).items()
+                ],
             ],
             title="Result cache report",
         )
@@ -412,6 +416,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retry = RetryPolicy(max_retries=max(0, args.max_retries))
 
     schemes = tuple(dict.fromkeys([BASELINE_SCHEME, *args.schemes]))
+    fastpath_kwargs = {}
+    if args.recheck is not None:
+        fastpath_kwargs["recheck_fraction"] = args.recheck
     engine = SweepEngine(
         requests_per_core=args.requests,
         root_seed=args.seed,
@@ -421,6 +428,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         journal=journal_path,
         retry=retry,
         cell_deadline_s=args.cell_deadline,
+        fastpath=args.fastpath,
+        certificate_path=args.certificate or None,
+        **fastpath_kwargs,
     )
     sweep = engine.run(schemes, tuple(args.workloads), resume=args.resume)
     base = {
@@ -458,12 +468,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({hit_pct:.0f}% hits), {s.resumed} resumed, {s.errors} errors, "
         f"{s.workers} workers, {s.wall_s:.2f}s"
     )
+    print(
+        f"lanes: {s.fastpath_cells} fastpath, {s.des_cells} DES, "
+        f"{s.recheck_samples} recheck samples, "
+        f"{s.recheck_divergences} divergences; kernels: "
+        f"{s.vectorized_kernel_calls} vectorized, "
+        f"{s.scalar_kernel_calls} scalar"
+    )
     if s.retries or s.timeouts or s.worker_deaths or s.serial_cells:
         print(
             f"supervisor: {s.retries} retries, {s.timeouts} timeouts, "
             f"{s.worker_deaths} worker deaths, {s.replacements} "
             f"replacements, {s.serial_cells} serial-fallback cells"
         )
+    if args.certificate:
+        print(f"wrote lane certificate to {args.certificate}")
     if args.json:
         import dataclasses
 
@@ -471,6 +490,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "stats": s.to_dict(),
             "rows": [dataclasses.asdict(r) for r in sweep.rows],
             "errors": [dataclasses.asdict(e) for e in sweep.errors],
+            "certificate": sweep.certificate,
         }
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
@@ -908,6 +928,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cell-deadline", type=float, default=None,
                    help="per-cell wall-clock deadline in seconds "
                         "(0 disables; default scales with --requests)")
+    p.add_argument("--fastpath", default="auto", choices=["auto", "off", "force"],
+                   help="analytic execution lane: auto routes envelope cells "
+                        "through the oracle-certified pricer, off is DES "
+                        "everywhere, force errors on out-of-envelope cells "
+                        "(docs/PERFORMANCE.md)")
+    p.add_argument("--recheck", type=float, default=None, metavar="FRACTION",
+                   help="fraction of fastpath cells differentially re-run "
+                        "through the DES (default 0.02, min 1 sample; "
+                        "docs/ORACLE.md)")
+    p.add_argument("--certificate", default="sweep-certificate.json",
+                   help="write the per-run lane certificate here "
+                        "('' disables; docs/ORACLE.md)")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(

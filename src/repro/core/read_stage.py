@@ -10,7 +10,10 @@ actually be programmed.  After the choice, ``N1`` counts cells going
 write-0); those two vectors are all the analysis stage needs.
 
 Everything is vectorized over the data units of a cache line (and, for the
-trace pre-computation path, over *all* writes of a trace at once).
+trace pre-computation path, over *all* writes of a trace at once).  A
+pure-Python scalar reference path — bit-identical, selected process-wide
+by ``REPRO_NO_VECTOR=1`` — backs every vectorized kernel (see
+:mod:`repro.util.kernelstats`).
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util import kernelstats
 from repro.util.bits import popcount64
 
 __all__ = ["ReadStageResult", "read_stage", "read_stage_batch", "cost_aware_flip"]
@@ -94,6 +98,17 @@ def read_stage(
     if not (old_physical.shape == new_logical.shape == old_flip.shape):
         raise ValueError("old/new/flip arrays must have matching shapes")
 
+    if kernelstats.use_scalar():
+        kernelstats.record("scalar")
+        return _read_stage_scalar(
+            old_physical,
+            old_flip,
+            new_logical,
+            unit_bits=unit_bits,
+            count_flip_bit=count_flip_bit,
+        )
+    kernelstats.record("vectorized")
+
     mask = _ONES if unit_bits == 64 else _U64((1 << unit_bits) - 1)
 
     straight = new_logical & mask  # encode as (D, 0)
@@ -130,6 +145,52 @@ def read_stage(
     return ReadStageResult(flip=flip, physical=physical, n_set=n_set, n_reset=n_reset)
 
 
+def _read_stage_scalar(
+    old_physical: np.ndarray,
+    old_flip: np.ndarray,
+    new_logical: np.ndarray,
+    *,
+    unit_bits: int,
+    count_flip_bit: bool,
+) -> ReadStageResult:
+    """Pure-Python Algorithm 1 — the vectorized kernel's reference.
+
+    Operates on builtin ints per data unit; must stay bit-identical to
+    the ufunc path (property-tested in ``tests/test_fastpath.py``).
+    """
+    mask = (1 << unit_bits) - 1
+    threshold = (unit_bits + 1) // 2
+    n = old_physical.shape[0]
+    flip = np.zeros(n, dtype=bool)
+    physical = np.zeros(n, dtype=_U64)
+    n_set = np.zeros(n, dtype=np.int64)
+    n_reset = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        old = int(old_physical[i]) & mask
+        straight = int(new_logical[i]) & mask
+        flipped = straight ^ mask
+        tag = bool(old_flip[i])
+        dist_straight = (old ^ straight).bit_count() + int(tag)
+        f = dist_straight > threshold
+        phys = flipped if f else straight
+        diff = old ^ phys
+        ns = (diff & phys).bit_count()
+        nr = (diff & old).bit_count()
+        if count_flip_bit and f != tag:
+            if f:
+                ns += 1
+            else:
+                nr += 1
+        flip[i] = f
+        physical[i] = phys
+        n_set[i] = ns
+        n_reset[i] = nr
+    assert int((n_set + n_reset).max(initial=0)) <= unit_bits // 2 + 1, (
+        "flip rule violated: more than half the cells would be programmed"
+    )
+    return ReadStageResult(flip=flip, physical=physical, n_set=n_set, n_reset=n_reset)
+
+
 def read_stage_batch(
     old_physical: np.ndarray,
     old_flip: np.ndarray,
@@ -150,6 +211,27 @@ def read_stage_batch(
     if old_physical.ndim != 2:
         raise ValueError("batch read stage expects (n_writes, units) matrices")
 
+    if kernelstats.use_scalar():
+        kernelstats.record("scalar")
+        rows = [
+            _read_stage_scalar(
+                old_physical[w],
+                old_flip[w],
+                new_logical[w],
+                unit_bits=unit_bits,
+                count_flip_bit=False,
+            )
+            for w in range(old_physical.shape[0])
+        ]
+        shape = old_physical.shape
+        return ReadStageResult(
+            flip=np.array([r.flip for r in rows], dtype=bool).reshape(shape),
+            physical=np.array([r.physical for r in rows], dtype=_U64).reshape(shape),
+            n_set=np.array([r.n_set for r in rows], dtype=np.int64).reshape(shape),
+            n_reset=np.array([r.n_reset for r in rows], dtype=np.int64).reshape(shape),
+        )
+    kernelstats.record("vectorized")
+
     mask = _ONES if unit_bits == 64 else _U64((1 << unit_bits) - 1)
     straight = new_logical & mask
     flipped = ~new_logical & mask
@@ -167,6 +249,11 @@ def read_stage_batch(
 
 def popcount_line(units: np.ndarray) -> int:
     """Convenience: total 1-bits across a line's data units."""
+    if kernelstats.use_scalar():
+        kernelstats.record("scalar")
+        flat = np.atleast_1d(np.asarray(units, dtype=_U64))
+        return sum(int(u).bit_count() for u in flat)
+    kernelstats.record("vectorized")
     return int(np.asarray(popcount64(units)).sum())
 
 

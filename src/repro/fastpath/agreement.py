@@ -1,0 +1,74 @@
+"""Row-agreement policy for the differential recheck.
+
+The fastpath is a *model* of the DES, not a re-implementation: pricing
+fields (``mean_write_units``, ``mean_write_energy``) must match exactly
+— both lanes compute them from the same tables — while system metrics
+(latencies, IPC, runtime) carry modelling error with measured bounds
+(see docs/PERFORMANCE.md).  The tolerance table below is those measured
+errors plus margin; a fastpath row outside a band against its DES
+re-run is a **divergence** — a certificate-visible event that fails CI.
+
+``forwarded_reads`` and ``events`` are informational: the model counts
+forwarding slightly differently inside drain windows, and reports
+``events = 0`` by definition, so neither participates in agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FIELD_TOLERANCES",
+    "FieldTolerance",
+    "compare_rows",
+]
+
+
+@dataclass(frozen=True)
+class FieldTolerance:
+    """Acceptance band for one row field: ``|a-b| <= rel*|b| + abs``."""
+
+    field: str
+    rel: float
+    abs: float = 0.0
+
+    def accepts(self, fast: float, des: float) -> bool:
+        return abs(fast - des) <= self.rel * abs(des) + self.abs
+
+
+#: Measured model error (full Fig 11-14 corpus) plus ~2x margin.
+FIELD_TOLERANCES: tuple[FieldTolerance, ...] = (
+    FieldTolerance("read_latency_ns", rel=0.12, abs=5.0),
+    FieldTolerance("write_latency_ns", rel=0.05, abs=50.0),
+    FieldTolerance("ipc", rel=0.04),
+    FieldTolerance("runtime_ns", rel=0.04, abs=100.0),
+    # Pricing is shared arithmetic, not a model: exact (fp noise only).
+    FieldTolerance("mean_write_units", rel=1e-9, abs=1e-9),
+    FieldTolerance("mean_write_energy", rel=1e-9, abs=1e-6),
+)
+
+
+def compare_rows(fast: dict, des: dict) -> list[dict]:
+    """Compare a fastpath row against its DES re-run.
+
+    Both rows are ``ExperimentResult`` field dicts.  Returns one entry
+    per out-of-band field (empty list = rows agree): ``{"field",
+    "fastpath", "des", "rel", "abs", "tol_rel", "tol_abs"}``.
+    """
+    divergences: list[dict] = []
+    for tol in FIELD_TOLERANCES:
+        f = float(fast[tol.field])
+        d = float(des[tol.field])
+        if not tol.accepts(f, d):
+            divergences.append(
+                {
+                    "field": tol.field,
+                    "fastpath": f,
+                    "des": d,
+                    "abs": abs(f - d),
+                    "rel": abs(f - d) / abs(d) if d else float("inf"),
+                    "tol_rel": tol.rel,
+                    "tol_abs": tol.abs,
+                }
+            )
+    return divergences

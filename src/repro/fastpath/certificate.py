@@ -1,0 +1,87 @@
+"""Per-run lane certificates.
+
+Every sweep emits a certificate: a JSON artifact recording, for each
+cell, which lane produced its row and why, plus the outcome of the
+sampled differential recheck.  The certificate is the audit trail that
+makes the analytic lane trustworthy — a row in the results can always
+be traced to either a DES execution or a fastpath pricing *plus* the
+recheck evidence backing the model on this run.
+
+Schema (``docs/ORACLE.md`` documents triage):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "mode": "auto",
+      "recheck_fraction": 0.02,
+      "summary": {"cells": 48, "fastpath": 40, "des": 8,
+                  "recheck_samples": 1, "recheck_divergences": 0},
+      "cells": [{"index": 0, "workload": "dedup", "scheme": "dcw",
+                 "seed": 20160816, "variant": "", "lane": "fastpath",
+                 "source": "executed", "reasons": []}],
+      "rechecks": [{"index": 0, "workload": "dedup", "scheme": "dcw",
+                    "divergences": []}]
+    }
+
+No wall-clock timestamps by design (SL002): certificates from identical
+runs are byte-identical, so they diff cleanly in CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = [
+    "CERTIFICATE_VERSION",
+    "build_certificate",
+    "write_certificate",
+]
+
+CERTIFICATE_VERSION = 1
+
+
+def build_certificate(
+    *,
+    mode: str,
+    recheck_fraction: float,
+    cells: list[dict],
+    rechecks: list[dict],
+) -> dict:
+    """Assemble the certificate document from per-cell lane records."""
+    lanes = [c["lane"] for c in cells]
+    n_div = sum(1 for r in rechecks if r["divergences"])
+    return {
+        "version": CERTIFICATE_VERSION,
+        "mode": mode,
+        "recheck_fraction": recheck_fraction,
+        "summary": {
+            "cells": len(cells),
+            "fastpath": lanes.count("fastpath"),
+            "des": lanes.count("des"),
+            "recheck_samples": len(rechecks),
+            "recheck_divergences": n_div,
+        },
+        "cells": cells,
+        "rechecks": rechecks,
+    }
+
+
+def write_certificate(path: str, certificate: dict) -> None:
+    """Atomically write the certificate JSON next to the results."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".cert.tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(certificate, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,68 @@
+"""Sampled differential recheck of fastpath rows.
+
+After a sweep, a seeded sample of the cells the analytic lane priced is
+re-run through the DES and compared field-by-field under the agreement
+bands (:mod:`repro.fastpath.agreement`).  The DES runner is *injected*
+by the caller (the sweep engine passes its own cell executor), so this
+module stays free of simulator imports — the lane-independence contract
+(SL016) covers the whole package, and the recheck is the one sanctioned
+bridge between the lanes, crossing it through a callable rather than an
+import.
+
+Sampling is deterministic in the sweep's root seed: the same grid and
+seed recheck the same cells, so CI certificates are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.fastpath.agreement import compare_rows
+
+__all__ = [
+    "DEFAULT_RECHECK_FRACTION",
+    "recheck_rows",
+    "select_recheck_indices",
+]
+
+DEFAULT_RECHECK_FRACTION = 0.02
+
+
+def select_recheck_indices(
+    candidates: Sequence[int], fraction: float, root_seed: int
+) -> list[int]:
+    """Seeded sample of cell indices to re-run through the DES.
+
+    At least one cell is always rechecked when any fastpath cell exists
+    and ``fraction > 0`` — a certificate claiming model validity must
+    carry at least one piece of evidence.
+    """
+    if not candidates or fraction <= 0.0:
+        return []
+    k = max(1, int(round(fraction * len(candidates))))
+    k = min(k, len(candidates))
+    rng = np.random.default_rng(np.random.SeedSequence([root_seed, 0x7EC4]))
+    picks = rng.choice(len(candidates), size=k, replace=False)
+    return sorted(int(candidates[i]) for i in picks)
+
+
+def recheck_rows(
+    samples: Sequence[tuple[int, dict]],
+    des_runner: Callable[[int], dict],
+) -> list[dict]:
+    """Re-run sampled cells through the injected DES runner and compare.
+
+    ``samples`` is ``(cell_index, fastpath_row_fields)``; ``des_runner``
+    maps a cell index to the DES row's field dict.  Returns one record
+    per sample: ``{"index", "divergences": [...]}`` (empty divergence
+    list = the lanes agree on that cell).
+    """
+    records: list[dict] = []
+    for index, fast_row in samples:
+        des_row = des_runner(index)
+        records.append(
+            {"index": int(index), "divergences": compare_rows(fast_row, des_row)}
+        )
+    return records

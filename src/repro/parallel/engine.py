@@ -51,6 +51,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import SystemConfig, default_config
+from repro.fastpath import (
+    FastpathEnvelopeError,
+    build_certificate,
+    classify,
+    recheck_rows,
+    select_recheck_indices,
+    write_certificate,
+)
+from repro.fastpath.recheck import DEFAULT_RECHECK_FRACTION
 from repro.parallel.journal import (
     StaleJournalError,
     SweepJournal,
@@ -65,6 +74,7 @@ from repro.parallel.resultcache import (
 from repro.parallel.supervisor import RetryPolicy, WorkerSupervisor, WorkerTaskError
 from repro.trace.record import Trace
 from repro.trace.workloads import WORKLOAD_NAMES
+from repro.util import kernelstats
 
 __all__ = [
     "CellError",
@@ -75,11 +85,18 @@ __all__ = [
     "SweepEngine",
     "SweepResult",
     "SweepStats",
+    "FASTPATH_MODES",
     "default_workers",
     "derive_cell_seeds",
     "execute_cell_payload",
     "parallel_map",
 ]
+
+
+#: Fastpath lane policies: ``off`` (DES everywhere, the byte-compatible
+#: default), ``auto`` (analytic lane inside the envelope, DES outside),
+#: ``force`` (analytic lane or :class:`FastpathEnvelopeError`).
+FASTPATH_MODES = ("off", "auto", "force")
 
 
 def default_workers() -> int:
@@ -176,6 +193,8 @@ class PlannedCell:
     payload: tuple
     cache_key: str | None      # None when the engine has no cache
     journal_key: str           # code-salted journal content address
+    lane: str = "des"          # "des" | "fastpath" (payload's last element)
+    lane_reasons: tuple[str, ...] = ()   # why a cell stayed on the DES lane
 
 
 class SweepCellError(RuntimeError):
@@ -218,6 +237,15 @@ class SweepStats:
     worker_deaths: int = 0
     replacements: int = 0
     serial_cells: int = 0   # cells drained by the serial fallback
+    # Lane accounting (see docs/PERFORMANCE.md).
+    fastpath_cells: int = 0
+    des_cells: int = 0
+    recheck_samples: int = 0
+    recheck_divergences: int = 0
+    # Kernel dispatch deltas observed in this (parent) process during the
+    # run; workers keep their own process-local counters.
+    vectorized_kernel_calls: int = 0
+    scalar_kernel_calls: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -234,15 +262,27 @@ class SweepStats:
             "worker_deaths": self.worker_deaths,
             "replacements": self.replacements,
             "serial_cells": self.serial_cells,
+            "fastpath_cells": self.fastpath_cells,
+            "des_cells": self.des_cells,
+            "recheck_samples": self.recheck_samples,
+            "recheck_divergences": self.recheck_divergences,
+            "vectorized_kernel_calls": self.vectorized_kernel_calls,
+            "scalar_kernel_calls": self.scalar_kernel_calls,
         }
 
 
 @dataclass
 class SweepResult:
-    """Grid outcomes in deterministic grid order, plus run statistics."""
+    """Grid outcomes in deterministic grid order, plus run statistics.
+
+    ``certificate`` is the per-run lane audit document
+    (:mod:`repro.fastpath.certificate`): which lane produced each row,
+    and the sampled differential recheck's evidence.
+    """
 
     outcomes: list[CellOutcome]
     stats: SweepStats
+    certificate: dict | None = None
 
     @property
     def rows(self) -> list:
@@ -310,6 +350,20 @@ def _execute_cell(trace: Trace, workload: str, scheme: str, config: SystemConfig
     )
 
 
+def _execute_cell_fastpath(
+    trace: Trace, workload: str, scheme: str, config: SystemConfig
+):
+    """Price one cell analytically -> ExperimentResult (no DES).
+
+    Same field coercion contract as :func:`_execute_cell`;
+    ``events == 0`` marks the analytic lane in every artifact.
+    """
+    from repro.experiments.runner import ExperimentResult
+    from repro.fastpath.pricer import price_cell
+
+    return ExperimentResult(**price_cell(trace, workload, scheme, config))
+
+
 def _chaos_inject(workload: str, scheme: str) -> None:
     """Deterministic fault injection for the chaos suite (off by default).
 
@@ -344,7 +398,17 @@ def _run_cell(payload: tuple):
     and returned to the parent, so one poisoned cell cannot kill the
     whole grid.
     """
-    idx, workload, scheme, seed, variant, requests_per_core, config_json, trace = payload
+    (
+        idx,
+        workload,
+        scheme,
+        seed,
+        variant,
+        requests_per_core,
+        config_json,
+        trace,
+        lane,
+    ) = payload
     try:
         _chaos_inject(workload, scheme)
         config = _config_from_json(config_json)
@@ -352,6 +416,8 @@ def _run_cell(payload: tuple):
             trace = _trace_for(
                 workload, requests_per_core, config.cpu.num_cores, seed
             )
+        if lane == "fastpath":
+            return idx, _execute_cell_fastpath(trace, workload, scheme, config)
         return idx, _execute_cell(trace, workload, scheme, config)
     except Exception as exc:
         return idx, CellError(
@@ -427,6 +493,22 @@ class SweepEngine:
         Per-cell wall-clock deadline override.  ``None`` (default)
         scales the deadline by trace size via the policy
         (:meth:`RetryPolicy.deadline_s`); ``0`` disables deadlines.
+    fastpath:
+        Lane policy, one of :data:`FASTPATH_MODES`.  ``"off"`` (the
+        default — library callers keep byte-identical DES behaviour)
+        runs every cell through the DES; ``"auto"`` prices
+        envelope-inside cells analytically; ``"force"`` raises
+        :class:`~repro.fastpath.FastpathEnvelopeError` for any cell the
+        envelope rejects.  ``REPRO_NO_FASTPATH=1`` overrides any mode
+        to ``"off"`` (kill switch).
+    recheck_fraction:
+        Fraction of fastpath cells re-run through the DES and compared
+        under the agreement bands after the grid completes (seeded
+        sampling, min 1 when any fastpath cell exists; ``0`` disables).
+    certificate_path:
+        When set, the run's lane certificate is also written to this
+        path as JSON (it is always attached to the
+        :class:`SweepResult`).
     """
 
     def __init__(
@@ -443,9 +525,18 @@ class SweepEngine:
         journal: SweepJournal | str | Path | None = None,
         retry: RetryPolicy | None = None,
         cell_deadline_s: float | None = None,
+        fastpath: str = "off",
+        recheck_fraction: float = DEFAULT_RECHECK_FRACTION,
+        certificate_path: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if fastpath not in FASTPATH_MODES:
+            raise ValueError(
+                f"fastpath must be one of {FASTPATH_MODES}, got {fastpath!r}"
+            )
+        if not 0.0 <= recheck_fraction <= 1.0:
+            raise ValueError("recheck_fraction must be in [0, 1]")
         self.base_config = config if config is not None else default_config()
         self.variants = dict(variants) if variants else {"default": self.base_config}
         self.requests_per_core = int(requests_per_core)
@@ -459,6 +550,11 @@ class SweepEngine:
             self.journal = SweepJournal(journal)
         self.retry = retry if retry is not None else RetryPolicy()
         self.cell_deadline_s = cell_deadline_s
+        self.fastpath = fastpath
+        self.recheck_fraction = float(recheck_fraction)
+        self.certificate_path = (
+            str(certificate_path) if certificate_path is not None else None
+        )
         self.supervisor: WorkerSupervisor | None = None  # last run's, if any
 
     @staticmethod
@@ -516,12 +612,51 @@ class SweepEngine:
         """Code-version salt shared by cache and journal addressing."""
         return self.cache.salt if self.cache is not None else code_salt()
 
-    def _journal_key(self, cell: SweepCell, config_json: str) -> str:
+    def fastpath_mode(self) -> str:
+        """Effective lane policy: the env kill switch beats the setting."""
+        if os.environ.get("REPRO_NO_FASTPATH", "") == "1":
+            return "off"
+        return self.fastpath
+
+    def _lane_for(self, cell: SweepCell) -> tuple[str, tuple[str, ...]]:
+        """Assign a cell's execution lane under the effective policy.
+
+        Returns ``(lane, reasons)``; ``reasons`` explains a DES routing
+        (empty for fastpath cells) and lands in the run certificate.
+        """
+        mode = self.fastpath_mode()
+        if mode == "off":
+            return "des", ("fastpath-off",)
+        decision = classify(
+            self.variants[cell.variant],
+            cell.scheme,
+            supplied_trace=cell.workload in self.traces,
+        )
+        if decision.inside:
+            return "fastpath", ()
+        if mode == "force":
+            raise FastpathEnvelopeError(
+                cell.scheme, cell.workload, decision.reasons
+            )
+        return "des", decision.reasons
+
+    def _cache_key(self, cell: SweepCell, config_json: str, lane: str) -> str | None:
+        if self.cache is None:
+            return None
+        return self.cache.cell_key(
+            config_json=config_json,
+            trace_key=self._trace_key(cell, self.variants[cell.variant]),
+            scheme=cell.scheme,
+            lane=lane,
+        )
+
+    def _journal_key(self, cell: SweepCell, config_json: str, lane: str) -> str:
         return journal_cell_key(
             config_json=config_json,
             trace_key=self._trace_key(cell, self.variants[cell.variant]),
             scheme=cell.scheme,
             salt=self._salt(),
+            lane=lane,
         )
 
     def _journal_append(self, key: str, cell: SweepCell, row_dict: dict) -> None:
@@ -563,15 +698,7 @@ class SweepEngine:
         planned: list[PlannedCell] = []
         for idx, cell in enumerate(cells):
             cfg = config_json[cell.variant]
-            cache_key = (
-                self.cache.cell_key(
-                    config_json=cfg,
-                    trace_key=self._trace_key(cell, self.variants[cell.variant]),
-                    scheme=cell.scheme,
-                )
-                if self.cache is not None
-                else None
-            )
+            lane, reasons = self._lane_for(cell)
             planned.append(
                 PlannedCell(
                     index=idx,
@@ -585,9 +712,12 @@ class SweepEngine:
                         self.requests_per_core,
                         cfg,
                         self.traces.get(cell.workload),
+                        lane,
                     ),
-                    cache_key=cache_key,
-                    journal_key=self._journal_key(cell, cfg),
+                    cache_key=self._cache_key(cell, cfg, lane),
+                    journal_key=self._journal_key(cell, cfg, lane),
+                    lane=lane,
+                    lane_reasons=reasons,
                 )
             )
         return planned
@@ -610,6 +740,7 @@ class SweepEngine:
         from repro.experiments.runner import ExperimentResult
 
         start = time.perf_counter()
+        kernels_before = kernelstats.snapshot()
         self.supervisor = None
         planned = self.plan(tuple(schemes), tuple(workloads), seeds=seeds)
         cells = [pc.cell for pc in planned]
@@ -621,7 +752,7 @@ class SweepEngine:
 
         outcomes: dict[int, CellOutcome] = {}
         pending: list[tuple] = []       # worker payloads for cache misses
-        pending_keys: dict[int, tuple[str | None, str | None]] = {}
+        pending_keys: dict[int, tuple[str | None, str | None, str]] = {}
         resumed = 0
         for pc in planned:
             idx, cell, jkey = pc.index, pc.cell, pc.journal_key
@@ -641,7 +772,7 @@ class SweepEngine:
                     )
                     self._journal_append(jkey, cell, row_dict)
                     continue
-            pending_keys[idx] = (pc.cache_key, jkey)
+            pending_keys[idx] = (pc.cache_key, jkey, pc.lane)
             pending.append(pc.payload)
 
         if (
@@ -668,7 +799,7 @@ class SweepEngine:
                 outcomes[idx] = CellOutcome(cell, error=result)
             else:
                 outcomes[idx] = CellOutcome(cell, row=result)
-                key, jkey = pending_keys[idx]
+                key, jkey, lane = pending_keys[idx]
                 row_dict = dataclasses.asdict(result)
                 if self.cache is not None and key is not None:
                     self.cache.put(
@@ -679,15 +810,22 @@ class SweepEngine:
                             "workload": cell.workload,
                             "seed": cell.seed,
                             "variant": cell.variant,
+                            "lane": lane,
                             "salt": self.cache.salt,
                         },
                     )
                 if jkey is not None:
                     self._journal_append(jkey, cell, row_dict)
 
+        recheck_records = self._recheck(planned, outcomes)
+        certificate = self._certificate(planned, outcomes, recheck_records)
+        if self.certificate_path:
+            write_certificate(self.certificate_path, certificate)
+
         ordered = [outcomes[i] for i in range(len(cells))]
         sup = self.supervisor
         counts = sup.counts() if sup is not None else {}
+        kernels_after = kernelstats.snapshot()
         stats = SweepStats(
             cells=len(cells),
             executed=len(pending),
@@ -702,8 +840,125 @@ class SweepEngine:
             worker_deaths=counts.get("worker_deaths", 0),
             replacements=counts.get("replacements", 0),
             serial_cells=counts.get("serial_tasks", 0),
+            fastpath_cells=sum(1 for pc in planned if pc.lane == "fastpath"),
+            des_cells=sum(1 for pc in planned if pc.lane == "des"),
+            recheck_samples=len(recheck_records),
+            recheck_divergences=sum(
+                1 for r in recheck_records if r["divergences"]
+            ),
+            vectorized_kernel_calls=(
+                kernels_after["vectorized"] - kernels_before["vectorized"]
+            ),
+            scalar_kernel_calls=(
+                kernels_after["scalar"] - kernels_before["scalar"]
+            ),
         )
-        return SweepResult(outcomes=ordered, stats=stats)
+        return SweepResult(outcomes=ordered, stats=stats, certificate=certificate)
+
+    # ------------------------------------------------------------------
+    def _recheck(
+        self, planned: list[PlannedCell], outcomes: dict[int, CellOutcome]
+    ) -> list[dict]:
+        """Differentially re-run a seeded sample of fastpath cells on DES.
+
+        Each sampled cell's analytic row is compared field-by-field
+        against a fresh (cache-first) DES execution of the identical
+        payload; any field outside :data:`FIELD_TOLERANCES` is recorded
+        as a divergence in the run certificate.  Re-runs do not count as
+        executed cells in :class:`SweepStats` — they are a validation
+        overlay, not part of the grid.
+        """
+        candidates = [
+            pc.index
+            for pc in planned
+            if pc.lane == "fastpath" and outcomes[pc.index].row is not None
+        ]
+        if not candidates:
+            return []
+        sample = select_recheck_indices(
+            candidates, self.recheck_fraction, self.root_seed
+        )
+        by_index = {pc.index: pc for pc in planned}
+
+        def des_runner(index: int) -> dict:
+            pc = by_index[index]
+            config_json = pc.payload[6]
+            des_key = self._cache_key(pc.cell, config_json, "des")
+            if des_key is not None:
+                cached = self.cache.get(des_key)
+                if cached is not None:
+                    return cached
+            _, result = _run_cell(pc.payload[:-1] + ("des",))
+            if isinstance(result, CellError):
+                raise RuntimeError(
+                    "differential recheck could not execute the DES lane "
+                    f"for cell {index} ({pc.cell.workload}/{pc.cell.scheme}):\n"
+                    f"{result.format()}"
+                )
+            row_dict = dataclasses.asdict(result)
+            if des_key is not None:
+                self.cache.put(
+                    des_key,
+                    row_dict,
+                    meta={
+                        "scheme": pc.cell.scheme,
+                        "workload": pc.cell.workload,
+                        "seed": pc.cell.seed,
+                        "variant": pc.cell.variant,
+                        "lane": "des",
+                        "salt": self.cache.salt,
+                    },
+                )
+            return row_dict
+
+        samples = [
+            (i, dataclasses.asdict(outcomes[i].row)) for i in sample
+        ]
+        records = recheck_rows(samples, des_runner)
+        for rec in records:
+            cell = by_index[rec["index"]].cell
+            rec["workload"] = cell.workload
+            rec["scheme"] = cell.scheme
+            rec["seed"] = cell.seed
+            rec["variant"] = cell.variant
+        return records
+
+    def _certificate(
+        self,
+        planned: list[PlannedCell],
+        outcomes: dict[int, CellOutcome],
+        recheck_records: list[dict],
+    ) -> dict:
+        """Build the per-run lane certificate (always, even fastpath=off)."""
+        cert_cells = []
+        for pc in planned:
+            o = outcomes[pc.index]
+            if o.error is not None:
+                source = "error"
+            elif o.resumed:
+                source = "journal"
+            elif o.cached:
+                source = "cache"
+            else:
+                source = "executed"
+            cert_cells.append(
+                {
+                    "index": pc.index,
+                    "workload": pc.cell.workload,
+                    "scheme": pc.cell.scheme,
+                    "seed": pc.cell.seed,
+                    "variant": pc.cell.variant,
+                    "lane": pc.lane,
+                    "source": source,
+                    "reasons": list(pc.lane_reasons),
+                }
+            )
+        return build_certificate(
+            mode=self.fastpath_mode(),
+            recheck_fraction=self.recheck_fraction,
+            cells=cert_cells,
+            rechecks=recheck_records,
+        )
 
     # ------------------------------------------------------------------
     def _cell_deadline(self) -> float | None:

@@ -40,7 +40,7 @@ __all__ = [
     "journal_cell_key",
 ]
 
-JOURNAL_FORMAT_VERSION = 1
+JOURNAL_FORMAT_VERSION = 2
 
 
 class StaleJournalError(RuntimeError):
@@ -54,12 +54,18 @@ class StaleJournalError(RuntimeError):
 
 
 def journal_cell_key(
-    *, config_json: str, trace_key: str, scheme: str, salt: str
+    *, config_json: str, trace_key: str, scheme: str, salt: str,
+    lane: str = "des",
 ) -> str:
-    """Content address of one journaled cell (code-salted like the cache)."""
+    """Content address of one journaled cell (code-salted like the cache).
+
+    ``lane`` keeps analytic-fastpath rows and DES rows from satisfying
+    each other's resume lookups — the lanes agree only within tolerance.
+    """
     h = hashlib.sha256()
     for part in (
-        f"journal:{JOURNAL_FORMAT_VERSION}", salt, scheme, trace_key, config_json
+        f"journal:{JOURNAL_FORMAT_VERSION}", salt, scheme, trace_key, lane,
+        config_json,
     ):
         h.update(part.encode())
         h.update(b"\x00")

@@ -54,7 +54,7 @@ __all__ = [
 # Bump when the entry layout (not the simulated semantics — the code
 # salt covers those) changes incompatibly.  v2 added the mandatory
 # per-entry payload digest.
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 
 QUARANTINE_DIR = "quarantine"
 
@@ -143,16 +143,25 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Keying.
     # ------------------------------------------------------------------
-    def cell_key(self, *, config_json: str, trace_key: str, scheme: str) -> str:
+    def cell_key(
+        self,
+        *,
+        config_json: str,
+        trace_key: str,
+        scheme: str,
+        lane: str = "des",
+    ) -> str:
         """Content address of one grid cell.
 
         ``config_json`` must be the canonical (sorted-keys) serialization
         of the cell's :class:`SystemConfig` so field ordering can never
-        split the key space.
+        split the key space.  ``lane`` separates analytic-fastpath rows
+        from DES rows: the two lanes agree only within tolerance bands,
+        so a row from one must never satisfy a lookup from the other.
         """
         h = hashlib.sha256()
         for part in (str(CACHE_FORMAT_VERSION), self.salt, scheme, trace_key,
-                     config_json):
+                     lane, config_json):
             h.update(part.encode())
             h.update(b"\x00")
         return h.hexdigest()
@@ -343,6 +352,7 @@ class ResultCache:
         entries = self.entries()
         total_bytes = 0
         by_scheme: dict[str, int] = {}
+        by_lane: dict[str, int] = {}
         current_salt = 0
         for path in entries:
             try:
@@ -351,15 +361,21 @@ class ResultCache:
                     entry = json.load(fh)
             except (OSError, ValueError):
                 continue
-            scheme = entry.get("meta", {}).get("scheme", "?")
+            meta = entry.get("meta", {})
+            scheme = meta.get("scheme", "?")
             by_scheme[scheme] = by_scheme.get(scheme, 0) + 1
-            if entry.get("meta", {}).get("salt", "") == self.salt:
+            # Pre-lane entries (format v2) carried no lane tag; they can
+            # only have been DES rows.
+            lane = meta.get("lane", "des")
+            by_lane[lane] = by_lane.get(lane, 0) + 1
+            if meta.get("salt", "") == self.salt:
                 current_salt += 1
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": total_bytes,
             "by_scheme": dict(sorted(by_scheme.items())),
+            "by_lane": dict(sorted(by_lane.items())),
             "current_code_version": current_salt,
             "quarantined": len(self.quarantined()),
         }

@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.parallel.engine import PlannedCell, SweepEngine
+from repro.parallel.engine import FASTPATH_MODES, PlannedCell, SweepEngine
 from repro.parallel.journal import SweepJournal
 from repro.schemes import SCHEME_REGISTRY
 from repro.service.protocol import E_BAD_GRID, ProtocolError
@@ -60,6 +60,9 @@ class GridSpec:
     workloads: tuple[str, ...]
     requests_per_core: int = 400
     seed: int = 20160816
+    #: Analytic-lane policy for this grid; "off" keeps server results
+    #: bit-identical to pre-fastpath deployments unless a tenant opts in.
+    fastpath: str = "off"
 
     @classmethod
     def from_dict(cls, doc: object) -> "GridSpec":
@@ -73,7 +76,9 @@ class GridSpec:
             raise ProtocolError(
                 E_BAD_GRID, f"grid must be an object, got {type(doc).__name__}"
             )
-        unknown = set(doc) - {"schemes", "workloads", "requests_per_core", "seed"}
+        unknown = set(doc) - {
+            "schemes", "workloads", "requests_per_core", "seed", "fastpath",
+        }
         if unknown:
             raise ProtocolError(
                 E_BAD_GRID, f"unknown grid field(s): {sorted(unknown)}"
@@ -107,6 +112,13 @@ class GridSpec:
             raise ProtocolError(
                 E_BAD_GRID, "grid.seed must be a non-negative integer"
             )
+        fastpath = doc.get("fastpath", "off")
+        if fastpath not in FASTPATH_MODES:
+            raise ProtocolError(
+                E_BAD_GRID,
+                f"grid.fastpath must be one of {list(FASTPATH_MODES)}, "
+                f"got {fastpath!r}",
+            )
         if len(schemes) * len(workloads) > MAX_GRID_CELLS:
             raise ProtocolError(
                 E_BAD_GRID,
@@ -118,6 +130,7 @@ class GridSpec:
             workloads=tuple(dict.fromkeys(workloads)),
             requests_per_core=requests,
             seed=seed,
+            fastpath=fastpath,
         )
 
     def to_dict(self) -> dict:
@@ -126,6 +139,7 @@ class GridSpec:
             "workloads": list(self.workloads),
             "requests_per_core": self.requests_per_core,
             "seed": self.seed,
+            "fastpath": self.fastpath,
         }
 
     def engine(self, *, cache, cache_dir=None, workers: int = 1) -> SweepEngine:
@@ -142,6 +156,7 @@ class GridSpec:
             workers=workers,
             cache=cache,
             cache_dir=cache_dir,
+            fastpath=self.fastpath,
         )
 
     def plan(self, *, cache) -> list[PlannedCell]:
@@ -210,6 +225,10 @@ class Job:
             "cached": self.cached_cells,
             "deduped": self.deduped_cells,
             "executed": self.executed_cells,
+            "fastpath_cells": sum(
+                1 for pc in self.planned if pc.lane == "fastpath"
+            ),
+            "des_cells": sum(1 for pc in self.planned if pc.lane == "des"),
             "queue_position": queue_position,
             "eta_s": eta_s,
         }

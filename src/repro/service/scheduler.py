@@ -356,6 +356,7 @@ class Scheduler:
                         "workload": work.payload[1],
                         "seed": work.payload[3],
                         "variant": work.payload[4],
+                        "lane": work.payload[8],
                         "salt": self._salt,
                     },
                 )
@@ -377,6 +378,7 @@ class Scheduler:
                     "workload": payload[1],
                     "seed": payload[3],
                     "variant": payload[4],
+                    "lane": payload[8],
                     "salt": self._salt,
                 },
             )
@@ -386,6 +388,10 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _complete(self, work: CellWork, kind: str, outcome: dict) -> None:
         self.inflight.pop(work.key, None)
+        lane = work.payload[8]
+        self._m.counter(
+            "cells_fastpath" if lane == "fastpath" else "cells_des"
+        ).inc(1)
         if kind == "error":
             self._m.counter("cells_failed").inc(1)
         else:

@@ -1,0 +1,47 @@
+"""Process-local dispatch + accounting for the array kernels.
+
+The hot bit-level kernels (read stage, cell diff, popcount) have two
+implementations: the numpy-vectorized production path and a pure-Python
+scalar reference.  ``REPRO_NO_VECTOR=1`` selects the scalar path
+everywhere — the two are bit-identical (property-tested), so the switch
+exists to *prove* the vectorization changed nothing and to debug kernel
+issues with ordinary Python semantics.
+
+Counters are plain module state: cheap to bump from a hot loop, read
+back by the sweep engine for the per-lane stats report.  They are
+process-local by design — worker processes keep their own counts; the
+engine documents its numbers as parent-process observations.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["record", "reset", "snapshot", "use_scalar"]
+
+_counts = {"vectorized": 0, "scalar": 0}
+
+
+def use_scalar() -> bool:
+    """True when ``REPRO_NO_VECTOR=1`` selects the scalar reference path.
+
+    Read from the environment on every call so tests (and the bench
+    harness) can flip the switch at runtime without re-importing.
+    """
+    return os.environ.get("REPRO_NO_VECTOR", "") == "1"
+
+
+def record(kind: str, n: int = 1) -> None:
+    """Count ``n`` kernel invocations of ``kind`` (vectorized/scalar)."""
+    _counts[kind] += n
+
+
+def snapshot() -> dict[str, int]:
+    """Current counter values (a copy; safe to hold across resets)."""
+    return dict(_counts)
+
+
+def reset() -> None:
+    """Zero the counters (test isolation / per-phase bench deltas)."""
+    for key in _counts:
+        _counts[key] = 0

@@ -1,0 +1,19 @@
+"""SL016 bad fixture.
+
+Linted as ``repro.fastpath.pricer``: every simulator import below is a
+violation — an analytic lane that calls the DES it is differentially
+rechecked against certifies nothing.
+"""
+
+import repro.sim  # BAD: the event-driven simulator itself
+import repro.schemes.tetris  # BAD: a production write scheme
+from repro.pcm.state import LineState  # BAD: device state model
+from repro.schemes import get_scheme  # BAD: scheme registry
+from repro.sim.engine import EventQueue  # BAD: DES engine internals
+
+
+def price_with_the_simulator(trace, config):
+    # A "fastpath" that answers by running the production scheme makes
+    # the recheck compare the simulator against itself.
+    scheme = get_scheme("tetris", config)
+    return scheme, LineState, EventQueue

@@ -1,0 +1,36 @@
+"""SL016 good fixture: an analytic lane with the right dependencies.
+
+Linted as ``repro.fastpath.pricer``: shared *inputs* (config schema,
+batch packing) and the independent oracle are fine — only the simulator
+packages under differential test are off limits.
+"""
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.batch import pack_batch
+from repro.oracle import analytic
+
+
+def price_line(n_set: np.ndarray, n_reset: np.ndarray, config: SystemConfig):
+    point = analytic.OperatingPoint.from_config(config)
+    packed = pack_batch(
+        n_set[None, :], n_reset[None, :], l_ratio=point.L, budget=point.budget
+    )
+    return packed
+
+
+def merge_arrivals(per_core_times: list) -> list:
+    heap = [(times[0], k, deque(times)) for k, times in
+            enumerate(per_core_times) if len(times)]
+    heapq.heapify(heap)
+    merged = []
+    while heap:
+        _, k, times = heapq.heappop(heap)
+        merged.append((times.popleft(), k))
+        if times:
+            heapq.heappush(heap, (times[0], k, times))
+    return merged

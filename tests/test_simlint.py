@@ -53,6 +53,7 @@ FIXTURE_MATRIX = [
     ("SL011", "repro.core.fixture", 8),
     ("SL014", "repro.experiments.fixture", 5),
     ("SL015", "repro.service.fixture", 6),
+    ("SL016", "repro.fastpath.pricer", 5),
 ]
 
 # Project-level rules lint a directory mini-project (with its own
@@ -112,6 +113,26 @@ def test_sl002_applies_only_to_simulated_time_packages():
     ]:
         fired = rules_fired(lint_source(src, module=module))
         assert ("SL002" in fired) is applies, module
+
+
+def test_sl016_reverse_direction_and_exemptions():
+    consume = "from repro.fastpath import price_cell\n"
+    # Simulator packages must not derive timing from the analytic lane...
+    assert "SL016" in rules_fired(lint_source(consume, module="repro.schemes.x"))
+    assert "SL016" in rules_fired(lint_source(consume, module="repro.pcm.bank"))
+    assert "SL016" in rules_fired(lint_source(consume, module="repro.sim.engine"))
+    # ...but the sweep engine and the CLI are sanctioned consumers.
+    fired = rules_fired(lint_source(consume, module="repro.parallel.engine"))
+    assert "SL016" not in fired
+    assert "SL016" not in rules_fired(lint_source(consume, module="repro.cli"))
+    # The recheck module is the one fastpath module allowed to cross.
+    cross = "from repro.sim import engine\n"
+    assert "SL016" not in rules_fired(
+        lint_source(cross, module="repro.fastpath.recheck")
+    )
+    assert "SL016" in rules_fired(
+        lint_source(cross, module="repro.fastpath.envelope")
+    )
 
 
 def test_sl006_scoped_to_core_and_schemes():
@@ -307,14 +328,14 @@ def test_cli_rejects_unknown_rule_and_missing_path(tmp_path):
     assert run_cli(str(tmp_path / "nope")).returncode == 2
 
 
-def test_cli_list_rules_names_all_fifteen():
+def test_cli_list_rules_names_all_sixteen():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line}
     assert listed == {
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
         "SL008", "SL009", "SL010", "SL011", "SL012", "SL013", "SL014",
-        "SL015",
+        "SL015", "SL016",
     }
 
 

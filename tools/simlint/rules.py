@@ -1,4 +1,4 @@
-"""simlint rules SL001–SL015, tuned to the Tetris Write reproduction.
+"""simlint rules SL001–SL016, tuned to the Tetris Write reproduction.
 
 Each rule is a declarative class: ``id``/``title`` metadata, the AST
 node types it wants dispatched, a path scope (``applies_to``), and a
@@ -44,6 +44,10 @@ SL015  async hygiene — no blocking calls (``time.sleep``,
        ``subprocess.*``, sync socket/select waits, ``os.fsync``, bare
        ``open``) inside ``async def`` in ``repro.service``; blocking
        work goes through ``loop.run_in_executor``
+SL016  lane independence — ``repro.fastpath`` must not import the
+       simulator (``repro.sim``/``repro.pcm``/``repro.schemes``) and
+       the simulator must not import the fastpath; the differential
+       recheck module and ``repro.cli`` are the sanctioned bridges
 ====== ==============================================================
 """
 
@@ -79,6 +83,7 @@ __all__ = [
     "ApiDriftRule",
     "UnsupervisedPoolRule",
     "BlockingAsyncCallRule",
+    "LaneIndependenceRule",
 ]
 
 RULE_REGISTRY: dict[str, type["LintRule"]] = {}
@@ -868,7 +873,9 @@ class OracleIndependenceRule(LintRule):
     * **simulator -> oracle**: production code importing
       ``repro.oracle`` would invert the dependency — a scheme computing
       its latency *from* the oracle makes the cross-check a tautology.
-      Only ``repro.cli`` (reporting) may depend on the oracle package.
+      Only ``repro.cli`` (reporting) and ``repro.fastpath`` (the
+      analytic sweep lane, itself barred from simulator imports by
+      SL016) may depend on the oracle package.
     """
 
     id = "SL010"
@@ -916,8 +923,13 @@ class OracleIndependenceRule(LintRule):
                     "a cross-check if it shares no production code "
                     "(docs/ORACLE.md)",
                 )
-            elif not in_oracle and (
-                target == "repro.oracle" or target.startswith("repro.oracle.")
+            elif (
+                not in_oracle
+                and not ctx.in_package("repro.fastpath")
+                and (
+                    target == "repro.oracle"
+                    or target.startswith("repro.oracle.")
+                )
             ):
                 yield self.finding(
                     node,
@@ -1752,4 +1764,84 @@ class BlockingAsyncCallRule(LintRule):
                     f"open() blocks the shared event loop inside async "
                     f"def {node.name}; do file I/O in a sync helper via "
                     "loop.run_in_executor",
+                )
+
+
+# ----------------------------------------------------------------------
+# SL016 — lane independence: fastpath and simulator must not share code.
+# ----------------------------------------------------------------------
+class LaneIndependenceRule(LintRule):
+    """The analytic sweep lane only certifies what it does not share.
+
+    ``repro.fastpath`` prices grid cells without running the DES; its
+    rows are trusted because the sampled differential recheck re-runs
+    them through the *independent* simulator and compares under the
+    agreement bands (docs/ORACLE.md).  Two import directions would
+    quietly turn that certificate into a tautology:
+
+    * **fastpath -> simulator**: the pricer importing ``repro.sim`` /
+      ``repro.pcm`` / ``repro.schemes`` would let it answer by calling
+      the very code the recheck is supposed to validate it against.
+      (``repro.core``/``repro.config`` stay shared on purpose — batch
+      packing and the config schema are *inputs* both lanes must agree
+      on bit-for-bit, not behaviour under test.)  The recheck module
+      is the sanctioned bridge: it crosses lanes through an injected
+      callable, and is exempt here so it can type or drive DES rows
+      directly if it ever needs to.
+    * **simulator -> fastpath**: a scheme or bank model importing the
+      fastpath would let production timing derive from the analytic
+      model it is differentially checked against.
+
+    ``repro.cli`` reports both lanes and is exempt, like in SL010.
+    """
+
+    id = "SL016"
+    title = "fastpath/simulator lane-independence violation"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    #: simulator packages the analytic lane must never touch.
+    _SIM_PACKAGES = ("repro.sim", "repro.pcm", "repro.schemes")
+    #: the sanctioned lane bridge (dependency-injected DES recheck).
+    _BRIDGE = "repro.fastpath.recheck"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro") and not ctx.in_package("repro.cli")
+
+    _targets = staticmethod(OracleIndependenceRule._targets)
+
+    def check(
+        self, node: ast.Import | ast.ImportFrom, ctx: ModuleContext
+    ) -> Iterator[LintFinding]:
+        in_fastpath = ctx.in_package("repro.fastpath")
+        is_bridge = ctx.module == self._BRIDGE or ctx.module.startswith(
+            self._BRIDGE + "."
+        )
+        in_simulator = any(
+            ctx.in_package(p) for p in self._SIM_PACKAGES
+        )
+        for target in self._targets(node):
+            if in_fastpath and not is_bridge and any(
+                target == p or target.startswith(p + ".")
+                for p in self._SIM_PACKAGES
+            ):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"fastpath module {ctx.module} imports {target}; the "
+                    "analytic lane must stay independent of the simulator "
+                    "it is differentially rechecked against "
+                    "(docs/ORACLE.md)",
+                )
+            elif in_simulator and (
+                target == "repro.fastpath"
+                or target.startswith("repro.fastpath.")
+            ):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"simulator module {ctx.module} imports {target}; "
+                    "production timing deriving from the analytic lane "
+                    "makes the differential recheck a tautology — only "
+                    "the sweep engine and repro.cli may consume fastpath "
+                    "results",
                 )
