@@ -795,14 +795,48 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_schemes(tokens: list[str]) -> list[str]:
+    """Flatten scheme arguments: both ``a b c`` and ``a,b,c`` spellings."""
+    return [name for tok in tokens for name in tok.split(",") if name]
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.config import default_config
+    from repro.fastpath.pricer import PRICED_SCHEMES
+    from repro.schemes import SCHEME_REGISTRY, get_scheme
+
+    config = default_config()
+    rows = []
+    for name in sorted(SCHEME_REGISTRY):
+        scheme = get_scheme(name, config)
+        rows.append({
+            "scheme": name,
+            "requires_read": scheme.requires_read,
+            "worst_case_units": scheme.worst_case_units(),
+            "lane": "priced" if name in PRICED_SCHEMES else "des-only",
+        })
+    width = max(len(r["scheme"]) for r in rows)
+    print(f"{'scheme':<{width}}  read  wc_units  fastpath")
+    for r in rows:
+        print(
+            f"{r['scheme']:<{width}}  "
+            f"{'yes ' if r['requires_read'] else 'no  '}  "
+            f"{r['worst_case_units']:>8g}  "
+            f"{r['lane']}"
+        )
+    _maybe_json(args, {"schemes": rows})
+    return 0
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     import json
 
     from repro.oracle.differential import run_differential
     from repro.oracle.metamorphic import run_metamorphic
 
+    schemes = _split_schemes(args.schemes)
     report = run_differential(
-        tuple(args.schemes) if args.schemes else None,
+        tuple(schemes) if schemes else None,
         cases=args.cases,
         seed=args.seed,
     )
@@ -1062,10 +1096,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cases", type=int, default=500,
                    help="random demand-vector volume (grids/corners always run)")
     p.add_argument("--schemes", nargs="+", default=[],
-                   help="restrict the write lane (default: every registered scheme)")
+                   help="restrict the write lane (space- or comma-separated; "
+                        "default: every registered scheme)")
     p.add_argument("--json", default="",
                    help="write the full divergence report as JSON here")
     p.set_defaults(fn=_cmd_oracle)
+
+    p = sub.add_parser(
+        "schemes", help="list registered write schemes and their fastpath lane"
+    )
+    p.add_argument("--json", default="",
+                   help="also write the table as JSON here")
+    p.set_defaults(fn=_cmd_schemes)
 
     p = sub.add_parser("report", help="run everything into a Markdown report")
     common(p, workloads=False)

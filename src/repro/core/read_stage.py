@@ -266,6 +266,7 @@ def cost_aware_flip(
     reset_cost: float = 106.0,
     unit_bits: int = 64,
     max_programs: int | None = None,
+    charge_tag: bool = True,
 ) -> ReadStageResult:
     """CAFO-style flip (Maddah et al., HPCA 2015 — the paper's ref [22]).
 
@@ -285,6 +286,12 @@ def cost_aware_flip(
     program counts sum to ``unit_bits + 1``), so a feasible choice
     always exists.
 
+    ``charge_tag=False`` drops the flip-tag program from the objective
+    (the WIRE encoding's rule: the flag cell lives in a cheap side
+    structure, so only data-cell transitions are priced).  The reported
+    ``n_set`` / ``n_reset`` never include the tag either way — that is
+    :func:`read_stage`'s ``count_flip_bit`` knob.
+
     Returns the same :class:`ReadStageResult` shape as
     :func:`read_stage`, so it drops into any flip-family scheme.
     """
@@ -300,11 +307,14 @@ def cost_aware_flip(
     def cost_of(candidate: np.ndarray, tag: np.ndarray) -> np.ndarray:
         n_set = np.bitwise_count(~old_physical & candidate & mask)
         n_reset = np.bitwise_count(old_physical & ~candidate)
+        data_cost = n_set * set_cost + n_reset * reset_cost
+        if not charge_tag:
+            return data_cost
         tag_changed = tag != old_flip
         tag_cost = np.where(
             tag_changed, np.where(tag, set_cost, reset_cost), 0.0
         )
-        return n_set * set_cost + n_reset * reset_cost + tag_cost
+        return data_cost + tag_cost
 
     ones = np.ones(straight.shape, dtype=bool)
     cost_straight = cost_of(straight, ~ones)

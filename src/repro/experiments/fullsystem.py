@@ -124,6 +124,53 @@ def precompute_write_service(
             + units * config.timings.t_set_ns
         )
         energy = em.write_energy(changed_set, changed_reset) + read_energy
+    elif scheme_name == "datacon":
+        # One conventional per-data-unit share per dirty unit; energy is
+        # DCW's (changed cells, plain encoding).  Mirrored bit-identically
+        # by the fastpath pricer.
+        dirty = np.count_nonzero(n_set + n_reset, axis=1)
+        per_dirty = config.units_per_line / config.data_units_per_line
+        units = dirty.astype(np.float64) * per_dirty
+        service = config.timings.t_read_ns + units * config.timings.t_set_ns
+        energy = em.write_energy(changed_set, changed_reset) + read_energy
+    elif scheme_name == "palp":
+        # min(serial Algorithm 2, slowest partition at budget/P) — the
+        # batch analogue of PALPWrite's two-plan controller.
+        serial = pack_batch(
+            n_set,
+            n_reset,
+            K=config.K,
+            L=config.L,
+            power_budget=config.bank_power_budget,
+            allow_split=True,
+        ).service_units()
+        units = serial
+        if scheme.partition_feasible:
+            parts = scheme.partitions
+            chunk = -(-n_set.shape[1] // parts)  # ceil division
+            worst = np.zeros(n_writes, dtype=np.float64)
+            for p in range(parts):
+                lo, hi = p * chunk, min((p + 1) * chunk, n_set.shape[1])
+                if lo >= hi:
+                    break
+                worst = np.maximum(
+                    worst,
+                    pack_batch(
+                        n_set[:, lo:hi],
+                        n_reset[:, lo:hi],
+                        K=config.K,
+                        L=config.L,
+                        power_budget=config.bank_power_budget / parts,
+                        allow_split=True,
+                    ).service_units(),
+                )
+            units = np.minimum(serial, worst)
+        service = (
+            config.timings.t_read_ns
+            + config.analysis_overhead_ns
+            + units * config.timings.t_set_ns
+        )
+        energy = em.write_energy(changed_set, changed_reset) + read_energy
     elif scheme_name == "tetris":
         packed = pack_batch(
             n_set,

@@ -35,7 +35,7 @@ class EnvelopeDecision:
     """Outcome of envelope classification for one cell.
 
     ``reasons`` is empty iff ``inside`` — each entry is a short
-    machine-stable tag (``"faults-enabled"``, ``"scheme-unpriced"``, ...)
+    machine-stable tag (``"faults-enabled"``, ``"unpriced-scheme"``, ...)
     recorded in the run certificate.
     """
 
@@ -69,7 +69,7 @@ def classify(
     reasons: list[str] = []
 
     if scheme not in PRICED_SCHEMES:
-        reasons.append("scheme-unpriced")
+        reasons.append("unpriced-scheme")
     if config.faults.enabled:
         reasons.append("faults-enabled")
     if config.trace.enabled:

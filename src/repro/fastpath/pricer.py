@@ -58,8 +58,10 @@ __all__ = [
     "price_write_service",
 ]
 
-#: Schemes the pricer covers — must equal the production registry
-#: (pinned by tests); an unknown name routes the cell to the DES.
+#: Schemes the pricer covers — a subset of the production registry
+#: (pinned by tests); an unknown name routes the cell to the DES with
+#: the ``unpriced-scheme`` envelope reason (currently only ``palp``,
+#: whose min-of-two-plans packing has no vectorized pricer yet).
 PRICED_SCHEMES = frozenset(
     {
         "conventional",
@@ -70,12 +72,15 @@ PRICED_SCHEMES = frozenset(
         "tetris",
         "tetris_relaxed",
         "preset",
+        "wire",
+        "datacon",
     }
 )
 
 #: Schemes that pay the read-before-write (``WriteScheme.requires_read``).
 _READ_SCHEMES = frozenset(
-    {"dcw", "flip_n_write", "three_stage", "tetris", "tetris_relaxed"}
+    {"dcw", "flip_n_write", "three_stage", "tetris", "tetris_relaxed",
+     "wire", "datacon"}
 )
 
 #: Schemes that pay the analysis stage on every write.
@@ -144,6 +149,14 @@ def price_write_service(
             ]
         )
         service = t_read + config.analysis_overhead_ns + units * t_set
+        energy = _write_energy(changed_set, changed_reset, e_set, e_reset) + read_energy
+    elif scheme == "datacon":
+        # One conventional per-data-unit share per dirty unit; energy is
+        # DCW's (changed cells, plain encoding).
+        dirty = np.count_nonzero(n_set + n_reset, axis=1)
+        per_dirty = config.units_per_line / config.data_units_per_line
+        units = dirty.astype(np.float64) * per_dirty
+        service = t_read + units * t_set
         energy = _write_energy(changed_set, changed_reset, e_set, e_reset) + read_energy
     elif scheme == "tetris":
         packed = pack_batch(

@@ -30,7 +30,7 @@ Equation reference (PAPER.md):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -45,6 +45,9 @@ __all__ = [
     "tetris_relaxed_subslots",
     "tetris_relaxed_units",
     "preset_units",
+    "wire_units",
+    "datacon_units",
+    "palp_units",
     "worst_case_units",
     "service_ns",
 ]
@@ -265,6 +268,70 @@ def tetris_relaxed_units(
 
 
 # ----------------------------------------------------------------------
+# Scheme-zoo closed forms (cross-paper competitors, see PAPERS.md).
+# ----------------------------------------------------------------------
+def wire_units(point: OperatingPoint) -> float:
+    """WIRE (arXiv:2511.04928): Flip-N-Write's timing, Eq. 2.
+
+    WIRE re-chooses the stored polarity by transition *cost* instead of
+    count, but keeps the count bound (at most ``N/2`` programs per
+    unit), so the write stage is Eq. 2's constant; only the energy
+    column moves.
+    """
+    return flip_n_write_units(point)
+
+
+def datacon_units(
+    n_set: Sequence[int], n_reset: Sequence[int], point: OperatingPoint
+) -> float:
+    """DATACON (arXiv:2005.04753): one conventional share per dirty unit.
+
+    ``T = Tread + dirty * (N/M)/data_units * Tset`` — a fully dirty line
+    degenerates to Eq. 1, so the write stage never exceeds
+    Conventional's at any operating point.
+    """
+    if len(n_set) != len(n_reset):
+        raise ValueError("n_set / n_reset length mismatch")
+    dirty = sum(1 for s, r in zip(n_set, n_reset) if int(s) + int(r) > 0)
+    return dirty * point.write_units / point.data_units
+
+
+def palp_units(
+    n_set: Sequence[int],
+    n_reset: Sequence[int],
+    point: OperatingPoint,
+    partitions: int = 2,
+) -> float:
+    """PALP (arXiv:1908.07966): min(serial Eq. 5, partitioned Eq. 5).
+
+    The partitioned plan splits the demand vector into ``partitions``
+    contiguous ceil-division chunks, packs each with Algorithm 2 at
+    ``budget / partitions``, and completes with the slowest chunk.  The
+    controller issues whichever plan is shorter, so PALP is never worse
+    than single-partition Tetris.  When the per-partition budget cannot
+    cover one cell's current (``budget / partitions < max(1, L)``) only
+    the serial plan exists.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    serial = tetris_units(n_set, n_reset, point)
+    sub_budget = point.budget / partitions
+    if sub_budget < max(1.0, point.L):
+        return serial
+    sub_point = replace(point, budget=sub_budget)
+    chunk = -(-len(n_set) // partitions)  # ceil division
+    worst = 0.0
+    for p in range(partitions):
+        lo, hi = p * chunk, min((p + 1) * chunk, len(n_set))
+        if lo >= hi:
+            break
+        worst = max(
+            worst, tetris_units(n_set[lo:hi], n_reset[lo:hi], sub_point)
+        )
+    return min(serial, worst)
+
+
+# ----------------------------------------------------------------------
 # Worst cases and full service times.
 # ----------------------------------------------------------------------
 def worst_case_units(scheme: str, point: OperatingPoint) -> float:
@@ -277,10 +344,14 @@ def worst_case_units(scheme: str, point: OperatingPoint) -> float:
         return two_stage_units(point)
     if scheme == "three_stage":
         return three_stage_units(point)
-    if scheme in ("tetris", "tetris_relaxed"):
+    if scheme in ("tetris", "tetris_relaxed", "palp"):
         # Queue-admission bound: one write unit per data unit plus a
-        # full set of overflow sub-slots.
+        # full set of overflow sub-slots (PALP's serial plan bound).
         return float(point.write_units) + point.data_units / point.K
+    if scheme == "wire":
+        return wire_units(point)
+    if scheme == "datacon":
+        return float(point.write_units)
     if scheme == "preset":
         per_unit = math.ceil(point.unit_bits * point.L / point.budget)
         return point.data_units * per_unit / point.K
@@ -288,8 +359,11 @@ def worst_case_units(scheme: str, point: OperatingPoint) -> float:
 
 
 #: Which schemes pay the read-before-write and the analysis stage.
-_READS = frozenset({"dcw", "flip_n_write", "three_stage", "tetris", "tetris_relaxed"})
-_ANALYZES = frozenset({"tetris", "tetris_relaxed"})
+_READS = frozenset({
+    "dcw", "flip_n_write", "three_stage", "tetris", "tetris_relaxed",
+    "wire", "datacon", "palp",
+})
+_ANALYZES = frozenset({"tetris", "tetris_relaxed", "palp"})
 
 
 def service_ns(scheme: str, units: float, point: OperatingPoint) -> float:
@@ -326,4 +400,10 @@ def scheme_units(
         return tetris_relaxed_units(list(n_set or []), list(n_reset or []), point)
     if scheme == "preset":
         return preset_units(list(n_zero or []), point)
+    if scheme == "wire":
+        return wire_units(point)
+    if scheme == "datacon":
+        return datacon_units(list(n_set or []), list(n_reset or []), point)
+    if scheme == "palp":
+        return palp_units(list(n_set or []), list(n_reset or []), point)
     raise KeyError(f"no analytic model for scheme {scheme!r}")

@@ -19,6 +19,24 @@ correct absolute value.  Four relations, all derived from the paper:
     Fig. 10: Tetris never exceeds 2-Stage-Write's constant on realizable
     (post-flip) demand vectors at the paper's operating point.
 
+Three scheme-zoo relations pin the cross-paper competitors (PAPERS.md)
+to their headline guarantees:
+
+``wire_vs_fnw_energy``
+    WIRE's per-line write energy never exceeds Flip-N-Write's on the
+    same ``(stored image, new data)`` pair: FNW's count-rule choice is
+    always feasible under WIRE's bound, and WIRE picks the cost-minimal
+    feasible encoding (checked on the production schemes).
+``datacon_vs_conventional``
+    DATACON's write stage never exceeds Conventional's Eq. 1 constant —
+    each dirty data unit costs one conventional per-data-unit share, so
+    a fully dirty line is exactly Eq. 1 (checked at full and reduced
+    ``write_units`` operating points).
+``palp_vs_tetris``
+    PALP's service time never exceeds single-partition Tetris Write's
+    on the same line write: the controller prices both plans and issues
+    the cheaper one (checked on the production schemes).
+
 Each relation is a callable ``(rng, trials) -> list[violation dicts]``
 registered in :data:`RELATIONS`; :func:`run_metamorphic` drives them
 all.  Violations are returned, not raised, so the CLI can report them
@@ -31,8 +49,11 @@ from typing import Callable
 
 import numpy as np
 
+from repro.config import default_config
 from repro.core.analysis import TetrisScheduler
 from repro.oracle import analytic
+from repro.pcm.state import LineState
+from repro.schemes import get_scheme
 
 __all__ = ["RELATIONS", "run_metamorphic"]
 
@@ -155,11 +176,103 @@ def check_tetris_vs_two_stage(
     return out
 
 
+def _random_line(
+    rng: np.random.Generator, units: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A random stored image (physical, flip) and new logical data."""
+    physical = rng.integers(0, 2**64, size=units, dtype=np.uint64)
+    flip = rng.integers(0, 2, size=units).astype(bool)
+    new = rng.integers(0, 2**64, size=units, dtype=np.uint64)
+    # Half the trials: mutate only a few units so mostly-silent lines
+    # (the common workload case) are exercised too.
+    if rng.random() < 0.5:
+        keep = physical ^ np.where(flip, np.uint64(2**64 - 1), np.uint64(0))
+        mask = rng.random(units) < 0.75
+        new = np.where(mask, keep, new)
+    return physical, flip, new
+
+
+def check_wire_vs_fnw_energy(
+    rng: np.random.Generator, trials: int
+) -> list[dict]:
+    """WIRE's write energy <= Flip-N-Write's on every line (production)."""
+    out: list[dict] = []
+    config = default_config()
+    units = config.data_units_per_line
+    for _ in range(trials):
+        physical, flip, new = _random_line(rng, units)
+        results = {}
+        for name in ("wire", "flip_n_write"):
+            state = LineState(physical=physical.copy(), flip=flip.copy())
+            results[name] = get_scheme(name, config).write(state, new)
+        if results["wire"].energy > results["flip_n_write"].energy + 1e-9:
+            out.append(_violation(
+                "wire_vs_fnw_energy",
+                (config.K, config.L, config.bank_power_budget),
+                physical.tolist(), new.tolist(),
+                before=results["flip_n_write"].energy,
+                after=results["wire"].energy,
+                bound="wire energy <= flip_n_write energy",
+            ))
+    return out
+
+
+def check_datacon_vs_conventional(
+    rng: np.random.Generator, trials: int
+) -> list[dict]:
+    """DATACON's write stage <= Eq. 1 at full and reduced write_units."""
+    out: list[dict] = []
+    per_case = max(trials // (len(_POINTS) * 2), 1)
+    for K, L, budget in _POINTS:
+        for write_units in (8, 4):
+            point = analytic.OperatingPoint(
+                K=K, L=L, budget=budget, write_units=write_units
+            )
+            bound = analytic.conventional_units(point)
+            for _ in range(per_case):
+                n_set, n_reset = _random_vector(rng)
+                units = analytic.datacon_units(n_set, n_reset, point)
+                if units > bound + 1e-12:
+                    out.append(_violation(
+                        "datacon_vs_conventional",
+                        (K, L, budget), n_set, n_reset,
+                        before=bound, after=units,
+                        bound="datacon <= conventional",
+                    ))
+    return out
+
+
+def check_palp_vs_tetris(rng: np.random.Generator, trials: int) -> list[dict]:
+    """PALP's service time <= single-partition Tetris's (production)."""
+    out: list[dict] = []
+    config = default_config()
+    units = config.data_units_per_line
+    for _ in range(trials):
+        physical, flip, new = _random_line(rng, units)
+        results = {}
+        for name in ("palp", "tetris"):
+            state = LineState(physical=physical.copy(), flip=flip.copy())
+            results[name] = get_scheme(name, config).write(state, new)
+        if results["palp"].service_ns > results["tetris"].service_ns + 1e-9:
+            out.append(_violation(
+                "palp_vs_tetris",
+                (config.K, config.L, config.bank_power_budget),
+                physical.tolist(), new.tolist(),
+                before=results["tetris"].service_ns,
+                after=results["palp"].service_ns,
+                bound="palp service <= tetris service",
+            ))
+    return out
+
+
 RELATIONS: dict[str, Callable[[np.random.Generator, int], list[dict]]] = {
     "permutation": check_permutation,
     "reset_extension": check_reset_extension,
     "fnw_vs_conventional": check_fnw_vs_conventional,
     "tetris_vs_two_stage": check_tetris_vs_two_stage,
+    "wire_vs_fnw_energy": check_wire_vs_fnw_energy,
+    "datacon_vs_conventional": check_datacon_vs_conventional,
+    "palp_vs_tetris": check_palp_vs_tetris,
 }
 
 

@@ -1,4 +1,4 @@
-"""PCM write schemes: the paper's baselines and Tetris Write.
+"""PCM write schemes: the paper's baselines, Tetris Write, and the zoo.
 
 Every scheme implements the :class:`~repro.schemes.base.WriteScheme`
 interface: given the stored image of a line and the new logical data it
@@ -15,6 +15,19 @@ scheme                    key idea (paper Table I)                  read?
 ``three_stage``           2-Stage + flip (halves both phases)       yes
 ``tetris``                schedule by *actual* per-unit currents    yes
 ========================  ========================================  =====
+
+Cross-paper zoo (beyond the paper's Table I — see PAPERS.md):
+
+========================  ========================================  =====
+scheme                    key idea (source paper)                   read?
+========================  ========================================  =====
+``wire``                  energy-minimal inversion coding (WIRE,    yes
+                          arXiv:2511.04928)
+``datacon``               skip silent data units (DATACON,          yes
+                          arXiv:2005.04753)
+``palp``                  partition-parallel Tetris packing (PALP,  yes
+                          arXiv:1908.07966)
+========================  ========================================  =====
 """
 
 from repro.schemes.base import SCHEME_REGISTRY, WriteOutcome, WriteScheme, get_scheme
@@ -26,6 +39,9 @@ from repro.schemes.three_stage import ThreeStageWrite
 from repro.schemes.tetris import TetrisWrite
 from repro.schemes.preset import PreSETWrite
 from repro.schemes.tetris_relaxed import TetrisRelaxedWrite
+from repro.schemes.wire import WIREWrite
+from repro.schemes.datacon import DataConWrite
+from repro.schemes.palp import PALPWrite
 
 ALL_SCHEMES = (
     "dcw",
@@ -39,6 +55,11 @@ ALL_SCHEMES = (
 EXTENSION_SCHEMES = ("preset", "tetris_relaxed")
 """Schemes beyond the paper's comparison set (see each module's notes)."""
 
+ZOO_SCHEMES = ("wire", "datacon", "palp")
+"""Cross-paper competitor schemes retrieved via PAPERS.md (the scheme
+zoo): WIRE's energy-minimal inversion coding, DATACON's content-aware
+unit skipping, and PALP's partition-level parallelism."""
+
 COMPARED_SCHEMES = ("flip_n_write", "two_stage", "three_stage", "tetris")
 """The four schemes the evaluation compares against the DCW baseline."""
 
@@ -46,14 +67,18 @@ __all__ = [
     "ALL_SCHEMES",
     "COMPARED_SCHEMES",
     "EXTENSION_SCHEMES",
+    "ZOO_SCHEMES",
     "SCHEME_REGISTRY",
     "ConventionalWrite",
     "DCWWrite",
+    "DataConWrite",
     "FlipNWrite",
+    "PALPWrite",
     "PreSETWrite",
     "TetrisWrite",
     "ThreeStageWrite",
     "TwoStageWrite",
+    "WIREWrite",
     "WriteOutcome",
     "WriteScheme",
     "get_scheme",

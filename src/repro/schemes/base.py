@@ -133,8 +133,22 @@ class WriteScheme(ABC):
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
-        if hasattr(cls, "name") and isinstance(getattr(cls, "name", None), str):
-            SCHEME_REGISTRY[cls.name] = cls
+        # Only a class that declares its *own* ``name`` registers: a
+        # subclass inheriting the attribute is a refinement of an already
+        # registered scheme, not a new one, and must not clobber its
+        # parent's registry slot.
+        name = cls.__dict__.get("name")
+        if isinstance(name, str):
+            existing = SCHEME_REGISTRY.get(name)
+            if existing is not None and existing is not cls:
+                raise ValueError(
+                    f"scheme name {name!r} is already registered by "
+                    f"{existing.__module__}.{existing.__qualname__}; "
+                    f"{cls.__module__}.{cls.__qualname__} must pick a "
+                    f"distinct name (silent shadowing would mis-price "
+                    f"every sweep and cache key using {name!r})"
+                )
+            SCHEME_REGISTRY[name] = cls
 
     # ------------------------------------------------------------------
     def write(

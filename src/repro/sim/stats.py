@@ -207,9 +207,16 @@ class Histogram:
             self.counts = np.zeros(self.num_bins + 1, dtype=np.int64)
 
     def add(self, value: float) -> None:
-        idx = int(value // self.bin_width)
-        if idx < 0:
+        if value < 0:
             raise ValueError("histogram values must be non-negative")
+        idx = int(value // self.bin_width)
+        # Float division can land one bin off near the edges (e.g.
+        # 0.3 // 0.1 == 2.0): correct against the half-open convention
+        # ``[idx * w, (idx + 1) * w)`` explicitly.
+        if (idx + 1) * self.bin_width <= value:
+            idx += 1
+        elif idx * self.bin_width > value:
+            idx -= 1
         self.counts[min(idx, self.num_bins)] += 1
 
     @property
@@ -229,14 +236,29 @@ class Histogram:
         target = max(1.0, total * p / 100.0)
         cum = np.cumsum(self.counts)
         idx = int(np.searchsorted(cum, target))
+        if idx >= self.num_bins:
+            # Rank lands in the overflow bin: the value is somewhere
+            # beyond the last edge, so any finite answer would
+            # under-report the tail.
+            return math.inf
         return (idx + 1) * self.bin_width
 
     def summary(self) -> dict[str, float]:
-        """Uniform dump shape alongside :meth:`LatencyStat.summary`."""
+        """Uniform dump shape alongside :meth:`LatencyStat.summary`.
+
+        Overflow-bin percentiles render as the string ``">edge"`` (the
+        histogram only knows the tail passed its last edge), keeping the
+        dump JSON-serializable.
+        """
+        edge = self.num_bins * self.bin_width
+
+        def _render(v: float) -> float | str:
+            return f">{edge:g}" if math.isinf(v) else v
+
         return {
             "total": self.total,
-            "p50": self.percentile(50),
-            "p99": self.percentile(99),
+            "p50": _render(self.percentile(50)),
+            "p99": _render(self.percentile(99)),
         }
 
 

@@ -74,15 +74,18 @@ def test_default_config_is_inside_for_every_priced_scheme():
 
 
 def test_priced_schemes_cover_the_registry_exactly():
-    # A scheme registered without a pricer would silently fall back to
-    # DES forever; one priced but unregistered could never be validated.
-    assert set(PRICED_SCHEMES) == set(SCHEME_REGISTRY)
+    # Every priced scheme must be registered (one priced but
+    # unregistered could never be validated), and the deliberately
+    # DES-only remainder is pinned so a new scheme registered without a
+    # pricer can't silently fall back to DES forever unnoticed.
+    assert PRICED_SCHEMES <= set(SCHEME_REGISTRY)
+    assert set(SCHEME_REGISTRY) - PRICED_SCHEMES == {"palp"}
 
 
 def test_unpriced_scheme_routes_to_des():
     decision = classify(default_config(), "mlc_tetris")
     assert not decision.inside
-    assert "scheme-unpriced" in decision.reasons
+    assert "unpriced-scheme" in decision.reasons
 
 
 @pytest.mark.parametrize(
@@ -118,7 +121,7 @@ def test_reasons_accumulate():
     )
     decision = classify(cfg, "mlc_tetris")
     assert set(decision.reasons) >= {
-        "scheme-unpriced", "faults-enabled", "write-pausing",
+        "unpriced-scheme", "faults-enabled", "write-pausing",
         "drain-order-not-fifo",
     }
 

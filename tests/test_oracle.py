@@ -333,11 +333,15 @@ class TestZeroDemandCorner:
             assert out.units == pytest.approx(expected)
             return
         out = scheme.write(state, data)
-        if name in ("tetris", "tetris_relaxed"):
+        if name in ("tetris", "tetris_relaxed", "palp"):
             assert out.units == 0.0
             assert out.service_ns == pytest.approx(
                 cfg.timings.t_read_ns + cfg.analysis_overhead_ns
             )
+            assert out.n_set == 0 and out.n_reset == 0
+        elif name == "datacon":
+            assert out.units == 0.0  # no dirty units, no write stage
+            assert out.service_ns == pytest.approx(cfg.timings.t_read_ns)
             assert out.n_set == 0 and out.n_reset == 0
         elif name == "dcw":
             assert out.n_set == 0 and out.n_reset == 0

@@ -40,6 +40,35 @@ class TestRegistry:
         s = get_scheme("dcw")
         assert s.config.K == 8
 
+    def test_duplicate_name_registration_raises(self):
+        # Regression: a second class claiming an existing name used to
+        # silently shadow the original in SCHEME_REGISTRY, mis-pricing
+        # every sweep and cache key using it.
+        from repro.schemes.base import WriteScheme
+
+        with pytest.raises(ValueError, match="already registered"):
+            class ShadowDCW(WriteScheme):
+                name = "dcw"
+                requires_read = True
+
+                def worst_case_units(self):
+                    return 8.0
+
+                def _write_once(self, state, new_logical):
+                    raise NotImplementedError
+
+        assert SCHEME_REGISTRY["dcw"].__name__ == "DCWWrite"
+
+    def test_subclass_without_own_name_does_not_reregister(self):
+        # A refinement subclass inheriting ``name`` is not a new scheme
+        # and must neither raise nor clobber its parent's slot.
+        original = SCHEME_REGISTRY["dcw"]
+
+        class TunedDCW(original):
+            pass
+
+        assert SCHEME_REGISTRY["dcw"] is original
+
 
 class TestServiceTimeEquations:
     """Equations 1-4 at the Table II operating point (N/M = 8, K=8, L=2)."""

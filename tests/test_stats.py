@@ -115,6 +115,56 @@ class TestHistogram:
             "p99": h.percentile(99),
         }
 
+    def test_overflow_percentile_is_infinite(self):
+        """Regression: a rank landing in the overflow bin used to report
+        the finite edge ``(num_bins + 1) * bin_width``, silently
+        under-reporting the tail."""
+        h = Histogram("lat", bin_width=10.0, num_bins=4)
+        h.add(1e6)  # overflow
+        assert h.percentile(50) == math.inf
+        assert h.percentile(99) == math.inf
+        # Mixed: median in range, tail in overflow.
+        h2 = Histogram("lat", bin_width=10.0, num_bins=4)
+        for _ in range(99):
+            h2.add(5.0)
+        h2.add(1e6)
+        assert h2.percentile(50) == pytest.approx(10.0)
+        assert h2.percentile(100) == math.inf
+
+    def test_overflow_percentile_renders_as_beyond_edge(self):
+        h = Histogram("lat", bin_width=10.0, num_bins=4)
+        h.add(1e6)
+        assert h.summary() == {"total": 1, "p50": ">40", "p99": ">40"}
+        import json
+
+        json.dumps(h.summary())  # stays serializable
+
+    def test_last_real_bin_is_still_finite(self):
+        h = Histogram("lat", bin_width=10.0, num_bins=4)
+        h.add(35.0)  # last real bin, not overflow
+        assert h.percentile(99) == pytest.approx(40.0)
+
+    @pytest.mark.parametrize("bin_width", [0.1, 0.2, 0.3, 10.0, 1e-3])
+    def test_float_edge_values_bin_half_open(self, bin_width):
+        """Regression: ``value // bin_width`` rounds one bin off near the
+        edges (0.3 // 0.1 == 2.0); binning must honor the half-open
+        convention ``[i*w, (i+1)*w)`` for values on and near every edge."""
+        num_bins = 64
+        for i in range(num_bins):
+            edge = i * bin_width
+            for value in (edge, np.nextafter(edge, np.inf)):
+                h = Histogram("x", bin_width=bin_width, num_bins=num_bins)
+                h.add(value)
+                assert h.counts[i] == 1, (
+                    f"value {value!r} landed in bin "
+                    f"{int(np.argmax(h.counts))}, want {i}"
+                )
+            below = np.nextafter(edge, -np.inf)
+            if i and below >= (i - 1) * bin_width:
+                h = Histogram("x", bin_width=bin_width, num_bins=num_bins)
+                h.add(below)
+                assert h.counts[i - 1] == 1
+
 
 class TestStatRegistry:
     def test_latency_created_once(self):
